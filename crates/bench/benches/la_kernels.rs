@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the linear-algebra substrate: SpMV
+//! (memory-bandwidth bound, the baseline the paper's matrix-free kernels
+//! beat), BLAS-1 kernels and the Galerkin RAP product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptatin_la::csr::Csr;
+use ptatin_la::vec_ops;
+use std::time::Duration;
+
+fn laplace3d(n: usize) -> Csr {
+    let idx = |i: usize, j: usize, k: usize| i + n * (j + n * k);
+    let mut t = Vec::new();
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let r = idx(i, j, k);
+                t.push((r, r, 6.0));
+                let mut nb = |ri: i64, rj: i64, rk: i64| {
+                    if ri >= 0
+                        && rj >= 0
+                        && rk >= 0
+                        && (ri as usize) < n
+                        && (rj as usize) < n
+                        && (rk as usize) < n
+                    {
+                        t.push((r, idx(ri as usize, rj as usize, rk as usize), -1.0));
+                    }
+                };
+                nb(i as i64 - 1, j as i64, k as i64);
+                nb(i as i64 + 1, j as i64, k as i64);
+                nb(i as i64, j as i64 - 1, k as i64);
+                nb(i as i64, j as i64 + 1, k as i64);
+                nb(i as i64, j as i64, k as i64 - 1);
+                nb(i as i64, j as i64, k as i64 + 1);
+            }
+        }
+    }
+    Csr::from_triplets(n * n * n, n * n * n, &t)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("la_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // SpMV with bandwidth throughput.
+    for n in [16usize, 32] {
+        let a = laplace3d(n);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).cos()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        group.throughput(Throughput::Bytes(a.bytes() as u64));
+        group.bench_with_input(BenchmarkId::new("spmv", format!("{n}^3")), &(), |b, _| {
+            b.iter(|| a.spmv(&x, &mut y))
+        });
+    }
+    // BLAS-1.
+    let n = 1 << 18;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0f64; n];
+    group.throughput(Throughput::Bytes((16 * n) as u64));
+    group.bench_function("axpy_256k", |b| b.iter(|| vec_ops::axpy(1.1, &x, &mut y)));
+    group.bench_function("dot_256k", |b| b.iter(|| vec_ops::dot(&x, &y)));
+    // RAP (setup cost of Galerkin coarsening).
+    let a = laplace3d(12);
+    // Aggregation-like P: every 2x2x2 block of nodes → one coarse dof.
+    let nc = 6 * 6 * 6;
+    let trip: Vec<(usize, usize, f64)> = (0..a.nrows())
+        .map(|r| {
+            let (i, j, k) = (r % 12, (r / 12) % 12, r / 144);
+            (r, (i / 2) + 6 * ((j / 2) + 6 * (k / 2)), 1.0)
+        })
+        .collect();
+    let p = Csr::from_triplets(a.nrows(), nc, &trip);
+    group.bench_function("rap_12^3", |b| b.iter(|| Csr::rap(&a, &p)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

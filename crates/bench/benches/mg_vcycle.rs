@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the multigrid machinery: one V(2,2) cycle of
+//! the velocity preconditioner (the paper's per-iteration cost driver),
+//! the Chebyshev smoother, and the SA-AMG coarse-solver application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptatin_bench::{levels_for, paper_gmg_config, sinker_setup};
+use ptatin_la::operator::Preconditioner;
+use ptatin_mg::amg::{build_sa_amg, AmgConfig, CoarseSolverKind};
+use ptatin_mg::nullspace::constant_mode;
+use ptatin_ops::OperatorKind;
+use std::time::Duration;
+
+fn laplace3d(n: usize) -> ptatin_la::Csr {
+    let idx = |i: usize, j: usize, k: usize| i + n * (j + n * k);
+    let mut t = Vec::new();
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let r = idx(i, j, k);
+                t.push((r, r, 6.0));
+                for (di, dj, dk) in [
+                    (-1i64, 0i64, 0i64),
+                    (1, 0, 0),
+                    (0, -1, 0),
+                    (0, 1, 0),
+                    (0, 0, -1),
+                    (0, 0, 1),
+                ] {
+                    let (ri, rj, rk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                    if ri >= 0
+                        && rj >= 0
+                        && rk >= 0
+                        && (ri as usize) < n
+                        && (rj as usize) < n
+                        && (rk as usize) < n
+                    {
+                        t.push((r, idx(ri as usize, rj as usize, rk as usize), -1.0));
+                    }
+                }
+            }
+        }
+    }
+    ptatin_la::Csr::from_triplets(n * n * n, n * n * n, &t)
+}
+
+fn bench_mg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mg");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // GMG V(2,2) cycle on the sinker viscous block at 8^3.
+    let m = 8;
+    let levels = levels_for(m, 3);
+    let (model, fields) = sinker_setup(m, levels, 1e4);
+    let solver = model.build_solver(&fields, &paper_gmg_config(levels, OperatorKind::Tensor));
+    let r: Vec<f64> = (0..solver.nu).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut z = vec![0.0; solver.nu];
+    group.bench_function("gmg_v22_8^3", |b| b.iter(|| solver.mg.apply(&r, &mut z)));
+
+    // SA-AMG V-cycle on a scalar Laplacian.
+    let a = laplace3d(16);
+    let ns = constant_mode(a.nrows());
+    let amg = build_sa_amg(
+        a.clone(),
+        &ns,
+        &AmgConfig {
+            block_size: 1,
+            coarse_solver: CoarseSolverKind::DirectLu,
+            ..AmgConfig::default()
+        },
+    );
+    let rr: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.37).cos()).collect();
+    let mut zz = vec![0.0; a.nrows()];
+    group.bench_function("amg_vcycle_laplace16^3", |b| b.iter(|| amg.apply(&rr, &mut zz)));
+
+    // AMG setup cost (the "PC setup" axis of Table IV).
+    group.bench_function("amg_setup_laplace16^3", |b| {
+        b.iter(|| {
+            build_sa_amg(
+                a.clone(),
+                &ns,
+                &AmgConfig {
+                    block_size: 1,
+                    coarse_solver: CoarseSolverKind::DirectLu,
+                    ..AmgConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mg);
+criterion_main!(benches);

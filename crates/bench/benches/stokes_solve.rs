@@ -1,0 +1,45 @@
+//! Criterion benchmark of complete Stokes solves — the end-to-end
+//! "time-to-solution" quantity of Tables II and IV, at laptop scale, for
+//! the assembled and tensor-product operator representations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptatin_bench::{levels_for, paper_gmg_config, sinker_setup};
+use ptatin_core::KrylovOperatorChoice;
+use ptatin_la::krylov::KrylovConfig;
+use ptatin_ops::OperatorKind;
+use std::time::Duration;
+
+fn bench_stokes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stokes_solve");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8));
+    let m = 4;
+    let levels = levels_for(m, 3);
+    for kind in [OperatorKind::Assembled, OperatorKind::Tensor] {
+        let (model, fields) = sinker_setup(m, levels, 1e4);
+        let solver = model.build_solver(&fields, &paper_gmg_config(levels, kind));
+        let rhs = model.rhs(&solver, &fields);
+        group.bench_with_input(
+            BenchmarkId::new("sinker_4^3", kind.label()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut x = vec![0.0; solver.nu + solver.np];
+                    solver.solve(
+                        &rhs,
+                        &mut x,
+                        &KrylovConfig::default().with_rtol(1e-5).with_max_it(300),
+                        KrylovOperatorChoice::Picard,
+                        None,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stokes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the four J_uu operator applications —
+//! the statistical companion to `--bin table1` (Table I of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptatin_bench::sinker_setup;
+use ptatin_core::models::sinker::sinker_bc;
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_la::operator::LinearOperator;
+use ptatin_ops::{
+    assembled_viscous_op, MfViscousOp, TensorCViscousOp, TensorViscousOp, ViscousOpData,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_operator_apply");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for m in [4usize, 8] {
+        let (model, fields) = sinker_setup(m, 2, 1e4);
+        let mesh = model.hier.finest();
+        let bc = sinker_bc(mesh);
+        let tables = Q2QuadTables::standard();
+        let asmb = assembled_viscous_op(mesh, &tables, &fields.eta_qp, &bc);
+        let data = Arc::new(ViscousOpData::new(mesh, fields.eta_qp.clone(), &bc));
+        let mf = MfViscousOp::new(data.clone());
+        let tensor = TensorViscousOp::new(data.clone());
+        let tensor_c = TensorCViscousOp::new(data);
+        let n = asmb.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; n];
+        let ops: [(&str, &dyn LinearOperator); 4] = [
+            ("asmb", &asmb),
+            ("mf", &mf),
+            ("tensor", &tensor),
+            ("tensor_c", &tensor_c),
+        ];
+        for (name, op) in ops {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{m}^3")),
+                &(),
+                |b, _| b.iter(|| op.apply(&x, &mut y)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

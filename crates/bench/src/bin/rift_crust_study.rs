@@ -1,0 +1,134 @@
+//! §V's scientific conclusion, reproduced at laptop scale: "A weak lower
+//! crust favors wider passive margins … a strong lower crust favors ridge
+//! jumps and transform margins", and axial shortening induces obliquity.
+//!
+//! Runs the rifting model with (a) weak and (b) strong lower crust and
+//! compares the *width* of the deforming zone (the x-extent over which
+//! crustal plastic strain accumulates), plus (c) the oblique case with
+//! axial shortening, comparing strain asymmetry along z.
+//!
+//! Run: `cargo run --release -p ptatin-bench --bin rift_crust_study [--quick] [steps=8]`
+
+use ptatin_bench::{write_csv, Args};
+use ptatin_core::models::rift::{RiftConfig, RiftModel, MANTLE};
+
+struct Outcome {
+    label: &'static str,
+    deform_width: f64,
+    strain_z_front: f64,
+    strain_z_back: f64,
+    max_strain: f64,
+    topo_min: f64,
+}
+
+fn run_case(label: &'static str, weak: bool, shortening: f64, steps: usize, quick: bool) -> Outcome {
+    let (mx, my, mz) = if quick { (6, 2, 4) } else { (10, 4, 6) };
+    let mut model = RiftModel::new(RiftConfig {
+        mx,
+        my,
+        mz,
+        levels: 2,
+        weak_lower_crust: weak,
+        shortening_velocity: shortening,
+        ..RiftConfig::default()
+    });
+    for _ in 0..steps {
+        let s = model.step();
+        let _ = s;
+    }
+    // Deformation-zone width: x-extent containing crustal points whose
+    // plastic strain exceeds 25% of the maximum accumulated this run.
+    let mut max_strain = 0.0f64;
+    for i in 0..model.points.len() {
+        if model.points.lithology[i] != MANTLE {
+            max_strain = max_strain.max(model.points.plastic_strain[i]);
+        }
+    }
+    let threshold = 0.25 * max_strain;
+    let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut sz_front, mut sz_back) = (0.0f64, 0.0f64);
+    let (mut n_front, mut n_back) = (0usize, 0usize);
+    for i in 0..model.points.len() {
+        if model.points.lithology[i] == MANTLE {
+            continue;
+        }
+        let s = model.points.plastic_strain[i];
+        let x = model.points.x[i];
+        if s > threshold {
+            xlo = xlo.min(x[0]);
+            xhi = xhi.max(x[0]);
+        }
+        // Strain split along the rift axis (z): back = damage side.
+        if x[2] < 1.5 {
+            sz_back += s;
+            n_back += 1;
+        } else {
+            sz_front += s;
+            n_front += 1;
+        }
+    }
+    let tops = ptatin_core::timestep::surface_heights(&model.mesh, 1);
+    let topo_min = tops.iter().cloned().fold(f64::INFINITY, f64::min) - 1.0;
+    Outcome {
+        label,
+        deform_width: if xhi > xlo { xhi - xlo } else { 0.0 },
+        strain_z_front: sz_front / n_front.max(1) as f64,
+        strain_z_back: sz_back / n_back.max(1) as f64,
+        max_strain,
+        topo_min,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps = args.get_usize("steps", if args.quick() { 4 } else { 8 });
+    println!("# §V crust-strength study — {steps} steps per case\n");
+    let cases = [
+        run_case("weak lower crust", true, 0.0, steps, args.quick()),
+        run_case("strong lower crust", false, 0.0, steps, args.quick()),
+        run_case("weak + shortening", true, 0.05, steps, args.quick()),
+    ];
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "case", "deform width", "strain back", "strain front", "max strain", "topo min"
+    );
+    println!("{}", ptatin_bench::rule(84));
+    let mut rows = Vec::new();
+    for c in &cases {
+        println!(
+            "{:<22} {:>12.3} {:>12.4} {:>12.4} {:>10.3} {:>10.4}",
+            c.label, c.deform_width, c.strain_z_back, c.strain_z_front, c.max_strain, c.topo_min
+        );
+        rows.push(format!(
+            "{},{:.4},{:.5},{:.5},{:.4},{:.5}",
+            c.label, c.deform_width, c.strain_z_back, c.strain_z_front, c.max_strain, c.topo_min
+        ));
+    }
+    println!();
+    println!("paper claims (§V): a weak lower crust decouples the brittle crust from");
+    println!("the mantle and spreads deformation over a wider zone (wider margins);");
+    println!("a strong lower crust localizes it. Axial shortening (case 3) makes the");
+    println!("strain distribution asymmetric along the rift axis (obliquity).");
+    let wide = cases[0].deform_width;
+    let narrow = cases[1].deform_width;
+    println!("\nmeasured: weak-crust deformation width {wide:.3} vs strong-crust {narrow:.3}.");
+    if wide > narrow + 1e-9 {
+        println!("the weak crust deforms over a wider zone — matches §V.");
+    } else {
+        println!("note: at this resolution and step count the width is still set by the");
+        println!("seeded damage zone — the §V margin-width contrast emerges over the");
+        println!("paper's 1500-2000 step runs (raise steps=/mx= to probe it).");
+    }
+    let asym = |c: &Outcome| (c.strain_z_back - c.strain_z_front) / (c.strain_z_back + c.strain_z_front);
+    println!(
+        "axial strain asymmetry (obliquity proxy): symmetric {:.3}, with shortening {:.3}",
+        asym(&cases[0]),
+        asym(&cases[2])
+    );
+    let path = write_csv(
+        "rift_crust_study.csv",
+        "case,deform_width,strain_back,strain_front,max_strain,topo_min",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,108 @@
+//! Table I of the paper: per-element flops and streamed bytes (analytic
+//! models) plus measured application time and GF/s for the four operator
+//! representations of `J_uu` — Assembled, Matrix-free, Tensor, Tensor C.
+//!
+//! Run: `cargo run --release -p ptatin-bench --bin table1 [--quick] [m=16]`
+
+use ptatin_bench::{sinker_setup, time_apply, write_csv, Args};
+use ptatin_core::models::sinker::sinker_bc;
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_ops::{
+    assembled_model, assembled_viscous_op, mf_model, paper_models, tensor_c_model, tensor_model,
+    MfViscousOp, OperatorModel, TensorCViscousOp, TensorViscousOp, ViscousOpData,
+};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse();
+    let m = args.get_usize("m", if args.quick() { 8 } else { 16 });
+    let reps = args.get_usize("reps", if args.quick() { 3 } else { 10 });
+    println!("# Table I reproduction — {m}^3 Q2 elements, sinker viscosity field");
+    println!();
+
+    let (model, fields) = sinker_setup(m, 2, 1e4);
+    let mesh = model.hier.finest();
+    let bc = sinker_bc(mesh);
+    let tables = Q2QuadTables::standard();
+    let nel = mesh.num_elements();
+
+    // Build the four operators.
+    let t_asm = std::time::Instant::now();
+    let asmb = assembled_viscous_op(mesh, &tables, &fields.eta_qp, &bc);
+    let asm_setup = t_asm.elapsed().as_secs_f64();
+    let data = Arc::new(ViscousOpData::new(mesh, fields.eta_qp.clone(), &bc));
+    let mf = MfViscousOp::new(data.clone());
+    let tensor = TensorViscousOp::new(data.clone());
+    let t_tc = std::time::Instant::now();
+    let tensor_c = TensorCViscousOp::new(data.clone());
+    let tc_setup = t_tc.elapsed().as_secs_f64();
+
+    let models: Vec<(OperatorModel, f64)> = vec![
+        (assembled_model(asmb.nnz(), nel), time_apply(&asmb, reps)),
+        (mf_model(), time_apply(&mf, reps)),
+        (tensor_model(), time_apply(&tensor, reps)),
+        (tensor_c_model(), time_apply(&tensor_c, reps)),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "Operator", "Flops/el", "B/el pess", "B/el perf", "Time (ms)", "GF/s", "F/B perf"
+    );
+    println!("{}", ptatin_bench::rule(84));
+    let mut rows = Vec::new();
+    for (mdl, secs) in &models {
+        let gflops = mdl.flops as f64 * nel as f64 / secs / 1e9;
+        let (_ip, iperf) = mdl.intensity();
+        println!(
+            "{:<22} {:>8} {:>10} {:>10} {:>10.3} {:>9.2} {:>8.1}",
+            mdl.name,
+            mdl.flops,
+            mdl.bytes_pessimal,
+            mdl.bytes_perfect,
+            secs * 1e3,
+            gflops,
+            iperf
+        );
+        rows.push(format!(
+            "{},{},{},{},{:.6},{:.3}",
+            mdl.name,
+            mdl.flops,
+            mdl.bytes_pessimal,
+            mdl.bytes_perfect,
+            secs * 1e3,
+            gflops
+        ));
+    }
+    println!();
+    println!("assembled matrix: {} nonzeros ({:.1} MB, setup {:.2} s)",
+        asmb.nnz(), asmb.bytes() as f64 / 1e6, asm_setup);
+    println!("tensor-C coefficient store setup: {tc_setup:.3} s");
+    println!();
+    println!("# Paper Table I (Edison, 8 nodes) for comparison:");
+    for p in paper_models() {
+        println!(
+            "  {:<14} flops {:>6}  bytes {:>6}/{:>6}",
+            p.name, p.flops, p.bytes_pessimal, p.bytes_perfect
+        );
+    }
+    // Shape checks mirrored from the paper.
+    let asm_t = models[0].1;
+    let mf_t = models[1].1;
+    let tens_t = models[2].1;
+    println!();
+    println!("shape checks:");
+    println!(
+        "  tensor vs assembled speedup: {:.2}x (paper: ~2.8x at the operator level)",
+        asm_t / tens_t
+    );
+    println!(
+        "  tensor vs non-tensor MF speedup: {:.2}x (paper: ~3.5x flops, ~3.5x time)",
+        mf_t / tens_t
+    );
+    let path = write_csv(
+        "table1.csv",
+        "operator,flops_per_el,bytes_pessimal,bytes_perfect,time_ms,gflops",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,385 @@
+//! The nonlinearity-evaluation pipeline of §II-C/§III-A: rheology is
+//! evaluated *at material points* (strain rate, temperature and pressure
+//! interpolated to each point), projected onto the Q1 corner mesh
+//! (Eq. (12)) and interpolated to quadrature points (Eq. (13)).
+//! Viscosity is handled in log space to respect its 10⁹-decade contrasts.
+
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_fem::basis::{element_frame, p1disc_basis, q1_basis, q2_grad, NP1};
+use ptatin_fem::geometry::{physical_grad, qp_geometry};
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use ptatin_mpm::projection::{corners_to_quadrature, corners_to_quadrature_log, project_to_corners};
+use ptatin_ops::NewtonData;
+use ptatin_rheology::MaterialTable;
+
+/// Coefficient state consumed by the operators and the right-hand side.
+pub struct CoefficientFields {
+    /// Effective viscosity on the fine corner mesh (geometric projection).
+    pub eta_corner: Vec<f64>,
+    /// Density on the fine corner mesh.
+    pub rho_corner: Vec<f64>,
+    /// Viscosity at (element × qp), log-interpolated.
+    pub eta_qp: Vec<f64>,
+    /// Density at (element × qp).
+    pub rho_qp: Vec<f64>,
+    /// Newton coefficient (η′ and frozen strain rate per qp), when
+    /// requested.
+    pub newton: Option<NewtonData>,
+}
+
+/// Symmetric strain rate `D(u)` at one reference location of an element,
+/// packed `[xx, yy, zz, yz, xz, xy]`.
+pub fn strain_rate_at(
+    mesh: &StructuredMesh,
+    velocity: &[f64],
+    e: usize,
+    xi: [f64; 3],
+) -> [f64; 6] {
+    let corners = mesh.element_corner_coords(e);
+    let geo = qp_geometry(&corners, xi, 1.0);
+    let grads = q2_grad(xi);
+    let nodes = mesh.element_nodes(e);
+    let mut gradu = [[0.0f64; 3]; 3];
+    for (i, &n) in nodes.iter().enumerate() {
+        let g = physical_grad(&geo, grads[i]);
+        for c in 0..3 {
+            for l in 0..3 {
+                gradu[c][l] += velocity[3 * n + c] * g[l];
+            }
+        }
+    }
+    [
+        gradu[0][0],
+        gradu[1][1],
+        gradu[2][2],
+        0.5 * (gradu[1][2] + gradu[2][1]),
+        0.5 * (gradu[0][2] + gradu[2][0]),
+        0.5 * (gradu[0][1] + gradu[1][0]),
+    ]
+}
+
+/// √I₂ of a packed symmetric strain rate.
+pub fn eps_ii(d: &[f64; 6]) -> f64 {
+    (0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2])
+        + d[3] * d[3]
+        + d[4] * d[4]
+        + d[5] * d[5])
+        .sqrt()
+}
+
+/// Strain rate at every quadrature point (frozen `D(u)` for the Newton
+/// operator).
+pub fn strain_rate_at_qps(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    velocity: &[f64],
+) -> Vec<[f64; 6]> {
+    let nqp = tables.nqp();
+    let mut out = vec![[0.0; 6]; mesh.num_elements() * nqp];
+    for e in 0..mesh.num_elements() {
+        let corners = mesh.element_corner_coords(e);
+        let nodes = mesh.element_nodes(e);
+        for q in 0..nqp {
+            let geo = qp_geometry(&corners, tables.quad.points[q], 1.0);
+            let mut gradu = [[0.0f64; 3]; 3];
+            for (i, &n) in nodes.iter().enumerate() {
+                let g = physical_grad(&geo, tables.grad[q][i]);
+                for c in 0..3 {
+                    for l in 0..3 {
+                        gradu[c][l] += velocity[3 * n + c] * g[l];
+                    }
+                }
+            }
+            out[e * nqp + q] = [
+                gradu[0][0],
+                gradu[1][1],
+                gradu[2][2],
+                0.5 * (gradu[1][2] + gradu[2][1]),
+                0.5 * (gradu[0][2] + gradu[2][0]),
+                0.5 * (gradu[0][1] + gradu[1][0]),
+            ];
+        }
+    }
+    out
+}
+
+/// Interpolate the P1disc pressure at a point of element `e` with local
+/// coordinate `xi`.
+pub fn pressure_at(
+    mesh: &StructuredMesh,
+    pressure: &[f64],
+    e: usize,
+    xi: [f64; 3],
+) -> f64 {
+    let corners = mesh.element_corner_coords(e);
+    let (centroid, half) = element_frame(&corners);
+    let x = ptatin_fem::geometry::map_to_physical(&corners, xi);
+    let psi = p1disc_basis(x, centroid, half);
+    let mut p = 0.0;
+    for (m, &pm) in psi.iter().enumerate() {
+        p += pm * pressure[NP1 * e + m];
+    }
+    p
+}
+
+/// Interpolate a Q1 corner field (e.g. temperature) at a point.
+pub fn corner_field_at(
+    mesh: &StructuredMesh,
+    field: &[f64],
+    e: usize,
+    xi: [f64; 3],
+) -> f64 {
+    let cids = mesh.element_corner_ids(e);
+    let w = q1_basis(xi);
+    let mut v = 0.0;
+    for (k, &cid) in cids.iter().enumerate() {
+        v += w[k] * field[cid];
+    }
+    v
+}
+
+/// State inputs for a coefficient update.
+pub struct StateFields<'a> {
+    /// Current velocity (strain-rate dependence); `None` = static
+    /// evaluation at the strain-rate floor.
+    pub velocity: Option<&'a [f64]>,
+    /// Current pressure coefficients (plasticity); `None` = 0.
+    pub pressure: Option<&'a [f64]>,
+    /// Temperature on the corner mesh; `None` = reference temperature.
+    pub temperature: Option<&'a [f64]>,
+}
+
+/// Full coefficient update: evaluate every material point, project, and
+/// interpolate. `compute_newton` additionally evaluates η′ and freezes
+/// `D(u)` at the quadrature points (requires `velocity`).
+pub fn update_coefficients(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    points: &MaterialPoints,
+    materials: &MaterialTable,
+    state: &StateFields,
+    compute_newton: bool,
+) -> CoefficientFields {
+    let npts = points.len();
+    let mut log_eta = vec![0.0f64; npts];
+    let mut eta_prime = vec![0.0f64; npts];
+    let mut rho = vec![0.0f64; npts];
+    for p in 0..npts {
+        let e = points.element[p];
+        if e == u32::MAX {
+            continue;
+        }
+        let e = e as usize;
+        let xi = points.xi[p];
+        let eps = match state.velocity {
+            Some(v) => eps_ii(&strain_rate_at(mesh, v, e, xi)),
+            None => 0.0,
+        };
+        let pres = match state.pressure {
+            Some(pp) => pressure_at(mesh, pp, e, xi),
+            None => 0.0,
+        };
+        let temp = match state.temperature {
+            Some(t) => corner_field_at(mesh, t, e, xi),
+            None => materials.get(points.lithology[p]).reference_temperature,
+        };
+        let mat = materials.get(points.lithology[p]);
+        let ev = mat.effective_viscosity(eps, temp, pres, points.plastic_strain[p]);
+        log_eta[p] = ev.eta.ln();
+        eta_prime[p] = ev.eta_prime;
+        rho[p] = mat.density(temp);
+    }
+    // Global fallbacks for starved nodes.
+    let mean_log_eta = if npts > 0 {
+        log_eta.iter().sum::<f64>() / npts as f64
+    } else {
+        0.0
+    };
+    let mean_rho = if npts > 0 {
+        rho.iter().sum::<f64>() / npts as f64
+    } else {
+        0.0
+    };
+    let log_eta_corner = project_to_corners(mesh, points, |p| log_eta[p], |_| mean_log_eta);
+    let eta_corner: Vec<f64> = log_eta_corner.iter().map(|&v| v.exp()).collect();
+    let rho_corner = project_to_corners(mesh, points, |p| rho[p], |_| mean_rho);
+    let eta_qp = corners_to_quadrature_log(mesh, tables, &eta_corner);
+    let rho_qp = corners_to_quadrature(mesh, tables, &rho_corner);
+    let newton = if compute_newton {
+        let v = state
+            .velocity
+            .expect("Newton coefficient requires a velocity state");
+        let eta_prime_corner = project_to_corners(mesh, points, |p| eta_prime[p], |_| 0.0);
+        let mut eta_prime_qp = corners_to_quadrature(mesh, tables, &eta_prime_corner);
+        let d_sym = strain_rate_at_qps(mesh, tables, v);
+        // Safeguard: perfect plasticity gives η′ = −η/(2I₂), which zeroes
+        // the tangent stiffness along the yielding direction
+        // (2η + 4η′I₂ = 0) and stalls the Krylov iteration. Retain a
+        // fraction θ of the Picard stiffness — the standard clamped
+        // consistent tangent.
+        const THETA: f64 = 0.2;
+        for (k, ep) in eta_prime_qp.iter_mut().enumerate() {
+            if *ep < 0.0 {
+                let d = &d_sym[k];
+                let i2 = 0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2])
+                    + d[3] * d[3]
+                    + d[4] * d[4]
+                    + d[5] * d[5];
+                if i2 > 1e-32 {
+                    let floor = -(1.0 - THETA) * eta_qp[k] / (2.0 * i2);
+                    if *ep < floor {
+                        *ep = floor;
+                    }
+                } else {
+                    *ep = 0.0;
+                }
+            }
+        }
+        Some(NewtonData {
+            eta_prime: eta_prime_qp,
+            d_sym,
+        })
+    } else {
+        None
+    };
+    CoefficientFields {
+        eta_corner,
+        rho_corner,
+        eta_qp,
+        rho_qp,
+        newton,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptatin_mpm::points::seed_regular;
+    use ptatin_rheology::Material;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh() -> StructuredMesh {
+        StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+    }
+
+    #[test]
+    fn strain_rate_of_linear_shear() {
+        let mesh = mesh();
+        let mut u = vec![0.0; 3 * mesh.num_nodes()];
+        for (n, c) in mesh.coords.iter().enumerate() {
+            u[3 * n] = 2.0 * c[1]; // du_x/dy = 2 → D_xy = 1
+        }
+        let d = strain_rate_at(&mesh, &u, 0, [0.3, -0.2, 0.1]);
+        assert!((d[5] - 1.0).abs() < 1e-12, "{d:?}");
+        assert!(d[0].abs() < 1e-12);
+        assert!((eps_ii(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_interpolation_linear() {
+        let mesh = mesh();
+        // p(x) = 3 + x − 2z on element 0: express in the element frame.
+        let corners = mesh.element_corner_coords(0);
+        let (c0, h) = element_frame(&corners);
+        let mut p = vec![0.0; 4 * mesh.num_elements()];
+        p[0] = 3.0 + c0[0] - 2.0 * c0[2];
+        p[1] = h[0];
+        p[3] = -2.0 * h[2];
+        let xi = [0.4, 0.1, -0.6];
+        let x = ptatin_fem::geometry::map_to_physical(&corners, xi);
+        let v = pressure_at(&mesh, &p, 0, xi);
+        assert!((v - (3.0 + x[0] - 2.0 * x[2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_materials_yield_constant_fields() {
+        let mesh = mesh();
+        let tables = Q2QuadTables::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = seed_regular(&mesh, 3, 0.1, &mut rng, |_| 0);
+        let mats = MaterialTable::new(vec![Material::constant("m", 2.5, 100.0)]);
+        let fields = update_coefficients(
+            &mesh,
+            &tables,
+            &pts,
+            &mats,
+            &StateFields {
+                velocity: None,
+                pressure: None,
+                temperature: None,
+            },
+            false,
+        );
+        for &e in &fields.eta_qp {
+            assert!((e - 100.0).abs() < 1e-9);
+        }
+        for &r in &fields.rho_qp {
+            assert!((r - 2.5).abs() < 1e-9);
+        }
+        assert!(fields.newton.is_none());
+    }
+
+    #[test]
+    fn two_material_contrast_is_preserved() {
+        let mesh = mesh();
+        let tables = Q2QuadTables::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = seed_regular(&mesh, 3, 0.0, &mut rng, |x| u16::from(x[0] > 0.5));
+        let mats = MaterialTable::new(vec![
+            Material::constant("weak", 1.0, 1.0),
+            Material::constant("strong", 1.2, 1e6),
+        ]);
+        let fields = update_coefficients(
+            &mesh,
+            &tables,
+            &pts,
+            &mats,
+            &StateFields {
+                velocity: None,
+                pressure: None,
+                temperature: None,
+            },
+            false,
+        );
+        let min = fields.eta_qp.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fields.eta_qp.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min < 10.0, "weak side lost: {min}");
+        assert!(max > 1e5, "strong side lost: {max}");
+    }
+
+    #[test]
+    fn newton_fields_have_frozen_strain_rate() {
+        let mesh = mesh();
+        let tables = Q2QuadTables::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = seed_regular(&mesh, 2, 0.0, &mut rng, |_| 0);
+        let mats = MaterialTable::new(vec![Material::constant("m", 1.0, 1.0)]);
+        let mut u = vec![0.0; 3 * mesh.num_nodes()];
+        for (n, c) in mesh.coords.iter().enumerate() {
+            u[3 * n] = c[1];
+        }
+        let fields = update_coefficients(
+            &mesh,
+            &tables,
+            &pts,
+            &mats,
+            &StateFields {
+                velocity: Some(&u),
+                pressure: None,
+                temperature: None,
+            },
+            true,
+        );
+        let nd = fields.newton.unwrap();
+        assert_eq!(nd.d_sym.len(), mesh.num_elements() * tables.nqp());
+        for d in &nd.d_sym {
+            assert!((d[5] - 0.5).abs() < 1e-12, "D_xy must be 1/2: {d:?}");
+        }
+        // Constant viscosity → η′ = 0 everywhere.
+        for &ep in &nd.eta_prime {
+            assert!(ep.abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `ptatin-core` — the pTatin3D application layer: coupled Stokes solves
+//! with hybrid multigrid preconditioning, material-point coefficient
+//! pipelines, nonlinear (Picard/Newton) drivers, time stepping with ALE
+//! free surfaces, and the paper's model problems.
+
+pub mod coefficients;
+pub mod coupled;
+pub mod models;
+pub mod nonlinear;
+pub mod output;
+pub mod solver;
+pub mod timestep;
+
+pub use coefficients::{update_coefficients, CoefficientFields, StateFields};
+pub use ptatin_mg::CycleType;
+pub use solver::{
+    build_stokes_solver, BlockLowerTriangularPc, CoarseKind, CoefficientRestriction, GmgConfig,
+    KrylovOperatorChoice, StokesOperator, StokesSolver,
+};

@@ -1,0 +1,5 @@
+//! Model problems: the sinker robustness/performance problem (§IV) and the
+//! continental rifting application (§V).
+
+pub mod rift;
+pub mod sinker;

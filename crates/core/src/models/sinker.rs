@@ -1,0 +1,225 @@
+//! The sedimentation / "sinker" robustness problem of §IV-A and Fig. 1:
+//! `N_c` randomly placed non-intersecting spheres of radius `R_c` in the
+//! unit cube, denser and more viscous than the ambient fluid, free-slip
+//! walls, free surface on top, flow driven purely by the density contrast.
+
+use crate::coefficients::{update_coefficients, CoefficientFields, StateFields};
+use crate::solver::{build_stokes_solver, GmgConfig, StokesSolver};
+use ptatin_fem::assemble::{assemble_body_force, Q2QuadTables};
+use ptatin_fem::bc::{DirichletBc, VelocityBcBuilder};
+use ptatin_mesh::hierarchy::MeshHierarchy;
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::{seed_regular, MaterialPoints};
+use ptatin_rheology::{Material, MaterialTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the sinker problem.
+#[derive(Clone, Debug)]
+pub struct SinkerConfig {
+    /// Elements per dimension (paper: 64–192; laptop scale: 8–32).
+    pub m: usize,
+    /// Geometric levels (paper: 3).
+    pub levels: usize,
+    /// Number of spheres (paper: 8).
+    pub n_spheres: usize,
+    /// Sphere radius (paper: 0.1).
+    pub radius: f64,
+    /// Viscosity contrast Δη: ambient viscosity is `1/Δη`, spheres are 1.
+    pub delta_eta: f64,
+    /// RNG seed for sphere placement and point jitter.
+    pub seed: u64,
+    /// Material points per element dimension (`n³` per element).
+    pub points_per_dim: usize,
+}
+
+impl Default for SinkerConfig {
+    fn default() -> Self {
+        Self {
+            m: 8,
+            levels: 2,
+            n_spheres: 8,
+            radius: 0.1,
+            delta_eta: 1e4,
+            seed: 20140101,
+            points_per_dim: 3,
+        }
+    }
+}
+
+/// The assembled sinker model state.
+pub struct SinkerModel {
+    pub cfg: SinkerConfig,
+    pub hier: MeshHierarchy,
+    pub points: MaterialPoints,
+    pub materials: MaterialTable,
+    pub bcs: Vec<DirichletBc>,
+    pub spheres: Vec<[f64; 3]>,
+    pub gravity: [f64; 3],
+}
+
+/// Free-slip walls + free surface at the top (z max): the sinker boundary
+/// conditions of §IV-A.
+pub fn sinker_bc(mesh: &StructuredMesh) -> DirichletBc {
+    VelocityBcBuilder::new(mesh)
+        .free_slip(0, true)
+        .free_slip(0, false)
+        .free_slip(1, true)
+        .free_slip(1, false)
+        .free_slip(2, true) // bottom
+        // top (z max) is the free surface: natural (zero traction)
+        .build()
+}
+
+impl SinkerModel {
+    pub fn new(cfg: SinkerConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Non-intersecting sphere placement by rejection.
+        let mut spheres: Vec<[f64; 3]> = Vec::new();
+        let r = cfg.radius;
+        let mut guard = 0;
+        while spheres.len() < cfg.n_spheres {
+            guard += 1;
+            assert!(guard < 100_000, "cannot place spheres without overlap");
+            let c = [
+                rng.gen_range(r..1.0 - r),
+                rng.gen_range(r..1.0 - r),
+                rng.gen_range(r..1.0 - r),
+            ];
+            if spheres.iter().all(|s| {
+                let d2 = (s[0] - c[0]).powi(2) + (s[1] - c[1]).powi(2) + (s[2] - c[2]).powi(2);
+                d2 > (2.0 * r) * (2.0 * r)
+            }) {
+                spheres.push(c);
+            }
+        }
+        let mesh = StructuredMesh::new_box(cfg.m, cfg.m, cfg.m, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let hier = MeshHierarchy::new(mesh, cfg.levels);
+        let bcs: Vec<DirichletBc> = hier.meshes.iter().map(sinker_bc).collect();
+        let classify = |x: [f64; 3]| -> u16 {
+            let inside = spheres.iter().any(|s| {
+                (s[0] - x[0]).powi(2) + (s[1] - x[1]).powi(2) + (s[2] - x[2]).powi(2) < r * r
+            });
+            u16::from(inside)
+        };
+        let points = seed_regular(hier.finest(), cfg.points_per_dim, 0.25, &mut rng, classify);
+        // Ambient: η = 1/Δη, ρ = 1. Spheres: η = 1, ρ = 1.2 (§IV-A).
+        let materials = MaterialTable::new(vec![
+            Material::constant("ambient", 1.0, 1.0 / cfg.delta_eta),
+            Material::constant("sphere", 1.2, 1.0),
+        ]);
+        Self {
+            cfg,
+            hier,
+            points,
+            materials,
+            bcs,
+            spheres,
+            gravity: [0.0, 0.0, -9.8],
+        }
+    }
+
+    /// Evaluate the material-point coefficients (linear materials: no
+    /// velocity/pressure dependence).
+    pub fn coefficients(&self) -> CoefficientFields {
+        let tables = Q2QuadTables::standard();
+        update_coefficients(
+            self.hier.finest(),
+            &tables,
+            &self.points,
+            &self.materials,
+            &StateFields {
+                velocity: None,
+                pressure: None,
+                temperature: None,
+            },
+            false,
+        )
+    }
+
+    /// Build the Stokes solver for the current coefficient state.
+    pub fn build_solver(&self, fields: &CoefficientFields, gmg: &GmgConfig) -> StokesSolver {
+        build_stokes_solver(&self.hier, &fields.eta_corner, &self.bcs, gmg, None)
+    }
+
+    /// Full-space right-hand side `[f_u; 0]` (homogeneous Dirichlet data:
+    /// constrained entries zeroed).
+    pub fn rhs(&self, solver: &StokesSolver, fields: &CoefficientFields) -> Vec<f64> {
+        let tables = Q2QuadTables::standard();
+        let mut f_u = assemble_body_force(
+            self.hier.finest(),
+            &tables,
+            &fields.rho_qp,
+            self.gravity,
+        );
+        solver.bc.zero_constrained(&mut f_u);
+        let mut rhs = vec![0.0; solver.nu + solver.np];
+        rhs[..solver.nu].copy_from_slice(&f_u);
+        rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::KrylovOperatorChoice;
+    use ptatin_la::krylov::KrylovConfig;
+
+    #[test]
+    fn spheres_do_not_intersect() {
+        let model = SinkerModel::new(SinkerConfig {
+            m: 4,
+            levels: 2,
+            ..SinkerConfig::default()
+        });
+        assert_eq!(model.spheres.len(), 8);
+        for (i, a) in model.spheres.iter().enumerate() {
+            for b in model.spheres.iter().skip(i + 1) {
+                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
+                    .sqrt();
+                assert!(d >= 2.0 * model.cfg.radius - 1e-12);
+            }
+        }
+        // Both lithologies present.
+        assert!(model.points.lithology.iter().any(|&l| l == 0));
+        assert!(model.points.lithology.iter().any(|&l| l == 1));
+    }
+
+    #[test]
+    fn sinker_solves_and_sinks() {
+        let model = SinkerModel::new(SinkerConfig {
+            m: 4,
+            levels: 2,
+            delta_eta: 1e2,
+            ..SinkerConfig::default()
+        });
+        let fields = model.coefficients();
+        let gmg = GmgConfig {
+            levels: 2,
+            coarse: crate::solver::CoarseKind::Direct,
+            ..GmgConfig::default()
+        };
+        let solver = model.build_solver(&fields, &gmg);
+        let rhs = model.rhs(&solver, &fields);
+        let mut x = vec![0.0; solver.nu + solver.np];
+        let stats = solver.solve(
+            &rhs,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-5).with_max_it(300),
+            KrylovOperatorChoice::Picard,
+            None,
+        );
+        assert!(stats.converged, "{stats:?}");
+        // The dense spheres sink: somewhere the vertical velocity is
+        // negative; by incompressibility there is return flow (positive
+        // somewhere).
+        let mut min_w = f64::INFINITY;
+        let mut max_w = f64::NEG_INFINITY;
+        for n in 0..solver.nu / 3 {
+            min_w = min_w.min(x[3 * n + 2]);
+            max_w = max_w.max(x[3 * n + 2]);
+        }
+        assert!(min_w < -1e-6, "no sinking flow: {min_w}");
+        assert!(max_w > 1e-7, "no return flow: {max_w}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Nonlinear Stokes drivers (§III-A of the paper): Picard iteration, and
+//! Newton with a backtracking line search and Eisenstat–Walker adaptive
+//! linear tolerances. The Newton linearization is used only in the Krylov
+//! operator; the preconditioner is always built from the Picard
+//! linearization.
+
+use crate::solver::{KrylovOperatorChoice, StokesSolver};
+use ptatin_fem::bc::DirichletBc;
+use ptatin_la::csr::Csr;
+use ptatin_la::krylov::KrylovConfig;
+use ptatin_la::operator::LinearOperator;
+use ptatin_la::vec_ops;
+use ptatin_mg::gmg::ArcOp;
+
+/// Nonlinear solver configuration.
+#[derive(Clone, Debug)]
+pub struct NonlinearConfig {
+    /// Maximum nonlinear iterations (the rifting runs cap this at 5).
+    pub max_it: usize,
+    /// Absolute residual tolerance ‖F‖ < abs_tol.
+    pub abs_tol: f64,
+    /// Relative tolerance against the first residual of this solve.
+    pub rel_tol: f64,
+    /// Newton action in the Krylov operator (Picard PC regardless).
+    pub use_newton: bool,
+    /// Backtracking line-search steps (0 disables).
+    pub max_backtracks: usize,
+    /// Adapt linear tolerances with Eisenstat–Walker forcing terms.
+    pub eisenstat_walker: bool,
+    /// Fixed linear relative tolerance when EW is off, and the EW cap.
+    pub linear_rtol: f64,
+    pub linear_max_it: usize,
+    pub linear_restart: usize,
+}
+
+impl Default for NonlinearConfig {
+    fn default() -> Self {
+        Self {
+            max_it: 5,
+            abs_tol: 1e-2,
+            rel_tol: 1e-4,
+            use_newton: true,
+            max_backtracks: 4,
+            eisenstat_walker: true,
+            linear_rtol: 1e-5,
+            linear_max_it: 500,
+            linear_restart: 50,
+        }
+    }
+}
+
+/// Outcome of a nonlinear solve.
+#[derive(Clone, Debug, Default)]
+pub struct NonlinearStats {
+    pub iterations: usize,
+    pub total_krylov: usize,
+    pub converged: bool,
+    /// ‖F‖ per nonlinear iteration (including the initial residual).
+    pub residual_history: Vec<f64>,
+    /// Linear tolerance used per iteration (EW diagnostics).
+    pub forcing_terms: Vec<f64>,
+}
+
+/// A problem the nonlinear driver can iterate on. Implementations own the
+/// material points, materials, mesh hierarchy and BC construction; the
+/// driver owns the update/solve/line-search logic.
+pub trait StokesNonlinearProblem {
+    /// `(velocity dofs, pressure dofs)`.
+    fn dims(&self) -> (usize, usize);
+    /// Fine-level Dirichlet constraints.
+    fn bc(&self) -> &DirichletBc;
+    /// Unmasked `J_pu` for residual evaluation.
+    fn b_full(&self) -> &Csr;
+    /// Re-evaluate the coefficient state at `(u, p)` and return the
+    /// *unconstrained* Picard viscous action plus the body force.
+    fn update_state(&mut self, u: &[f64], p: &[f64]) -> (ArcOp, Vec<f64>);
+    /// Build the preconditioned solver from the state set by the last
+    /// `update_state` call. `newton = true` additionally attaches the
+    /// Newton-linearized Krylov operator.
+    fn build_solver(&mut self, newton: bool) -> StokesSolver;
+}
+
+/// Nonlinear residual: `F_u = A(u)u + Bᵀp − f` (masked), `F_p = B u`.
+pub fn stokes_residual(
+    a_unmasked: &dyn LinearOperator,
+    b_full: &Csr,
+    bc: &DirichletBc,
+    u: &[f64],
+    p: &[f64],
+    f_u: &[f64],
+    out: &mut [f64],
+) {
+    let nu = u.len();
+    let (fu, fp) = out.split_at_mut(nu);
+    a_unmasked.apply(u, fu);
+    let mut bt = vec![0.0; nu];
+    b_full.spmv_transpose(p, &mut bt);
+    for i in 0..nu {
+        fu[i] += bt[i] - f_u[i];
+    }
+    bc.zero_constrained(fu);
+    b_full.spmv(u, fp);
+}
+
+/// Eisenstat–Walker choice-2 forcing term with safeguards.
+fn forcing_term(prev_eta: f64, rnorm: f64, rnorm_prev: f64, cap: f64, first: bool) -> f64 {
+    if first {
+        return cap.min(0.1);
+    }
+    const GAMMA: f64 = 0.9;
+    const ALPHA: f64 = 1.618; // (1+√5)/2
+    let mut eta = GAMMA * (rnorm / rnorm_prev).powf(ALPHA);
+    // Safeguard: don't shrink faster than the safeguarded previous value.
+    let guard = GAMMA * prev_eta.powf(ALPHA);
+    if guard > 0.1 {
+        eta = eta.max(guard);
+    }
+    eta.clamp(1e-8, cap)
+}
+
+/// Run the nonlinear iteration in place on `(u, p)`. `u` must already
+/// satisfy the Dirichlet data.
+pub fn solve_nonlinear<P: StokesNonlinearProblem>(
+    prob: &mut P,
+    u: &mut Vec<f64>,
+    p: &mut Vec<f64>,
+    cfg: &NonlinearConfig,
+) -> NonlinearStats {
+    let (nu, np) = prob.dims();
+    assert_eq!(u.len(), nu);
+    assert_eq!(p.len(), np);
+    let mut stats = NonlinearStats::default();
+    let (a_res0, f_u0) = prob.update_state(u, p);
+    let mut r = vec![0.0; nu + np];
+    stokes_residual(&a_res0, prob.b_full(), prob.bc(), u, p, &f_u0, &mut r);
+    let mut rnorm = vec_ops::norm2(&r);
+    let rnorm0 = rnorm;
+    stats.residual_history.push(rnorm);
+    let mut rnorm_prev = rnorm;
+    let mut eta_prev = 0.1;
+
+    for it in 0..cfg.max_it {
+        if rnorm < cfg.abs_tol || rnorm < cfg.rel_tol * rnorm0 {
+            stats.converged = true;
+            break;
+        }
+        let solver = prob.build_solver(cfg.use_newton);
+        let rtol = if cfg.eisenstat_walker {
+            forcing_term(eta_prev, rnorm, rnorm_prev, cfg.linear_rtol.max(1e-3), it == 0)
+        } else {
+            cfg.linear_rtol
+        };
+        stats.forcing_terms.push(rtol);
+        eta_prev = rtol;
+        // Solve J δ = −F.
+        let mut rhs = r.clone();
+        vec_ops::scale(-1.0, &mut rhs);
+        let mut delta = vec![0.0; nu + np];
+        let kcfg = KrylovConfig::default()
+            .with_rtol(rtol)
+            .with_max_it(cfg.linear_max_it)
+            .with_restart(cfg.linear_restart);
+        let choice = if cfg.use_newton {
+            KrylovOperatorChoice::NewtonKrylovPicardPc
+        } else {
+            KrylovOperatorChoice::Picard
+        };
+        let lin = solver.solve(&rhs, &mut delta, &kcfg, choice, None);
+        stats.total_krylov += lin.iterations;
+
+        // Backtracking line search on ‖F‖; keep the best trial even when
+        // sufficient decrease is never met (iteration caps handle failure,
+        // matching the rifting runs' "maximum of five iterations").
+        let mut alpha = 1.0;
+        let mut best: Option<(Vec<f64>, Vec<f64>, Vec<f64>, f64)> = None;
+        let mut best_was_last_eval = false;
+        for bt in 0..=cfg.max_backtracks {
+            let mut ut = u.clone();
+            let mut pt = p.clone();
+            vec_ops::axpy(alpha, &delta[..nu], &mut ut);
+            vec_ops::axpy(alpha, &delta[nu..], &mut pt);
+            let (a_t, f_t) = prob.update_state(&ut, &pt);
+            let mut rt = vec![0.0; nu + np];
+            stokes_residual(&a_t, prob.b_full(), prob.bc(), &ut, &pt, &f_t, &mut rt);
+            let rt_norm = vec_ops::norm2(&rt);
+            let sufficient = rt_norm <= (1.0 - 1e-4 * alpha) * rnorm;
+            if best.as_ref().map_or(true, |b| rt_norm < b.3) {
+                best = Some((ut, pt, rt, rt_norm));
+                best_was_last_eval = true;
+            } else {
+                best_was_last_eval = false;
+            }
+            if sufficient || bt == cfg.max_backtracks {
+                break;
+            }
+            alpha *= 0.5;
+        }
+        let (ut, pt, rt, rt_norm) = best.expect("at least one trial");
+        *u = ut;
+        *p = pt;
+        // The problem's cached coefficient state must match the accepted
+        // iterate before build_solver; skip the re-evaluation when the
+        // accepted trial was the one evaluated last (the common path).
+        if !best_was_last_eval {
+            let (_a, _f) = prob.update_state(u, p);
+        }
+        r = rt;
+        rnorm_prev = rnorm;
+        rnorm = rt_norm;
+        stats.residual_history.push(rnorm);
+        stats.iterations = it + 1;
+    }
+    if rnorm < cfg.abs_tol || rnorm < cfg.rel_tol * rnorm0 {
+        stats.converged = true;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forcing_term_behaviour() {
+        assert!(forcing_term(0.1, 1.0, 1.0, 0.9, true) <= 0.1);
+        let fast = forcing_term(0.1, 0.01, 1.0, 0.9, false);
+        let slow = forcing_term(0.1, 0.9, 1.0, 0.9, false);
+        assert!(fast < slow);
+        assert!(fast >= 1e-8 && slow <= 0.9);
+        let guarded = forcing_term(0.8, 0.01, 1.0, 0.9, false);
+        assert!(guarded > forcing_term(0.001, 0.01, 1.0, 0.9, false));
+    }
+}

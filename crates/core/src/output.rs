@@ -1,0 +1,220 @@
+//! Simulation output: legacy-VTK writers for meshes, nodal/cell fields and
+//! material-point clouds — the "write any requested data to disk" step of
+//! the paper's time loop (§V), in a format ParaView/VisIt open directly.
+
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A named nodal or cell-centred scalar/vector field for VTK export.
+pub enum Field<'a> {
+    /// One value per Q2 *corner* node (VTK point data on the corner mesh).
+    PointScalar(&'a str, &'a [f64]),
+    /// Three interleaved components per corner node.
+    PointVector(&'a str, &'a [f64]),
+    /// One value per element (VTK cell data).
+    CellScalar(&'a str, &'a [f64]),
+}
+
+/// Write the corner (trilinear) mesh with the given fields as legacy VTK
+/// unstructured-grid ASCII. Velocity fields sampled on the Q2 node grid
+/// can be restricted to corners with [`corner_vector_field`].
+pub fn write_vtk_mesh(
+    path: &Path,
+    mesh: &StructuredMesh,
+    fields: &[Field<'_>],
+) -> std::io::Result<()> {
+    let nc = mesh.num_corners();
+    let nel = mesh.num_elements();
+    let mut s = String::new();
+    s.push_str("# vtk DataFile Version 3.0\nptatin3d-rs output\nASCII\n");
+    s.push_str("DATASET UNSTRUCTURED_GRID\n");
+    let _ = writeln!(s, "POINTS {nc} double");
+    for c in 0..nc {
+        let x = mesh.coords[mesh.corner_to_node(c)];
+        let _ = writeln!(s, "{} {} {}", x[0], x[1], x[2]);
+    }
+    let _ = writeln!(s, "CELLS {nel} {}", nel * 9);
+    for e in 0..nel {
+        let ids = mesh.element_corner_ids(e);
+        // VTK_HEXAHEDRON ordering: bottom face CCW then top face CCW; our
+        // x-fastest corner order [000,100,010,110,001,101,011,111] maps to
+        // VTK [0,1,3,2,4,5,7,6].
+        let _ = writeln!(
+            s,
+            "8 {} {} {} {} {} {} {} {}",
+            ids[0], ids[1], ids[3], ids[2], ids[4], ids[5], ids[7], ids[6]
+        );
+    }
+    let _ = writeln!(s, "CELL_TYPES {nel}");
+    for _ in 0..nel {
+        s.push_str("12\n");
+    }
+    // Point data.
+    let point_fields: Vec<&Field> = fields
+        .iter()
+        .filter(|f| matches!(f, Field::PointScalar(..) | Field::PointVector(..)))
+        .collect();
+    if !point_fields.is_empty() {
+        let _ = writeln!(s, "POINT_DATA {nc}");
+        for f in point_fields {
+            match f {
+                Field::PointScalar(name, data) => {
+                    assert_eq!(data.len(), nc, "field {name}");
+                    let _ = writeln!(s, "SCALARS {name} double 1\nLOOKUP_TABLE default");
+                    for v in *data {
+                        let _ = writeln!(s, "{v}");
+                    }
+                }
+                Field::PointVector(name, data) => {
+                    assert_eq!(data.len(), 3 * nc, "field {name}");
+                    let _ = writeln!(s, "VECTORS {name} double");
+                    for c in 0..nc {
+                        let _ =
+                            writeln!(s, "{} {} {}", data[3 * c], data[3 * c + 1], data[3 * c + 2]);
+                    }
+                }
+                Field::CellScalar(..) => unreachable!(),
+            }
+        }
+    }
+    let cell_fields: Vec<&Field> = fields
+        .iter()
+        .filter(|f| matches!(f, Field::CellScalar(..)))
+        .collect();
+    if !cell_fields.is_empty() {
+        let _ = writeln!(s, "CELL_DATA {nel}");
+        for f in cell_fields {
+            if let Field::CellScalar(name, data) = f {
+                assert_eq!(data.len(), nel, "field {name}");
+                let _ = writeln!(s, "SCALARS {name} double 1\nLOOKUP_TABLE default");
+                for v in *data {
+                    let _ = writeln!(s, "{v}");
+                }
+            }
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(s.as_bytes())
+}
+
+/// Write a material-point cloud as VTK polydata (positions + lithology +
+/// plastic strain).
+pub fn write_vtk_points(path: &Path, points: &MaterialPoints) -> std::io::Result<()> {
+    let n = points.len();
+    let mut s = String::new();
+    s.push_str("# vtk DataFile Version 3.0\nptatin3d-rs material points\nASCII\n");
+    s.push_str("DATASET POLYDATA\n");
+    let _ = writeln!(s, "POINTS {n} double");
+    for x in &points.x {
+        let _ = writeln!(s, "{} {} {}", x[0], x[1], x[2]);
+    }
+    let _ = writeln!(s, "VERTICES {n} {}", 2 * n);
+    for i in 0..n {
+        let _ = writeln!(s, "1 {i}");
+    }
+    let _ = writeln!(s, "POINT_DATA {n}");
+    s.push_str("SCALARS lithology int 1\nLOOKUP_TABLE default\n");
+    for l in &points.lithology {
+        let _ = writeln!(s, "{l}");
+    }
+    s.push_str("SCALARS plastic_strain double 1\nLOOKUP_TABLE default\n");
+    for e in &points.plastic_strain {
+        let _ = writeln!(s, "{e}");
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(s.as_bytes())
+}
+
+/// Restrict an interleaved Q2 nodal vector field to the corner mesh
+/// (3 components per corner), ready for [`Field::PointVector`].
+pub fn corner_vector_field(mesh: &StructuredMesh, q2_field: &[f64]) -> Vec<f64> {
+    assert_eq!(q2_field.len(), 3 * mesh.num_nodes());
+    let mut out = Vec::with_capacity(3 * mesh.num_corners());
+    for c in 0..mesh.num_corners() {
+        let n = mesh.corner_to_node(c);
+        out.extend_from_slice(&q2_field[3 * n..3 * n + 3]);
+    }
+    out
+}
+
+/// Element-average of a per-(element × qp) coefficient field, ready for
+/// [`Field::CellScalar`] (e.g. viscosity per cell).
+pub fn cell_average(nel: usize, nqp: usize, qp_field: &[f64]) -> Vec<f64> {
+    assert_eq!(qp_field.len(), nel * nqp);
+    (0..nel)
+        .map(|e| qp_field[e * nqp..(e + 1) * nqp].iter().sum::<f64>() / nqp as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ptatin_vtk_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn mesh_vtk_roundtrip_structure() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let eta: Vec<f64> = (0..mesh.num_elements()).map(|e| e as f64).collect();
+        let temp: Vec<f64> = (0..mesh.num_corners()).map(|c| c as f64 * 0.1).collect();
+        let vel = vec![1.0; 3 * mesh.num_corners()];
+        let path = tmpdir().join("mesh.vtk");
+        write_vtk_mesh(
+            &path,
+            &mesh,
+            &[
+                Field::PointScalar("temperature", &temp),
+                Field::PointVector("velocity", &vel),
+                Field::CellScalar("eta", &eta),
+            ],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("POINTS 27 double"));
+        assert!(body.contains("CELLS 8 72"));
+        assert!(body.contains("SCALARS temperature double 1"));
+        assert!(body.contains("VECTORS velocity double"));
+        assert!(body.contains("CELL_DATA 8"));
+        // Every cell is a VTK hexahedron (type 12).
+        let hex_lines = body.lines().filter(|l| *l == "12").count();
+        assert_eq!(hex_lines, 8);
+    }
+
+    #[test]
+    fn points_vtk_contains_state() {
+        let mut pts = MaterialPoints::default();
+        pts.push([0.1, 0.2, 0.3], 2, 0.5);
+        pts.push([0.4, 0.5, 0.6], 7, 1.5);
+        let path = tmpdir().join("points.vtk");
+        write_vtk_points(&path, &pts).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("POINTS 2 double"));
+        assert!(body.contains("SCALARS lithology int 1"));
+        assert!(body.contains("0.1 0.2 0.3"));
+        assert!(body.contains("1.5"));
+    }
+
+    #[test]
+    fn helpers_shapes() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let q2 = vec![2.0; 3 * mesh.num_nodes()];
+        let cv = corner_vector_field(&mesh, &q2);
+        assert_eq!(cv.len(), 3 * mesh.num_corners());
+        assert!(cv.iter().all(|&v| v == 2.0));
+        let ca = cell_average(4, 3, &[1.0, 2.0, 3.0, 4.0, 4.0, 4.0, 0.0, 0.0, 3.0, 1.0, 1.0, 1.0]);
+        assert_eq!(ca, vec![2.0, 4.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,702 @@
+//! The coupled Stokes solver: hybrid geometric/algebraic multigrid setup
+//! for the viscous block, the full-space block operator, the
+//! block-lower-triangular field-split preconditioner of Eq. (17) and the
+//! Schur-complement-reduction (SCR) alternative of §III-B.
+
+use ptatin_fem::assemble::{
+    assemble_gradient, num_pressure_dofs, num_velocity_dofs, PressureMassBlocks, Q2QuadTables,
+};
+use ptatin_fem::bc::DirichletBc;
+use ptatin_la::chebyshev::Chebyshev;
+use ptatin_la::csr::Csr;
+use ptatin_la::krylov::{cg, fgmres, gcr_monitored, KrylovConfig, Monitor, SolveStats};
+use ptatin_la::operator::{LinearOperator, Preconditioner, TimedOperator};
+use ptatin_la::schwarz::{grow_overlap, AdditiveSchwarz, DirectSolver, SubdomainSolve};
+use ptatin_mesh::decomp::nodes_to_dofs;
+use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar, MeshHierarchy};
+use ptatin_mesh::ElementPartition;
+use ptatin_mg::amg::{build_sa_amg, AmgConfig};
+use ptatin_mg::gmg::{filter_transfer, galerkin_coarse, ArcOp, CycleType, GeometricMg, GmgCoarseSolver, GmgLevel};
+use ptatin_mg::nullspace::rigid_body_modes;
+use ptatin_mpm::projection::{corners_to_quadrature_log, restrict_corner_field};
+use ptatin_ops::{assembled_viscous_op, MfViscousOp, OperatorKind, TensorCViscousOp, TensorViscousOp, ViscousOpData};
+use std::sync::Arc;
+
+/// Coarsest-level solver selection for the velocity multigrid.
+#[derive(Clone, Debug)]
+pub enum CoarseKind {
+    /// One V(2,2) cycle of smoothed-aggregation AMG with rigid-body modes
+    /// (production configuration of §IV-A).
+    Amg {
+        /// Subdomain count of the AMG-coarsest block-Jacobi/LU solve.
+        coarse_blocks: usize,
+    },
+    /// Exact dense LU (small problems, tests).
+    Direct,
+    /// One application of block-Jacobi with exact LU per subdomain.
+    BlockJacobiLu { subdomains: usize },
+    /// Inexact CG + ASM(ILU(0), overlap) — the rifting coarse solver of §V.
+    InexactCgAsm {
+        subdomains: usize,
+        overlap: usize,
+        rtol: f64,
+        max_it: usize,
+    },
+}
+
+/// Coefficient coarsening strategy for rediscretized coarse operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoefficientRestriction {
+    /// Point sampling at coincident corners (the nodally-nested default).
+    Injection,
+    /// Full-weighting average ([½,1,½]³ stencil), geometric for viscosity.
+    FullWeighting,
+}
+
+/// Velocity-block multigrid configuration (the knobs varied in §IV).
+#[derive(Clone, Debug)]
+pub struct GmgConfig {
+    /// Number of geometric levels (paper: 3).
+    pub levels: usize,
+    /// Operator application on the finest level.
+    pub fine_kind: OperatorKind,
+    /// Intermediate levels via Galerkin projection of the level above
+    /// (requires an assembled finer level — GMG-ii) instead of
+    /// rediscretization (GMG-i).
+    pub galerkin_intermediate: bool,
+    /// Coarsest operator via Galerkin projection (paper default) instead
+    /// of rediscretization.
+    pub galerkin_coarsest: bool,
+    /// V(m,n) smoothing depths.
+    pub pre_smooth: usize,
+    pub post_smooth: usize,
+    /// Power iterations for the Chebyshev λmax estimate.
+    pub cheb_est_iters: usize,
+    /// Interpolate viscosity to quadrature points geometrically (in log
+    /// space, the default) or arithmetically — the averaging ablation.
+    pub geometric_averaging: bool,
+    /// Chebyshev target interval as fractions of the estimated λmax
+    /// (paper: `[0.2, 1.1]`).
+    pub cheb_targets: (f64, f64),
+    /// How viscosity follows the hierarchy to rediscretized coarse levels.
+    pub coefficient_restriction: CoefficientRestriction,
+    /// V- or W-cycle recursion (paper: V).
+    pub cycle: CycleType,
+    pub coarse: CoarseKind,
+}
+
+impl Default for GmgConfig {
+    fn default() -> Self {
+        Self {
+            levels: 3,
+            fine_kind: OperatorKind::Tensor,
+            galerkin_intermediate: false,
+            galerkin_coarsest: true,
+            pre_smooth: 2,
+            post_smooth: 2,
+            cheb_est_iters: 10,
+            geometric_averaging: true,
+            cheb_targets: (0.2, 1.1),
+            coefficient_restriction: CoefficientRestriction::Injection,
+            cycle: CycleType::V,
+            coarse: CoarseKind::Amg { coarse_blocks: 4 },
+        }
+    }
+}
+
+/// Handles for instrumentation of the velocity MG.
+pub struct GmgTimers {
+    /// Per smoothed level (coarse → fine): timed operator handles.
+    pub level_ops: Vec<Arc<TimedOperator<ArcOp>>>,
+    /// Setup wall time (s), including assembly, RAP, AMG setup, λ estimates.
+    pub setup_seconds: f64,
+    /// AMG coarse-hierarchy setup time if applicable.
+    pub coarse_setup_seconds: f64,
+}
+
+impl GmgTimers {
+    /// Total operator-application ("MatMult") time across levels.
+    pub fn matmult_seconds(&self) -> f64 {
+        self.level_ops.iter().map(|t| t.seconds()).sum()
+    }
+    pub fn reset(&self) {
+        for t in &self.level_ops {
+            t.reset();
+        }
+    }
+}
+
+/// Everything needed to run linear Stokes solves against one linearization
+/// state: the velocity multigrid, coupling blocks and Schur preconditioner.
+pub struct StokesSolver {
+    pub nu: usize,
+    pub np: usize,
+    /// The velocity-block V-cycle preconditioner.
+    pub mg: GeometricMg,
+    /// Finest-level (masked) viscous operator — the Krylov J_uu action.
+    pub a_fine: ArcOp,
+    /// Optional Newton-linearized J_uu action (Picard stays in `mg`).
+    pub a_newton: Option<ArcOp>,
+    /// J_pu with Dirichlet velocity columns zeroed.
+    pub b_masked: Csr,
+    /// J_pu untouched (residual evaluation).
+    pub b_full: Csr,
+    /// Element-block inverse of the (1/η)-weighted pressure mass matrix.
+    pub schur: PressureMassBlocks,
+    /// Instrumentation handles.
+    pub timers: GmgTimers,
+    /// Fine-level Dirichlet constraints.
+    pub bc: DirichletBc,
+}
+
+/// Build the viscous operator of the requested kind as a shared handle.
+fn build_arc_operator(
+    kind: OperatorKind,
+    mesh: &ptatin_mesh::StructuredMesh,
+    tables: &Q2QuadTables,
+    eta_qp: Vec<f64>,
+    bc: &DirichletBc,
+    newton: Option<ptatin_ops::NewtonData>,
+) -> ArcOp {
+    match kind {
+        OperatorKind::Assembled => {
+            assert!(newton.is_none(), "Newton uses matrix-free kinds");
+            Arc::new(assembled_viscous_op(mesh, tables, &eta_qp, bc))
+        }
+        OperatorKind::MatrixFree => {
+            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
+            if let Some(nd) = newton {
+                data = data.with_newton(nd);
+            }
+            Arc::new(MfViscousOp::new(Arc::new(data)))
+        }
+        OperatorKind::Tensor => {
+            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
+            if let Some(nd) = newton {
+                data = data.with_newton(nd);
+            }
+            Arc::new(TensorViscousOp::new(Arc::new(data)))
+        }
+        OperatorKind::TensorC => {
+            assert!(newton.is_none(), "TensorC stores the Picard coefficient");
+            Arc::new(TensorCViscousOp::new(Arc::new(ViscousOpData::new(
+                mesh, eta_qp, bc,
+            ))))
+        }
+    }
+}
+
+/// Build the full Stokes solver for one linearization state.
+///
+/// * `hier` — mesh hierarchy (coarse → fine),
+/// * `eta_corner_fine` — effective viscosity on the finest corner mesh
+///   (output of the material-point projection); coarser levels inherit it
+///   by injection,
+/// * `bcs` — velocity Dirichlet sets per level (coarse → fine),
+/// * `newton` — optional Newton coefficient for the Krylov action.
+pub fn build_stokes_solver(
+    hier: &MeshHierarchy,
+    eta_corner_fine: &[f64],
+    bcs: &[DirichletBc],
+    cfg: &GmgConfig,
+    newton: Option<ptatin_ops::NewtonData>,
+) -> StokesSolver {
+    let t_setup = std::time::Instant::now();
+    let tables = Q2QuadTables::standard();
+    let levels = cfg.levels;
+    assert_eq!(hier.num_levels(), levels);
+    assert_eq!(bcs.len(), levels);
+    let fine_mesh = hier.finest();
+
+    // Coefficient fields per level (fine → coarse injection).
+    let mut eta_corner: Vec<Vec<f64>> = vec![Vec::new(); levels];
+    eta_corner[levels - 1] = eta_corner_fine.to_vec();
+    for l in (0..levels - 1).rev() {
+        eta_corner[l] = match cfg.coefficient_restriction {
+            CoefficientRestriction::Injection => ptatin_mpm::projection::coarsen_corner_field(
+                &hier.meshes[l + 1],
+                &hier.meshes[l],
+                &eta_corner[l + 1],
+            ),
+            CoefficientRestriction::FullWeighting => restrict_corner_field(
+                &hier.meshes[l + 1],
+                &hier.meshes[l],
+                &eta_corner[l + 1],
+                cfg.geometric_averaging,
+            ),
+        };
+    }
+    let eta_qp: Vec<Vec<f64>> = (0..levels)
+        .map(|l| {
+            if cfg.geometric_averaging {
+                corners_to_quadrature_log(&hier.meshes[l], &tables, &eta_corner[l])
+            } else {
+                ptatin_mpm::projection::corners_to_quadrature(
+                    &hier.meshes[l],
+                    &tables,
+                    &eta_corner[l],
+                )
+            }
+        })
+        .collect();
+
+    // Masks and filtered blocked transfers.
+    let masks: Vec<Vec<bool>> = (0..levels)
+        .map(|l| bcs[l].mask(num_velocity_dofs(&hier.meshes[l])))
+        .collect();
+    let mut transfers: Vec<Csr> = Vec::with_capacity(levels - 1);
+    for l in 0..levels - 1 {
+        let mut p = expand_blocked(
+            &prolongation_scalar(&hier.meshes[l], &hier.meshes[l + 1]),
+            3,
+        );
+        filter_transfer(&mut p, &masks[l + 1], &masks[l]);
+        transfers.push(p);
+    }
+
+    // Level operators. Intermediate levels are assembled (rediscretized or
+    // Galerkin); the finest is the chosen kind; the coarsest matrix feeds
+    // the coarse solver.
+    // Assemble intermediate + coarsest as needed.
+    let mut assembled: Vec<Option<Csr>> = vec![None; levels];
+    if levels >= 2 {
+        if cfg.galerkin_intermediate {
+            assert_eq!(
+                cfg.fine_kind,
+                OperatorKind::Assembled,
+                "Galerkin intermediate levels require an assembled fine level"
+            );
+            assembled[levels - 1] = Some(assembled_viscous_op(
+                fine_mesh,
+                &tables,
+                &eta_qp[levels - 1],
+                &bcs[levels - 1],
+            ));
+            for l in (0..levels - 1).rev() {
+                let above = assembled[l + 1].as_ref().unwrap();
+                assembled[l] = Some(galerkin_coarse(above, &transfers[l], &masks[l]));
+            }
+        } else {
+            // Rediscretize intermediates; coarsest per flag.
+            for l in 1..levels - 1 {
+                assembled[l] = Some(assembled_viscous_op(
+                    &hier.meshes[l],
+                    &tables,
+                    &eta_qp[l],
+                    &bcs[l],
+                ));
+            }
+            assembled[0] = Some(if cfg.galerkin_coarsest && levels >= 2 {
+                let above = if levels == 2 {
+                    // Galerkin directly from the (assembled) fine level.
+                    assembled[1].get_or_insert_with(|| {
+                        assembled_viscous_op(fine_mesh, &tables, &eta_qp[1], &bcs[1])
+                    })
+                } else {
+                    assembled[1].as_ref().unwrap()
+                };
+                galerkin_coarse(above, &transfers[0], &masks[0])
+            } else {
+                assembled_viscous_op(&hier.meshes[0], &tables, &eta_qp[0], &bcs[0])
+            });
+        }
+    } else {
+        assembled[0] = Some(assembled_viscous_op(
+            &hier.meshes[0],
+            &tables,
+            &eta_qp[0],
+            &bcs[0],
+        ));
+    }
+
+    // Coarse solver from the coarsest assembled matrix.
+    let a0 = assembled[0].take().expect("coarsest matrix built");
+    let mut coarse_setup_seconds = 0.0;
+    let coarse = match &cfg.coarse {
+        CoarseKind::Direct => GmgCoarseSolver::Direct(DirectSolver::new(&a0)),
+        CoarseKind::BlockJacobiLu { subdomains } => {
+            let part = ElementPartition::auto(&hier.meshes[0], *subdomains);
+            let sets = nodes_to_dofs(&part.owned_nodes(&hier.meshes[0]), 3);
+            GmgCoarseSolver::BlockJacobiLu(AdditiveSchwarz::new(&a0, sets, SubdomainSolve::Lu))
+        }
+        CoarseKind::InexactCgAsm {
+            subdomains,
+            overlap,
+            rtol,
+            max_it,
+        } => {
+            let part = ElementPartition::auto(&hier.meshes[0], *subdomains);
+            let sets: Vec<Vec<usize>> = nodes_to_dofs(&part.owned_nodes(&hier.meshes[0]), 3)
+                .into_iter()
+                .map(|s| grow_overlap(&a0, &s, *overlap))
+                .collect();
+            let pc = AdditiveSchwarz::new(&a0, sets, SubdomainSolve::Ilu0);
+            GmgCoarseSolver::InexactCgAsm {
+                a: a0,
+                pc,
+                rtol: *rtol,
+                max_it: *max_it,
+            }
+        }
+        CoarseKind::Amg { coarse_blocks } => {
+            let nullspace = rigid_body_modes(&hier.meshes[0].coords, &masks[0]);
+            let amg_cfg = AmgConfig {
+                block_size: 3,
+                max_coarse_size: 600,
+                coarse_solver: ptatin_mg::amg::CoarseSolverKind::BlockJacobiLu {
+                    blocks: *coarse_blocks,
+                },
+                ..AmgConfig::default()
+            };
+            let amg = build_sa_amg(a0.clone(), &nullspace, &amg_cfg);
+            coarse_setup_seconds = amg.setup_seconds;
+            GmgCoarseSolver::AmgPcg {
+                a: a0,
+                hierarchy: amg,
+                rtol: 1e-2,
+                max_it: 10,
+            }
+        }
+    };
+
+    // Smoothed levels: 1..levels-1 assembled, finest the chosen kind.
+    let mut level_ops: Vec<Arc<TimedOperator<ArcOp>>> = Vec::new();
+    let mut gmg_levels: Vec<GmgLevel> = Vec::new();
+    for l in 1..levels {
+        let op: ArcOp = if l == levels - 1 {
+            match assembled[l].take() {
+                Some(a) => Arc::new(a),
+                None => build_arc_operator(
+                    cfg.fine_kind,
+                    fine_mesh,
+                    &tables,
+                    eta_qp[l].clone(),
+                    &bcs[l],
+                    None,
+                ),
+            }
+        } else {
+            Arc::new(assembled[l].take().expect("intermediate assembled"))
+        };
+        let timed = Arc::new(TimedOperator::new(op));
+        let smoother = Chebyshev::with_target_fractions(
+            timed.as_ref(),
+            cfg.pre_smooth,
+            cfg.cheb_est_iters,
+            cfg.cheb_targets.0,
+            cfg.cheb_targets.1,
+        );
+        level_ops.push(timed.clone());
+        gmg_levels.push(GmgLevel {
+            op: timed as ArcOp,
+            smoother,
+        });
+    }
+    let mg = GeometricMg::new(gmg_levels, transfers, coarse, cfg.pre_smooth, cfg.post_smooth)
+        .with_cycle(cfg.cycle);
+    let a_fine = mg.levels.last().expect("at least two levels").op.clone();
+
+    // Newton action (matrix-free only).
+    let a_newton = newton.map(|nd| {
+        build_arc_operator(
+            match cfg.fine_kind {
+                OperatorKind::Assembled | OperatorKind::TensorC => OperatorKind::Tensor,
+                k => k,
+            },
+            fine_mesh,
+            &tables,
+            eta_qp[levels - 1].clone(),
+            &bcs[levels - 1],
+            Some(nd),
+        )
+    });
+
+    // Coupling blocks and Schur preconditioner on the fine level.
+    let b_full = assemble_gradient(fine_mesh, &tables);
+    let mut b_masked = b_full.clone();
+    b_masked.zero_cols(&bcs[levels - 1].dofs);
+    let inv_eta: Vec<f64> = eta_qp[levels - 1].iter().map(|&e| 1.0 / e).collect();
+    let schur = PressureMassBlocks::new(fine_mesh, &tables, &inv_eta);
+
+    StokesSolver {
+        nu: num_velocity_dofs(fine_mesh),
+        np: num_pressure_dofs(fine_mesh),
+        mg,
+        a_fine,
+        a_newton,
+        b_masked,
+        b_full,
+        schur,
+        timers: GmgTimers {
+            level_ops,
+            setup_seconds: t_setup.elapsed().as_secs_f64(),
+            coarse_setup_seconds,
+        },
+        bc: bcs[levels - 1].clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-space operator and field-split preconditioner.
+// ---------------------------------------------------------------------------
+
+/// The coupled operator of Eq. (14): `[[J_uu, J_up], [J_pu, 0]]` acting on
+/// interleaved `[u; p]` vectors (velocity first).
+pub struct StokesOperator<'s> {
+    pub a: &'s dyn LinearOperator,
+    pub b: &'s Csr,
+    pub nu: usize,
+    pub np: usize,
+}
+
+impl LinearOperator for StokesOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.nu + self.np
+    }
+    fn ncols(&self) -> usize {
+        self.nu + self.np
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let (xu, xp) = x.split_at(self.nu);
+        let (yu, yp) = y.split_at_mut(self.nu);
+        // yu = A xu + Bᵀ xp
+        self.a.apply(xu, yu);
+        let mut bt = vec![0.0; self.nu];
+        self.b.spmv_transpose(xp, &mut bt);
+        for i in 0..self.nu {
+            yu[i] += bt[i];
+        }
+        // yp = B xu
+        self.b.spmv(xu, yp);
+    }
+}
+
+/// Block lower-triangular preconditioner (Eq. (17)):
+/// `z_u = Â⁻¹ r_u` (one V-cycle of the velocity preconditioner `M`),
+/// `z_p = Ŝ⁻¹ (r_p − J_pu z_u)` with `Ŝ = −M_p(1/η)` applied exactly per
+/// element block. Generic over the velocity preconditioner so GMG and the
+/// purely algebraic variants of Table IV are interchangeable.
+pub struct BlockLowerTriangularPc<'s, M: Preconditioner + ?Sized = GeometricMg> {
+    pub mg: &'s M,
+    pub b: &'s Csr,
+    pub schur: &'s PressureMassBlocks,
+    pub nu: usize,
+    pub np: usize,
+}
+
+impl<M: Preconditioner + ?Sized> Preconditioner for BlockLowerTriangularPc<'_, M> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let (ru, rp) = r.split_at(self.nu);
+        let (zu, zp) = z.split_at_mut(self.nu);
+        self.mg.apply(ru, zu);
+        // t = r_p − B z_u
+        let mut t = vec![0.0; self.np];
+        self.b.spmv(zu, &mut t);
+        for i in 0..self.np {
+            t[i] = rp[i] - t[i];
+        }
+        // z_p = Ŝ⁻¹ t = −M⁻¹ t.
+        self.schur.apply_inverse(&t, zp);
+        for v in zp.iter_mut() {
+            *v = -*v;
+        }
+    }
+}
+
+/// Which linearized operator drives the Krylov iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KrylovOperatorChoice {
+    /// Picard everywhere.
+    Picard,
+    /// Newton action in the Krylov operator, Picard in the preconditioner
+    /// (§III-A).
+    NewtonKrylovPicardPc,
+}
+
+impl StokesSolver {
+    /// Solve `J [du; dp] = [rhs_u; rhs_p]` with full-space GCR and the
+    /// block-triangular preconditioner. `x` holds `[du; dp]` on exit.
+    pub fn solve(
+        &self,
+        rhs: &[f64],
+        x: &mut [f64],
+        cfg: &KrylovConfig,
+        choice: KrylovOperatorChoice,
+        monitor: Monitor,
+    ) -> SolveStats {
+        let a: &dyn LinearOperator = match choice {
+            KrylovOperatorChoice::Picard => &self.a_fine,
+            KrylovOperatorChoice::NewtonKrylovPicardPc => self
+                .a_newton
+                .as_ref()
+                .map(|a| a as &dyn LinearOperator)
+                .unwrap_or(&self.a_fine),
+        };
+        let op = StokesOperator {
+            a,
+            b: &self.b_masked,
+            nu: self.nu,
+            np: self.np,
+        };
+        let pc = BlockLowerTriangularPc {
+            mg: &self.mg,
+            b: &self.b_masked,
+            schur: &self.schur,
+            nu: self.nu,
+            np: self.np,
+        };
+        gcr_monitored(&op, &pc, rhs, x, cfg, monitor)
+    }
+
+    /// Schur-complement reduction (§III-B, §IV-A): accurate inner solves
+    /// with `J_uu` expose a normal, definite pressure problem at the cost
+    /// of one inner solve per outer iteration. More robust to extreme
+    /// contrasts, usually more expensive.
+    pub fn solve_scr(
+        &self,
+        rhs: &[f64],
+        x: &mut [f64],
+        outer: &KrylovConfig,
+        inner_rtol: f64,
+    ) -> (SolveStats, u64) {
+        let (rhs_u, rhs_p) = rhs.split_at(self.nu);
+        let inner_cfg = KrylovConfig::default()
+            .with_rtol(inner_rtol)
+            .with_max_it(500);
+        let inner_counter = std::sync::atomic::AtomicU64::new(0);
+        // g = rhs_p − B A⁻¹ rhs_u
+        let mut au = vec![0.0; self.nu];
+        let s1 = cg(&self.a_fine, &self.mg, rhs_u, &mut au, &inner_cfg);
+        inner_counter.fetch_add(s1.iterations as u64, std::sync::atomic::Ordering::Relaxed);
+        let mut g = vec![0.0; self.np];
+        self.b_masked.spmv(&au, &mut g);
+        for i in 0..self.np {
+            g[i] = rhs_p[i] - g[i];
+        }
+        // Schur operator: S p = −B A⁻¹ Bᵀ p (A⁻¹ = inner MG-CG solve).
+        struct SchurOp<'s> {
+            solver: &'s StokesSolver,
+            inner_cfg: KrylovConfig,
+            counter: &'s std::sync::atomic::AtomicU64,
+        }
+        impl LinearOperator for SchurOp<'_> {
+            fn nrows(&self) -> usize {
+                self.solver.np
+            }
+            fn ncols(&self) -> usize {
+                self.solver.np
+            }
+            fn apply(&self, p: &[f64], y: &mut [f64]) {
+                let nu = self.solver.nu;
+                let mut btp = vec![0.0; nu];
+                self.solver.b_masked.spmv_transpose(p, &mut btp);
+                let mut ainv = vec![0.0; nu];
+                let st = cg(
+                    &self.solver.a_fine,
+                    &self.solver.mg,
+                    &btp,
+                    &mut ainv,
+                    &self.inner_cfg,
+                );
+                self.counter
+                    .fetch_add(st.iterations as u64, std::sync::atomic::Ordering::Relaxed);
+                self.solver.b_masked.spmv(&ainv, y);
+                for v in y.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        }
+        struct SchurPcNeg<'s>(&'s PressureMassBlocks);
+        impl Preconditioner for SchurPcNeg<'_> {
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                self.0.apply_inverse(r, z);
+                for v in z.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        }
+        let sop = SchurOp {
+            solver: self,
+            inner_cfg: inner_cfg.clone(),
+            counter: &inner_counter,
+        };
+        let spc = SchurPcNeg(&self.schur);
+        let (xu_slice, xp_slice) = x.split_at_mut(self.nu);
+        let stats = fgmres(&sop, &spc, &g, xp_slice, outer);
+        // Back-substitute: u = A⁻¹ (rhs_u − Bᵀ p).
+        let mut btp = vec![0.0; self.nu];
+        self.b_masked.spmv_transpose(xp_slice, &mut btp);
+        let mut rhs_u2 = rhs_u.to_vec();
+        for i in 0..self.nu {
+            rhs_u2[i] -= btp[i];
+        }
+        xu_slice.fill(0.0);
+        let s2 = cg(&self.a_fine, &self.mg, &rhs_u2, xu_slice, &inner_cfg);
+        inner_counter.fetch_add(s2.iterations as u64, std::sync::atomic::Ordering::Relaxed);
+        (
+            stats,
+            inner_counter.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Evaluate the nonlinear residual
+    /// `F_u = A(u) u + Bᵀ p − f_u` (zeroed on Dirichlet dofs),
+    /// `F_p = B u`,
+    /// with `a_unconstrained` the *unmasked* viscous action of the current
+    /// linearization state.
+    pub fn residual(
+        &self,
+        a_unconstrained: &dyn LinearOperator,
+        u: &[f64],
+        p: &[f64],
+        f_u: &[f64],
+        out: &mut [f64],
+    ) {
+        let (fu, fp) = out.split_at_mut(self.nu);
+        a_unconstrained.apply(u, fu);
+        let mut bt = vec![0.0; self.nu];
+        self.b_full.spmv_transpose(p, &mut bt);
+        for i in 0..self.nu {
+            fu[i] += bt[i] - f_u[i];
+        }
+        self.bc.zero_constrained(fu);
+        self.b_full.spmv(u, fp);
+    }
+}
+
+/// Split a full-space vector into velocity and pressure views.
+pub fn split_up(x: &[f64], nu: usize) -> (&[f64], &[f64]) {
+    x.split_at(nu)
+}
+
+/// Solve a coupled Stokes system with an arbitrary velocity-block
+/// preconditioner (the swap point for the Table IV comparisons: GMG-i/ii,
+/// SA-i, SAML-i/ii all drive this same full-space GCR iteration).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_stokes_with_pc<M: Preconditioner + ?Sized>(
+    a: &dyn LinearOperator,
+    b_masked: &Csr,
+    schur: &PressureMassBlocks,
+    velocity_pc: &M,
+    rhs: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+    monitor: Monitor,
+) -> SolveStats {
+    let nu = a.nrows();
+    let np = b_masked.nrows();
+    let op = StokesOperator {
+        a,
+        b: b_masked,
+        nu,
+        np,
+    };
+    let pc = BlockLowerTriangularPc {
+        mg: velocity_pc,
+        b: b_masked,
+        schur,
+        nu,
+        np,
+    };
+    gcr_monitored(&op, &pc, rhs, x, cfg, monitor)
+}

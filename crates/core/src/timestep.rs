@@ -1,0 +1,233 @@
+//! Time-stepping utilities shared by the transient models: CFL time-step
+//! control, ALE free-surface advection (kinematic update + vertical
+//! remeshing), plastic-strain accumulation and velocity restriction to the
+//! corner mesh for the energy equation.
+
+use crate::coefficients::{eps_ii, strain_rate_at};
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use ptatin_rheology::MaterialTable;
+
+/// Maximum velocity magnitude of an interleaved nodal field.
+pub fn max_velocity(velocity: &[f64]) -> f64 {
+    velocity
+        .chunks_exact(3)
+        .map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt())
+        .fold(0.0, f64::max)
+}
+
+/// Minimum element edge length (corner-to-corner along grid axes).
+pub fn min_element_size(mesh: &StructuredMesh) -> f64 {
+    let mut h = f64::INFINITY;
+    for e in 0..mesh.num_elements() {
+        let c = mesh.element_corner_coords(e);
+        // Edges from corner 0 along the three axes (x-fastest ordering).
+        for &(a, b) in &[(0usize, 1usize), (0, 2), (0, 4)] {
+            let d = ((c[a][0] - c[b][0]).powi(2)
+                + (c[a][1] - c[b][1]).powi(2)
+                + (c[a][2] - c[b][2]).powi(2))
+            .sqrt();
+            h = h.min(d);
+        }
+    }
+    h
+}
+
+/// CFL time step: `dt = cfl · h_min / max|u|` (clamped to `dt_max`).
+pub fn cfl_dt(mesh: &StructuredMesh, velocity: &[f64], cfl: f64, dt_max: f64) -> f64 {
+    let vmax = max_velocity(velocity);
+    if vmax <= 1e-300 {
+        return dt_max;
+    }
+    (cfl * min_element_size(mesh) / vmax).min(dt_max)
+}
+
+/// Velocity restricted to the corner (Q1) mesh, as `[f64; 3]` per corner —
+/// the transport field of the energy equation.
+pub fn velocity_at_corners(mesh: &StructuredMesh, velocity: &[f64]) -> Vec<[f64; 3]> {
+    (0..mesh.num_corners())
+        .map(|c| {
+            let n = mesh.corner_to_node(c);
+            [velocity[3 * n], velocity[3 * n + 1], velocity[3 * n + 2]]
+        })
+        .collect()
+}
+
+/// Current top-surface coordinates along `axis`, one per surface column
+/// (node-grid resolution of the two transverse axes, x-fastest).
+pub fn surface_heights(mesh: &StructuredMesh, axis: usize) -> Vec<f64> {
+    let (nx, ny, nz) = mesh.node_dims();
+    let dims = [nx, ny, nz];
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("axis out of range"),
+    };
+    let top = dims[axis] - 1;
+    let mut out = Vec::with_capacity(dims[a1] * dims[a2]);
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut ijk = [0usize; 3];
+            ijk[a1] = c1;
+            ijk[a2] = c2;
+            ijk[axis] = top;
+            out.push(mesh.coords[mesh.node_index(ijk[0], ijk[1], ijk[2])][axis]);
+        }
+    }
+    out
+}
+
+/// Kinematic free-surface update: `h += u_axis(surface) · dt` per surface
+/// column (full Lagrangian vertical motion of the boundary-fitted mesh).
+/// Returns the new per-column top coordinates for
+/// [`StructuredMesh::remesh_vertical`].
+pub fn advected_surface(
+    mesh: &StructuredMesh,
+    velocity: &[f64],
+    axis: usize,
+    dt: f64,
+) -> Vec<f64> {
+    let (nx, ny, nz) = mesh.node_dims();
+    let dims = [nx, ny, nz];
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("axis out of range"),
+    };
+    let top = dims[axis] - 1;
+    let mut out = Vec::with_capacity(dims[a1] * dims[a2]);
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut ijk = [0usize; 3];
+            ijk[a1] = c1;
+            ijk[a2] = c2;
+            ijk[axis] = top;
+            let n = mesh.node_index(ijk[0], ijk[1], ijk[2]);
+            out.push(mesh.coords[n][axis] + dt * velocity[3 * n + axis]);
+        }
+    }
+    out
+}
+
+/// Accumulate plastic strain on yielded material points:
+/// `ε_p += ε̇_II · dt` wherever the Drucker–Prager limiter is the active
+/// branch at the point's state — the history-variable update of §V.
+pub fn accumulate_plastic_strain(
+    mesh: &StructuredMesh,
+    points: &mut MaterialPoints,
+    materials: &MaterialTable,
+    velocity: &[f64],
+    pressure: &[f64],
+    temperature: Option<&[f64]>,
+    dt: f64,
+) -> usize {
+    let mut yielded_count = 0;
+    for i in 0..points.len() {
+        let e = points.element[i];
+        if e == u32::MAX {
+            continue;
+        }
+        let e = e as usize;
+        let xi = points.xi[i];
+        let d = strain_rate_at(mesh, velocity, e, xi);
+        let eps = eps_ii(&d);
+        let pres = crate::coefficients::pressure_at(mesh, pressure, e, xi);
+        let temp = match temperature {
+            Some(t) => crate::coefficients::corner_field_at(mesh, t, e, xi),
+            None => materials
+                .get(points.lithology[i])
+                .reference_temperature,
+        };
+        let mat = materials.get(points.lithology[i]);
+        let ev = mat.effective_viscosity(eps, temp, pres, points.plastic_strain[i]);
+        if ev.yielded {
+            points.plastic_strain[i] += eps * dt;
+            yielded_count += 1;
+        }
+    }
+    yielded_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> StructuredMesh {
+        StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+    }
+
+    #[test]
+    fn cfl_scales_with_velocity() {
+        let mesh = mesh();
+        let n = 3 * mesh.num_nodes();
+        let mut v = vec![0.0; n];
+        v[0] = 2.0;
+        let dt = cfl_dt(&mesh, &v, 0.5, 100.0);
+        // h_min = 0.5, so dt = 0.5 * 0.5 / 2 = 0.125.
+        assert!((dt - 0.125).abs() < 1e-12);
+        // Zero velocity → dt_max.
+        let dt0 = cfl_dt(&mesh, &vec![0.0; n], 0.5, 7.0);
+        assert_eq!(dt0, 7.0);
+    }
+
+    #[test]
+    fn surface_advection_lifts_top() {
+        let mesh = mesh();
+        let n = 3 * mesh.num_nodes();
+        let mut v = vec![0.0; n];
+        // Uniform upward velocity in y.
+        for node in 0..mesh.num_nodes() {
+            v[3 * node + 1] = 0.3;
+        }
+        let h0 = surface_heights(&mesh, 1);
+        let h1 = advected_surface(&mesh, &v, 1, 0.5);
+        assert_eq!(h0.len(), h1.len());
+        for (a, b) in h0.iter().zip(&h1) {
+            assert!((b - a - 0.15).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plastic_strain_accumulates_only_on_yield() {
+        use ptatin_rheology::{DruckerPrager, Material, ViscousLaw};
+        let mesh = mesh();
+        let mats = MaterialTable::new(vec![Material {
+            name: "brittle".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: 1e6 },
+            plasticity: Some(DruckerPrager {
+                cohesion: 0.1,
+                friction_angle: 0.5,
+                cohesion_softened: 0.1,
+                friction_softened: 0.5,
+                softening_strain: (0.0, 1.0),
+                tension_cutoff: 0.0,
+            }),
+            eta_min: 1e-6,
+            eta_max: 1e12,
+        }]);
+        let mut pts = MaterialPoints::default();
+        pts.push([0.25, 0.25, 0.25], 0, 0.0);
+        pts.element[0] = 0;
+        pts.xi[0] = [0.0, 0.0, 0.0];
+        // Strong shear → yield.
+        let mut v = vec![0.0; 3 * mesh.num_nodes()];
+        for (n, c) in mesh.coords.iter().enumerate() {
+            v[3 * n] = 10.0 * c[1];
+        }
+        let p = vec![0.0; 4 * mesh.num_elements()];
+        let ny = accumulate_plastic_strain(&mesh, &mut pts, &mats, &v, &p, None, 0.1);
+        assert_eq!(ny, 1);
+        assert!(pts.plastic_strain[0] > 0.0);
+        // No flow → no accumulation.
+        let before = pts.plastic_strain[0];
+        let v0 = vec![0.0; 3 * mesh.num_nodes()];
+        let ny0 = accumulate_plastic_strain(&mesh, &mut pts, &mats, &v0, &p, None, 0.1);
+        assert_eq!(ny0, 0);
+        assert_eq!(pts.plastic_strain[0], before);
+    }
+}

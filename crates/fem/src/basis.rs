@@ -1,0 +1,278 @@
+//! Finite element bases on the reference hexahedron `[-1,1]³`.
+//!
+//! * **Q2** (triquadratic, 27 nodes) — the velocity space of the paper's
+//!   Q2–P1disc mixed element; local ordering is x-fastest over the 3×3×3
+//!   node block, matching [`ptatin_mesh::StructuredMesh::element_nodes`].
+//! * **Q1** (trilinear, 8 nodes) — element geometry, grid transfer,
+//!   material-point projection and the energy equation.
+//! * **P1disc** (linear discontinuous, 4 dofs) — the pressure space,
+//!   defined in *physical* x,y,z coordinates (centroid-shifted, scaled),
+//!   which preserves the element's order of accuracy on deformed meshes
+//!   (§II-B of the paper, refs [31], [32] therein).
+
+/// Number of Q2 basis functions per hexahedron.
+pub const NQ2: usize = 27;
+/// Number of Q1 basis functions per hexahedron.
+pub const NQ1: usize = 8;
+/// Number of P1disc pressure basis functions per hexahedron.
+pub const NP1: usize = 4;
+
+/// 1-D quadratic Lagrange basis at nodes ξ ∈ {-1, 0, 1}.
+#[inline]
+pub fn q2_basis_1d(xi: f64) -> [f64; 3] {
+    [0.5 * xi * (xi - 1.0), 1.0 - xi * xi, 0.5 * xi * (xi + 1.0)]
+}
+
+/// Derivatives of [`q2_basis_1d`].
+#[inline]
+pub fn q2_deriv_1d(xi: f64) -> [f64; 3] {
+    [xi - 0.5, -2.0 * xi, xi + 0.5]
+}
+
+/// All 27 Q2 basis functions at reference point `xi`.
+pub fn q2_basis(xi: [f64; 3]) -> [f64; NQ2] {
+    let bx = q2_basis_1d(xi[0]);
+    let by = q2_basis_1d(xi[1]);
+    let bz = q2_basis_1d(xi[2]);
+    let mut out = [0.0; NQ2];
+    let mut n = 0;
+    for c in 0..3 {
+        for b in 0..3 {
+            for a in 0..3 {
+                out[n] = bx[a] * by[b] * bz[c];
+                n += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Reference gradients `∂N/∂ξ_d` of all 27 Q2 basis functions: returns
+/// `[ [dN0/dξ, dN0/dη, dN0/dζ], ... ]`.
+pub fn q2_grad(xi: [f64; 3]) -> [[f64; 3]; NQ2] {
+    let bx = q2_basis_1d(xi[0]);
+    let by = q2_basis_1d(xi[1]);
+    let bz = q2_basis_1d(xi[2]);
+    let dx = q2_deriv_1d(xi[0]);
+    let dy = q2_deriv_1d(xi[1]);
+    let dz = q2_deriv_1d(xi[2]);
+    let mut out = [[0.0; 3]; NQ2];
+    let mut n = 0;
+    for c in 0..3 {
+        for b in 0..3 {
+            for a in 0..3 {
+                out[n] = [
+                    dx[a] * by[b] * bz[c],
+                    bx[a] * dy[b] * bz[c],
+                    bx[a] * by[b] * dz[c],
+                ];
+                n += 1;
+            }
+        }
+    }
+    out
+}
+
+/// All 8 Q1 (trilinear) basis functions at `xi`, x-fastest over the 2×2×2
+/// corner block.
+pub fn q1_basis(xi: [f64; 3]) -> [f64; NQ1] {
+    let lx = [0.5 * (1.0 - xi[0]), 0.5 * (1.0 + xi[0])];
+    let ly = [0.5 * (1.0 - xi[1]), 0.5 * (1.0 + xi[1])];
+    let lz = [0.5 * (1.0 - xi[2]), 0.5 * (1.0 + xi[2])];
+    let mut out = [0.0; NQ1];
+    let mut n = 0;
+    for c in 0..2 {
+        for b in 0..2 {
+            for a in 0..2 {
+                out[n] = lx[a] * ly[b] * lz[c];
+                n += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Reference gradients of the 8 Q1 basis functions.
+pub fn q1_grad(xi: [f64; 3]) -> [[f64; 3]; NQ1] {
+    let lx = [0.5 * (1.0 - xi[0]), 0.5 * (1.0 + xi[0])];
+    let ly = [0.5 * (1.0 - xi[1]), 0.5 * (1.0 + xi[1])];
+    let lz = [0.5 * (1.0 - xi[2]), 0.5 * (1.0 + xi[2])];
+    let dx = [-0.5, 0.5];
+    let mut out = [[0.0; 3]; NQ1];
+    let mut n = 0;
+    for c in 0..2 {
+        for b in 0..2 {
+            for a in 0..2 {
+                out[n] = [
+                    dx[a] * ly[b] * lz[c],
+                    lx[a] * dx[b] * lz[c],
+                    lx[a] * ly[b] * dx[c],
+                ];
+                n += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The P1disc pressure basis `{1, (x-x̄)/hx, (y-ȳ)/hy, (z-z̄)/hz}` evaluated
+/// at a *physical* point, given the element centroid and half-extents.
+#[inline]
+pub fn p1disc_basis(x: [f64; 3], centroid: [f64; 3], half_extent: [f64; 3]) -> [f64; NP1] {
+    [
+        1.0,
+        (x[0] - centroid[0]) / half_extent[0],
+        (x[1] - centroid[1]) / half_extent[1],
+        (x[2] - centroid[2]) / half_extent[2],
+    ]
+}
+
+/// Centroid and half-extents of an element from its 8 corner coordinates —
+/// the scaling frame of the physical-coordinate pressure basis.
+pub fn element_frame(corners: &[[f64; 3]; 8]) -> ([f64; 3], [f64; 3]) {
+    let mut centroid = [0.0; 3];
+    for c in corners {
+        for d in 0..3 {
+            centroid[d] += c[d] / 8.0;
+        }
+    }
+    let mut half = [0.0f64; 3];
+    for c in corners {
+        for d in 0..3 {
+            half[d] = half[d].max((c[d] - centroid[d]).abs());
+        }
+    }
+    for h in &mut half {
+        if *h == 0.0 {
+            *h = 1.0;
+        }
+    }
+    (centroid, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q2_partition_of_unity() {
+        for &xi in &[[-1.0, 0.3, 0.7], [0.0, 0.0, 0.0], [0.9, -0.5, 0.1]] {
+            let b = q2_basis(xi);
+            let s: f64 = b.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14);
+            let g = q2_grad(xi);
+            for d in 0..3 {
+                let gs: f64 = g.iter().map(|gr| gr[d]).sum();
+                assert!(gs.abs() < 1e-13, "gradient sum {gs} in dim {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn q2_kronecker_delta_at_nodes() {
+        let coords = [-1.0, 0.0, 1.0];
+        let mut n = 0;
+        for c in 0..3 {
+            for b in 0..3 {
+                for a in 0..3 {
+                    let basis = q2_basis([coords[a], coords[b], coords[c]]);
+                    for (m, &v) in basis.iter().enumerate() {
+                        let expect = if m == n { 1.0 } else { 0.0 };
+                        assert!((v - expect).abs() < 1e-14);
+                    }
+                    n += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q1_partition_of_unity_and_delta() {
+        let b = q1_basis([0.2, -0.4, 0.6]);
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        let coords = [-1.0, 1.0];
+        let mut n = 0;
+        for c in 0..2 {
+            for b2 in 0..2 {
+                for a in 0..2 {
+                    let basis = q1_basis([coords[a], coords[b2], coords[c]]);
+                    for (m, &v) in basis.iter().enumerate() {
+                        let expect = if m == n { 1.0 } else { 0.0 };
+                        assert!((v - expect).abs() < 1e-14);
+                    }
+                    n += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q2_grad_reproduces_linear_functions() {
+        // A linear field in ξ must have exact constant gradient.
+        let nodes1d = [-1.0, 0.0, 1.0];
+        let f = |xi: [f64; 3]| 2.0 * xi[0] - xi[1] + 0.5 * xi[2];
+        let mut nodal = [0.0; NQ2];
+        let mut n = 0;
+        for c in 0..3 {
+            for b in 0..3 {
+                for a in 0..3 {
+                    nodal[n] = f([nodes1d[a], nodes1d[b], nodes1d[c]]);
+                    n += 1;
+                }
+            }
+        }
+        let xi = [0.3, -0.7, 0.2];
+        let g = q2_grad(xi);
+        let mut grad = [0.0; 3];
+        for (i, gi) in g.iter().enumerate() {
+            for d in 0..3 {
+                grad[d] += nodal[i] * gi[d];
+            }
+        }
+        assert!((grad[0] - 2.0).abs() < 1e-13);
+        assert!((grad[1] + 1.0).abs() < 1e-13);
+        assert!((grad[2] - 0.5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn q2_reproduces_quadratics_exactly() {
+        let nodes1d = [-1.0, 0.0, 1.0];
+        let f = |xi: [f64; 3]| xi[0] * xi[0] + xi[1] * xi[2] - 0.3 * xi[2] * xi[2];
+        let mut nodal = [0.0; NQ2];
+        let mut n = 0;
+        for c in 0..3 {
+            for b in 0..3 {
+                for a in 0..3 {
+                    nodal[n] = f([nodes1d[a], nodes1d[b], nodes1d[c]]);
+                    n += 1;
+                }
+            }
+        }
+        for &xi in &[[0.11, -0.37, 0.83], [-0.5, 0.5, 0.0]] {
+            let basis = q2_basis(xi);
+            let val: f64 = basis.iter().zip(&nodal).map(|(b, n)| b * n).sum();
+            assert!((val - f(xi)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn p1disc_frame_and_basis() {
+        let corners = [
+            [0.0, 0.0, 0.0],
+            [2.0, 0.0, 0.0],
+            [0.0, 4.0, 0.0],
+            [2.0, 4.0, 0.0],
+            [0.0, 0.0, 6.0],
+            [2.0, 0.0, 6.0],
+            [0.0, 4.0, 6.0],
+            [2.0, 4.0, 6.0],
+        ];
+        let (c, h) = element_frame(&corners);
+        assert_eq!(c, [1.0, 2.0, 3.0]);
+        assert_eq!(h, [1.0, 2.0, 3.0]);
+        let psi = p1disc_basis([2.0, 4.0, 6.0], c, h);
+        assert_eq!(psi, [1.0, 1.0, 1.0, 1.0]);
+        let psi0 = p1disc_basis(c, c, h);
+        assert_eq!(psi0, [1.0, 0.0, 0.0, 0.0]);
+    }
+}

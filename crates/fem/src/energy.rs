@@ -1,0 +1,276 @@
+//! The energy equation (Eq. (20)): `∂T/∂t + u·∇T = ∇·(κ∇T)`, discretized
+//! with Q1 finite elements on the corner mesh and stabilized with SUPG,
+//! integrated with implicit Euler — the configuration of §V of the paper.
+
+use crate::basis::{q1_basis, q1_grad, NQ1};
+use crate::bc::DirichletBc;
+use crate::geometry::{physical_grad, qp_geometry};
+use crate::quadrature::Quadrature;
+use ptatin_la::csr::{Csr, CsrBuilder};
+use ptatin_mesh::StructuredMesh;
+
+/// Assembled implicit-Euler SUPG system for one time step:
+/// `lhs · T_new = rhs`.
+pub struct EnergySystem {
+    pub lhs: Csr,
+    pub rhs: Vec<f64>,
+}
+
+/// SUPG stabilization parameter τ = h/(2|u|)·(coth Pe − 1/Pe) with element
+/// Péclet number Pe = |u| h / (2κ).
+fn tau_supg(unorm: f64, h: f64, kappa: f64) -> f64 {
+    if unorm < 1e-14 {
+        return 0.0;
+    }
+    let pe = unorm * h / (2.0 * kappa.max(1e-300));
+    // coth(Pe) − 1/Pe: series for small Pe (cancellation), 1 − 1/Pe for
+    // large Pe.
+    let xi = if pe < 1e-3 {
+        pe / 3.0
+    } else if pe > 20.0 {
+        1.0 - 1.0 / pe
+    } else {
+        let e2 = (2.0 * pe).exp();
+        (e2 + 1.0) / (e2 - 1.0) - 1.0 / pe
+    };
+    h / (2.0 * unorm) * xi
+}
+
+/// Assemble the implicit-Euler SUPG advection–diffusion step on the Q1
+/// corner mesh.
+///
+/// * `velocity` — fluid velocity at each corner node,
+/// * `t_old` — temperature at the previous step (corner nodes),
+/// * `kappa` — thermal diffusivity (uniform),
+/// * `source` — optional volumetric heating per corner node,
+/// * `bc` — Dirichlet temperature constraints (applied symmetrically).
+pub fn assemble_energy_step(
+    mesh: &StructuredMesh,
+    velocity: &[[f64; 3]],
+    t_old: &[f64],
+    dt: f64,
+    kappa: f64,
+    source: Option<&[f64]>,
+    bc: &DirichletBc,
+) -> EnergySystem {
+    let nc = mesh.num_corners();
+    assert_eq!(velocity.len(), nc);
+    assert_eq!(t_old.len(), nc);
+    let quad = Quadrature::gauss_2x2x2();
+    let nqp = quad.len();
+    // Precompute Q1 tables at the 8 quadrature points.
+    let basis: Vec<[f64; NQ1]> = quad.points.iter().map(|&p| q1_basis(p)).collect();
+    let grads: Vec<[[f64; 3]; NQ1]> = quad.points.iter().map(|&p| q1_grad(p)).collect();
+
+    let mut builder = CsrBuilder::new(nc, nc);
+    let mut rhs = vec![0.0; nc];
+    let inv_dt = 1.0 / dt;
+
+    for e in 0..mesh.num_elements() {
+        let corners = mesh.element_corner_coords(e);
+        let cids = mesh.element_corner_ids(e);
+        // Element size estimate: cube root of volume.
+        let mut elvol = 0.0;
+        for q in 0..nqp {
+            elvol += qp_geometry(&corners, quad.points[q], quad.weights[q]).wdetj;
+        }
+        let h = elvol.cbrt();
+        // Element-average velocity magnitude for τ.
+        let mut ubar = [0.0f64; 3];
+        for &c in &cids {
+            for d in 0..3 {
+                ubar[d] += velocity[c][d] / 8.0;
+            }
+        }
+        let unorm = (ubar[0] * ubar[0] + ubar[1] * ubar[1] + ubar[2] * ubar[2]).sqrt();
+        let tau = tau_supg(unorm, h, kappa);
+
+        let mut ke = [[0.0f64; NQ1]; NQ1];
+        let mut fe = [0.0f64; NQ1];
+        for q in 0..nqp {
+            let geo = qp_geometry(&corners, quad.points[q], quad.weights[q]);
+            let mut gphi = [[0.0; 3]; NQ1];
+            for i in 0..NQ1 {
+                gphi[i] = physical_grad(&geo, grads[q][i]);
+            }
+            // Velocity, old temperature and source at the quadrature point.
+            let mut uq = [0.0f64; 3];
+            let mut tq_old = 0.0;
+            let mut sq = 0.0;
+            for (i, &c) in cids.iter().enumerate() {
+                for d in 0..3 {
+                    uq[d] += basis[q][i] * velocity[c][d];
+                }
+                tq_old += basis[q][i] * t_old[c];
+                if let Some(src) = source {
+                    sq += basis[q][i] * src[c];
+                }
+            }
+            let w = geo.wdetj;
+            for i in 0..NQ1 {
+                // SUPG-weighted test function: w_i = φ_i + τ u·∇φ_i
+                let ugw = uq[0] * gphi[i][0] + uq[1] * gphi[i][1] + uq[2] * gphi[i][2];
+                let wi_advective = basis[q][i] + tau * ugw;
+                for j in 0..NQ1 {
+                    let ugj = uq[0] * gphi[j][0] + uq[1] * gphi[j][1] + uq[2] * gphi[j][2];
+                    let diff = kappa
+                        * (gphi[i][0] * gphi[j][0]
+                            + gphi[i][1] * gphi[j][1]
+                            + gphi[i][2] * gphi[j][2]);
+                    // Mass (time) + advection get the SUPG test function;
+                    // diffusion keeps the Galerkin test function (the Q1
+                    // Laplacian of the trial space vanishes element-wise).
+                    ke[i][j] += w
+                        * (wi_advective * (inv_dt * basis[q][j] + ugj) + diff);
+                }
+                fe[i] += w * wi_advective * (inv_dt * tq_old + sq);
+            }
+        }
+        for (i, &ci) in cids.iter().enumerate() {
+            rhs[ci] += fe[i];
+            for (j, &cj) in cids.iter().enumerate() {
+                builder.add(ci, cj, ke[i][j]);
+            }
+        }
+    }
+    let mut lhs = builder.finish();
+    bc.apply_to_system(&mut lhs, &mut rhs);
+    EnergySystem { lhs, rhs }
+}
+
+/// Solve one energy step with ILU(0)-preconditioned GMRES; returns the new
+/// temperature.
+pub fn solve_energy_step(system: &EnergySystem, t_guess: &[f64]) -> Vec<f64> {
+    let ilu = ptatin_la::Ilu0::factor(&system.lhs);
+    let mut t = t_guess.to_vec();
+    let stats = ptatin_la::gmres(
+        &system.lhs,
+        &ilu,
+        &system.rhs,
+        &mut t,
+        &ptatin_la::KrylovConfig::default()
+            .with_rtol(1e-9)
+            .with_restart(60)
+            .with_max_it(2000),
+    );
+    assert!(
+        stats.converged,
+        "energy solve failed: residual {}",
+        stats.final_residual
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner_coords(mesh: &StructuredMesh) -> Vec<[f64; 3]> {
+        (0..mesh.num_corners())
+            .map(|c| mesh.coords[mesh.corner_to_node(c)])
+            .collect()
+    }
+
+    #[test]
+    fn tau_limits() {
+        // Diffusion-dominated: τ → h²/(12κ) as Pe → 0.
+        let t = tau_supg(1e-3, 1.0, 10.0);
+        assert!((t - 1.0 / 120.0).abs() < 1e-4, "{t}");
+        // Advection-dominated: τ → h/(2|u|).
+        let t = tau_supg(10.0, 1.0, 1e-6);
+        assert!((t - 0.05).abs() < 1e-3, "{t}");
+        assert_eq!(tau_supg(0.0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn pure_diffusion_steady_state_is_linear() {
+        // T(y): fixed T=1 at y=0, T=0 at y=1, no flow. Repeated implicit
+        // steps converge to the linear profile.
+        let mesh = StructuredMesh::new_box(2, 4, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let nc = mesh.num_corners();
+        let coords = corner_coords(&mesh);
+        let vel = vec![[0.0; 3]; nc];
+        let mut bc = DirichletBc::new();
+        for (c, x) in coords.iter().enumerate() {
+            if x[1] == 0.0 {
+                bc.set(c, 1.0);
+            } else if (x[1] - 1.0).abs() < 1e-14 {
+                bc.set(c, 0.0);
+            }
+        }
+        let mut t = vec![0.0; nc];
+        bc.apply_to_vector(&mut t);
+        for _ in 0..60 {
+            let sys = assemble_energy_step(&mesh, &vel, &t, 0.5, 1.0, None, &bc);
+            t = solve_energy_step(&sys, &t);
+        }
+        for (c, x) in coords.iter().enumerate() {
+            let expect = 1.0 - x[1];
+            assert!(
+                (t[c] - expect).abs() < 1e-3,
+                "corner {c} at y={}: {} vs {}",
+                x[1],
+                t[c],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn advection_transports_profile() {
+        // Uniform velocity in +x advecting a step; after time 0.25 the
+        // front has moved right and stays bounded (SUPG suppresses wild
+        // oscillations).
+        let mesh = StructuredMesh::new_box(8, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let nc = mesh.num_corners();
+        let coords = corner_coords(&mesh);
+        let vel = vec![[1.0, 0.0, 0.0]; nc];
+        let mut bc = DirichletBc::new();
+        for (c, x) in coords.iter().enumerate() {
+            if x[0] == 0.0 {
+                bc.set(c, 1.0);
+            }
+        }
+        let mut t = vec![0.0; nc];
+        bc.apply_to_vector(&mut t);
+        let dt = 0.05;
+        for _ in 0..5 {
+            let sys = assemble_energy_step(&mesh, &vel, &t, dt, 1e-6, None, &bc);
+            t = solve_energy_step(&sys, &t);
+        }
+        // Temperature at x=0.125 should have risen substantially; at the
+        // far end it should still be small.
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for (c, x) in coords.iter().enumerate() {
+            if (x[0] - 0.125).abs() < 1e-9 && x[1] == 0.5 && x[2] == 0.5 {
+                near = t[c];
+            }
+            if (x[0] - 1.0).abs() < 1e-9 && x[1] == 0.5 && x[2] == 0.5 {
+                far = t[c];
+            }
+        }
+        assert!(near > 0.4, "front has not advected: {near}");
+        assert!(far < 0.2, "far field contaminated: {far}");
+        // Boundedness (no strong overshoot).
+        for &v in &t {
+            assert!((-0.25..=1.25).contains(&v), "unbounded value {v}");
+        }
+    }
+
+    #[test]
+    fn source_term_heats() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let nc = mesh.num_corners();
+        let vel = vec![[0.0; 3]; nc];
+        let bc = DirichletBc::new();
+        let src = vec![1.0; nc];
+        let t0 = vec![0.0; nc];
+        let sys = assemble_energy_step(&mesh, &vel, &t0, 0.1, 1.0, Some(&src), &bc);
+        let t1 = solve_energy_step(&sys, &t0);
+        // With no boundaries fixed, uniform heating raises T ≈ dt * src.
+        for &v in &t1 {
+            assert!((v - 0.1).abs() < 1e-8, "{v}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Gauss–Legendre quadrature on the reference hexahedron.
+//!
+//! The Q2–P1disc element uses full 3×3×3 Gauss integration (27 points) —
+//! the paper explicitly rejects the Gauss–Lobatto collocation shortcut as
+//! "not sufficiently accurate for our deformed meshes with variable
+//! coefficients" (§III-D).
+
+/// A quadrature rule on `[-1,1]³`.
+#[derive(Clone, Debug)]
+pub struct Quadrature {
+    pub points: Vec<[f64; 3]>,
+    pub weights: Vec<f64>,
+}
+
+/// Number of quadrature points in the standard 3×3×3 rule.
+pub const NQP: usize = 27;
+
+impl Quadrature {
+    /// The 3×3×3 (27-point) Gauss rule, exact for polynomials of degree 5
+    /// per dimension.
+    pub fn gauss_3x3x3() -> Self {
+        let s = (3.0f64 / 5.0).sqrt();
+        let p1 = [-s, 0.0, s];
+        let w1 = [5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0];
+        let mut points = Vec::with_capacity(27);
+        let mut weights = Vec::with_capacity(27);
+        for c in 0..3 {
+            for b in 0..3 {
+                for a in 0..3 {
+                    points.push([p1[a], p1[b], p1[c]]);
+                    weights.push(w1[a] * w1[b] * w1[c]);
+                }
+            }
+        }
+        Self { points, weights }
+    }
+
+    /// The 2×2×2 (8-point) Gauss rule (Q1 energy equation).
+    pub fn gauss_2x2x2() -> Self {
+        let s = 1.0 / 3.0f64.sqrt();
+        let p1 = [-s, s];
+        let mut points = Vec::with_capacity(8);
+        let mut weights = Vec::with_capacity(8);
+        for c in 0..2 {
+            for b in 0..2 {
+                for a in 0..2 {
+                    points.push([p1[a], p1[b], p1[c]]);
+                    weights.push(1.0);
+                }
+            }
+        }
+        Self { points, weights }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate<F: Fn([f64; 3]) -> f64>(q: &Quadrature, f: F) -> f64 {
+        q.points
+            .iter()
+            .zip(&q.weights)
+            .map(|(p, w)| w * f(*p))
+            .sum()
+    }
+
+    #[test]
+    fn weights_sum_to_volume() {
+        let q3 = Quadrature::gauss_3x3x3();
+        assert!((q3.weights.iter().sum::<f64>() - 8.0).abs() < 1e-13);
+        let q2 = Quadrature::gauss_2x2x2();
+        assert!((q2.weights.iter().sum::<f64>() - 8.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn gauss3_exact_degree5() {
+        let q = Quadrature::gauss_3x3x3();
+        // ∫ x⁴y² over [-1,1]³ = (2/5)(2/3)(2) = 8/15
+        let v = integrate(&q, |p| p[0].powi(4) * p[1].powi(2));
+        assert!((v - 8.0 / 15.0).abs() < 1e-13);
+        // Odd functions integrate to zero.
+        let v = integrate(&q, |p| p[0].powi(5) * p[2]);
+        assert!(v.abs() < 1e-14);
+        // ∫ x²y²z² = (2/3)³
+        let v = integrate(&q, |p| p[0].powi(2) * p[1].powi(2) * p[2].powi(2));
+        assert!((v - 8.0 / 27.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn gauss3_not_exact_degree6() {
+        let q = Quadrature::gauss_3x3x3();
+        // ∫ x⁶ = 2/7 ≈ 0.2857; 3-point Gauss gives a different value.
+        let v = integrate(&q, |p| p[0].powi(6));
+        assert!((v - 8.0 * 2.0 / 7.0 / 4.0).abs() > 1e-6 || (v - 2.0 / 7.0 * 4.0).abs() > 1e-6);
+    }
+
+    #[test]
+    fn gauss2_exact_degree3() {
+        let q = Quadrature::gauss_2x2x2();
+        let v = integrate(&q, |p| p[0].powi(3) * p[1] + p[2] * p[2]);
+        // First term odd → 0; second: ∫z² over cube = (2)(2)(2/3) = 8/3.
+        assert!((v - 8.0 / 3.0).abs() < 1e-13);
+    }
+}

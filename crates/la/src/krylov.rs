@@ -1,0 +1,631 @@
+//! Krylov methods: CG, GMRES(m), FGMRES(m) and GCR(m).
+//!
+//! §III-A of the paper motivates the selection implemented here: GCR is the
+//! production choice for the full-space Stokes iteration because it is
+//! flexible (tolerates nonlinear preconditioners such as inner V-cycles or
+//! inner Krylov solves) *and* carries the true residual explicitly, which
+//! makes the per-component residual monitors of Fig. 2 cheap. FGMRES is the
+//! numerically more stable flexible alternative; GMRES and CG serve as
+//! smoother drivers, eigenvalue estimators and inner coarse-grid solvers.
+
+use crate::operator::{LinearOperator, Preconditioner};
+use crate::vec_ops as v;
+
+/// Stopping criteria and restart length for a Krylov solve.
+#[derive(Clone, Debug)]
+pub struct KrylovConfig {
+    /// Relative tolerance on the unpreconditioned residual, ‖r‖ ≤ rtol‖r₀‖.
+    pub rtol: f64,
+    /// Absolute tolerance, ‖r‖ ≤ atol.
+    pub atol: f64,
+    /// Iteration cap.
+    pub max_it: usize,
+    /// Restart length for GMRES/FGMRES/GCR.
+    pub restart: usize,
+    /// Record the residual history in [`SolveStats::history`].
+    pub record_history: bool,
+}
+
+impl Default for KrylovConfig {
+    fn default() -> Self {
+        Self {
+            rtol: 1e-5,
+            atol: 1e-50,
+            max_it: 10_000,
+            restart: 50,
+            record_history: false,
+        }
+    }
+}
+
+impl KrylovConfig {
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+    pub fn with_max_it(mut self, max_it: usize) -> Self {
+        self.max_it = max_it;
+        self
+    }
+    pub fn with_restart(mut self, restart: usize) -> Self {
+        self.restart = restart;
+        self
+    }
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// Outcome of a Krylov solve.
+#[derive(Clone, Debug)]
+pub struct SolveStats {
+    pub iterations: usize,
+    pub converged: bool,
+    pub initial_residual: f64,
+    pub final_residual: f64,
+    /// Unpreconditioned residual norm per iteration (if recorded).
+    pub history: Vec<f64>,
+}
+
+impl SolveStats {
+    fn new(r0: f64, record: bool) -> Self {
+        let mut history = Vec::new();
+        if record {
+            history.push(r0);
+        }
+        Self {
+            iterations: 0,
+            converged: false,
+            initial_residual: r0,
+            final_residual: r0,
+            history,
+        }
+    }
+
+    fn push(&mut self, rnorm: f64, record: bool) {
+        self.final_residual = rnorm;
+        if record {
+            self.history.push(rnorm);
+        }
+    }
+}
+
+#[inline]
+fn tolerance(cfg: &KrylovConfig, r0: f64) -> f64 {
+    (cfg.rtol * r0).max(cfg.atol)
+}
+
+fn residual(a: &dyn LinearOperator, b: &[f64], x: &[f64], r: &mut [f64]) {
+    a.apply(x, r);
+    for i in 0..r.len() {
+        r[i] = b[i] - r[i];
+    }
+}
+
+/// Preconditioned conjugate gradients for SPD operators.
+///
+/// ```
+/// use ptatin_la::{cg, Csr, JacobiPc, KrylovConfig};
+/// let a = Csr::from_triplets(2, 2, &[(0, 0, 4.0), (1, 1, 2.0)]);
+/// let mut x = vec![0.0; 2];
+/// let stats = cg(&a, &JacobiPc::from_operator(&a), &[4.0, 4.0], &mut x,
+///                &KrylovConfig::default().with_rtol(1e-12));
+/// assert!(stats.converged);
+/// assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 2.0).abs() < 1e-10);
+/// ```
+pub fn cg(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+) -> SolveStats {
+    let n = b.len();
+    let mut r = vec![0.0; n];
+    residual(a, b, x, &mut r);
+    let r0 = v::norm2(&r);
+    let mut stats = SolveStats::new(r0, cfg.record_history);
+    if r0 <= cfg.atol {
+        stats.converged = true;
+        return stats;
+    }
+    let tol = tolerance(cfg, r0);
+    let mut z = vec![0.0; n];
+    pc.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut ap = vec![0.0; n];
+    let mut rz = v::dot(&r, &z);
+    for it in 0..cfg.max_it {
+        a.apply(&p, &mut ap);
+        let pap = v::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Indefinite or breakdown: stop with what we have.
+            stats.iterations = it;
+            return stats;
+        }
+        let alpha = rz / pap;
+        v::axpy(alpha, &p, x);
+        v::axpy(-alpha, &ap, &mut r);
+        let rnorm = v::norm2(&r);
+        stats.push(rnorm, cfg.record_history);
+        stats.iterations = it + 1;
+        if rnorm <= tol {
+            stats.converged = true;
+            return stats;
+        }
+        pc.apply(&r, &mut z);
+        let rz_new = v::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p = z + beta p
+        v::axpby(1.0, &z, beta, &mut p);
+    }
+    stats
+}
+
+/// Right-preconditioned restarted GMRES. Requires a *linear* preconditioner
+/// (constant across iterations); use [`fgmres`] or [`gcr`] otherwise.
+pub fn gmres(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+) -> SolveStats {
+    gmres_impl(a, pc, b, x, cfg, false, &mut None)
+}
+
+/// Flexible GMRES: stores the preconditioned directions so the
+/// preconditioner may change between iterations.
+pub fn fgmres(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+) -> SolveStats {
+    gmres_impl(a, pc, b, x, cfg, true, &mut None)
+}
+
+/// Per-iteration observer: `(iteration, residual_norm, residual_vector)`.
+pub type Monitor<'m> = Option<&'m mut dyn FnMut(usize, f64, &[f64])>;
+
+fn gmres_impl(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+    flexible: bool,
+    monitor: &mut Monitor,
+) -> SolveStats {
+    let n = b.len();
+    let m = cfg.restart.max(1);
+    let mut r = vec![0.0; n];
+    residual(a, b, x, &mut r);
+    let r0 = v::norm2(&r);
+    let mut stats = SolveStats::new(r0, cfg.record_history);
+    if r0 <= cfg.atol {
+        stats.converged = true;
+        return stats;
+    }
+    let tol = tolerance(cfg, r0);
+    let mut total_it = 0usize;
+
+    let mut vbasis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    let mut zbasis: Vec<Vec<f64>> = Vec::with_capacity(m); // FGMRES only
+    // Hessenberg (column-major: h[j] has j+2 entries), Givens rotations.
+    let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let (mut cs, mut sn) = (vec![0.0; m], vec![0.0; m]);
+    let mut g = vec![0.0; m + 1];
+    let mut w = vec![0.0; n];
+    let mut zj = vec![0.0; n];
+
+    'outer: loop {
+        residual(a, b, x, &mut r);
+        let beta = v::norm2(&r);
+        if beta <= tol {
+            stats.converged = true;
+            break;
+        }
+        vbasis.clear();
+        zbasis.clear();
+        h.clear();
+        g.fill(0.0);
+        g[0] = beta;
+        let mut v0 = r.clone();
+        v::scale(1.0 / beta, &mut v0);
+        vbasis.push(v0);
+
+        for j in 0..m {
+            // w = A M⁻¹ v_j
+            pc.apply(&vbasis[j], &mut zj);
+            if flexible {
+                zbasis.push(zj.clone());
+            }
+            a.apply(&zj, &mut w);
+            // Modified Gram-Schmidt.
+            let mut hj = vec![0.0; j + 2];
+            for (i, vi) in vbasis.iter().enumerate() {
+                let hij = v::dot(&w, vi);
+                hj[i] = hij;
+                v::axpy(-hij, vi, &mut w);
+            }
+            let hlast = v::norm2(&w);
+            hj[j + 1] = hlast;
+            if hlast > 1e-300 {
+                let mut vnext = w.clone();
+                v::scale(1.0 / hlast, &mut vnext);
+                vbasis.push(vnext);
+            }
+            // Apply existing Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation to annihilate hj[j+1].
+            let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
+            if denom == 0.0 {
+                cs[j] = 1.0;
+                sn[j] = 0.0;
+            } else {
+                cs[j] = hj[j] / denom;
+                sn[j] = hj[j + 1] / denom;
+            }
+            hj[j] = cs[j] * hj[j] + sn[j] * hj[j + 1];
+            hj[j + 1] = 0.0;
+            let t = cs[j] * g[j];
+            g[j + 1] = -sn[j] * g[j];
+            g[j] = t;
+            h.push(hj);
+            total_it += 1;
+            let rnorm = g[j + 1].abs();
+            stats.push(rnorm, cfg.record_history);
+            stats.iterations = total_it;
+            if let Some(mon) = monitor.as_mut() {
+                // GMRES has no explicit residual; pass the recurrence norm
+                // and an empty slice (documented limitation vs GCR).
+                mon(total_it, rnorm, &[]);
+            }
+            let inner_done = rnorm <= tol || hlast <= 1e-300;
+            if inner_done || j + 1 == m || total_it >= cfg.max_it {
+                // Solve the small triangular system for y.
+                let k = j + 1;
+                let mut y = vec![0.0; k];
+                for i in (0..k).rev() {
+                    let mut s = g[i];
+                    for l in i + 1..k {
+                        s -= h[l][i] * y[l];
+                    }
+                    y[i] = s / h[i][i];
+                }
+                // Update x.
+                if flexible {
+                    for (l, yl) in y.iter().enumerate() {
+                        v::axpy(*yl, &zbasis[l], x);
+                    }
+                } else {
+                    let mut u = vec![0.0; n];
+                    for (l, yl) in y.iter().enumerate() {
+                        v::axpy(*yl, &vbasis[l], &mut u);
+                    }
+                    pc.apply(&u, &mut zj);
+                    v::axpy(1.0, &zj, x);
+                }
+                if rnorm <= tol {
+                    stats.converged = true;
+                    break 'outer;
+                }
+                if total_it >= cfg.max_it || hlast <= 1e-300 {
+                    break 'outer;
+                }
+                continue 'outer; // restart
+            }
+        }
+    }
+    // Recompute the true final residual (recurrence can drift).
+    residual(a, b, x, &mut r);
+    stats.final_residual = v::norm2(&r);
+    stats
+}
+
+/// GCR(m): flexible, with the iterate and true residual available every
+/// iteration. `monitor` (if provided) observes `(it, ‖r‖, r)`.
+pub fn gcr_monitored(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+    mut monitor: Monitor,
+) -> SolveStats {
+    let n = b.len();
+    let m = cfg.restart.max(1);
+    let mut r = vec![0.0; n];
+    residual(a, b, x, &mut r);
+    let r0 = v::norm2(&r);
+    let mut stats = SolveStats::new(r0, cfg.record_history);
+    if let Some(mon) = monitor.as_mut() {
+        mon(0, r0, &r);
+    }
+    if r0 <= cfg.atol {
+        stats.converged = true;
+        return stats;
+    }
+    let tol = tolerance(cfg, r0);
+    let mut ps: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut aps: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut z = vec![0.0; n];
+    let mut az = vec![0.0; n];
+    let mut it = 0usize;
+    while it < cfg.max_it {
+        if ps.len() == m {
+            ps.clear();
+            aps.clear();
+        }
+        pc.apply(&r, &mut z);
+        a.apply(&z, &mut az);
+        // Orthogonalize A z against previous normalized A p_i.
+        let mut p = z.clone();
+        for (pi, api) in ps.iter().zip(&aps) {
+            let beta = v::dot(&az, api);
+            v::axpy(-beta, api, &mut az);
+            v::axpy(-beta, pi, &mut p);
+        }
+        let anorm = v::norm2(&az);
+        if anorm <= 1e-300 {
+            break; // breakdown: preconditioned direction in nullspace
+        }
+        v::scale(1.0 / anorm, &mut p);
+        v::scale(1.0 / anorm, &mut az);
+        let gamma = v::dot(&r, &az);
+        v::axpy(gamma, &p, x);
+        v::axpy(-gamma, &az, &mut r);
+        ps.push(p.clone());
+        aps.push(az.clone());
+        it += 1;
+        let rnorm = v::norm2(&r);
+        stats.push(rnorm, cfg.record_history);
+        stats.iterations = it;
+        if let Some(mon) = monitor.as_mut() {
+            mon(it, rnorm, &r);
+        }
+        if rnorm <= tol {
+            stats.converged = true;
+            break;
+        }
+    }
+    stats
+}
+
+/// GCR(m) without a monitor.
+pub fn gcr(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+) -> SolveStats {
+    gcr_monitored(a, pc, b, x, cfg, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::operator::{IdentityPc, JacobiPc};
+
+    /// 1-D Laplacian, SPD.
+    fn laplace1d(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Csr::from_triplets(n, n, &t)
+    }
+
+    /// Nonsymmetric convection–diffusion style matrix.
+    fn nonsym(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i > 0 {
+                t.push((i, i - 1, -2.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -0.5));
+            }
+        }
+        Csr::from_triplets(n, n, &t)
+    }
+
+    fn check_solution(a: &Csr, b: &[f64], x: &[f64], tol: f64) {
+        let mut r = vec![0.0; b.len()];
+        a.spmv(x, &mut r);
+        for i in 0..b.len() {
+            r[i] -= b[i];
+        }
+        let rel = v::norm2(&r) / v::norm2(b);
+        assert!(rel < tol, "relative residual {rel} > {tol}");
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 100;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = cg(
+            &a,
+            &JacobiPc::from_operator(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10),
+        );
+        assert!(stats.converged);
+        check_solution(&a, &b, &x, 1e-9);
+    }
+
+    #[test]
+    fn cg_exact_in_n_iterations() {
+        let n = 10;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = cg(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-12),
+        );
+        assert!(stats.converged);
+        assert!(stats.iterations <= n, "CG must finish in ≤ n steps");
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric() {
+        let n = 80;
+        let a = nonsym(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut x = vec![0.0; n];
+        let stats = gmres(
+            &a,
+            &JacobiPc::from_operator(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10).with_restart(30),
+        );
+        assert!(stats.converged, "{stats:?}");
+        check_solution(&a, &b, &x, 1e-8);
+    }
+
+    #[test]
+    fn gmres_restart_still_converges() {
+        let n = 80;
+        let a = nonsym(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = gmres(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-8).with_restart(5),
+        );
+        assert!(stats.converged, "{stats:?}");
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn fgmres_tolerates_nonlinear_pc() {
+        // Preconditioner = few CG iterations on the same matrix (nonlinear).
+        struct InnerPc<'a>(&'a Csr);
+        impl Preconditioner for InnerPc<'_> {
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                z.fill(0.0);
+                let _ = cg(
+                    self.0,
+                    &IdentityPc,
+                    r,
+                    z,
+                    &KrylovConfig::default().with_rtol(1e-1).with_max_it(3),
+                );
+            }
+        }
+        let n = 60;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            &a,
+            &InnerPc(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-9),
+        );
+        assert!(stats.converged, "{stats:?}");
+        check_solution(&a, &b, &x, 1e-8);
+    }
+
+    #[test]
+    fn gcr_matches_gmres_quality_and_monitors_true_residual() {
+        let n = 60;
+        let a = nonsym(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut seen = Vec::new();
+        let mut mon = |it: usize, rn: f64, r: &[f64]| {
+            if it > 0 {
+                assert!(!r.is_empty());
+                assert!((v::norm2(r) - rn).abs() < 1e-12 * (1.0 + rn));
+            }
+            seen.push(rn);
+        };
+        let stats = gcr_monitored(
+            &a,
+            &JacobiPc::from_operator(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10),
+            Some(&mut mon),
+        );
+        assert!(stats.converged);
+        assert_eq!(seen.len(), stats.iterations + 1);
+        check_solution(&a, &b, &x, 1e-8);
+    }
+
+    #[test]
+    fn gcr_restart_converges() {
+        let n = 80;
+        let a = nonsym(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = gcr(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-8).with_restart(4),
+        );
+        assert!(stats.converged, "{stats:?}");
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = laplace1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        for f in [cg, gmres, fgmres, gcr] {
+            let stats = f(&a, &IdentityPc, &b, &mut x, &KrylovConfig::default());
+            assert!(stats.converged);
+            assert_eq!(stats.iterations, 0);
+        }
+    }
+
+    #[test]
+    fn nonzero_initial_guess() {
+        let n = 50;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let stats = gcr(
+            &a,
+            &JacobiPc::from_operator(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10),
+        );
+        assert!(stats.converged);
+        check_solution(&a, &b, &x, 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! `ptatin-la` — the linear-algebra substrate of the pTatin3D reproduction.
+//!
+//! pTatin3D builds on PETSc for "all parallel linear algebra, in the form of
+//! matrices, vectors, preconditioners, Krylov methods, and nonlinear
+//! solvers" (§II-D of the paper). This crate is the from-scratch Rust
+//! equivalent of the subset pTatin3D exercises:
+//!
+//! * [`vec_ops`] — BLAS-1 kernels on `&[f64]` slices (PETSc `Vec`),
+//! * [`csr`] — assembled sparse matrices, SpGEMM and Galerkin `RAP`
+//!   (PETSc `MatAIJ`, `MatPtAP`),
+//! * [`operator`] — the `Mat`/`PC` shell abstraction that lets assembled
+//!   and matrix-free operators be used interchangeably,
+//! * [`krylov`] — CG, GMRES(m), FGMRES(m), GCR(m) (PETSc `KSP`),
+//! * [`chebyshev`] — the Jacobi-preconditioned Chebyshev smoother with
+//!   power-iteration eigenvalue estimation,
+//! * [`ilu`], [`schwarz`] — ILU(0), block-Jacobi, additive Schwarz and
+//!   dense-direct subdomain/coarse solvers,
+//! * [`dense`] — small dense kernels (LU, QR, 3×3 geometry),
+//! * [`par`] — scoped-thread data parallelism replacing MPI ranks.
+
+pub mod chebyshev;
+pub mod csr;
+pub mod dense;
+pub mod ilu;
+pub mod krylov;
+pub mod operator;
+pub mod par;
+pub mod schwarz;
+pub mod vec_ops;
+
+pub use chebyshev::Chebyshev;
+pub use csr::{Csr, CsrBuilder};
+pub use dense::{DenseLu, DenseMatrix};
+pub use ilu::Ilu0;
+pub use krylov::{cg, fgmres, gcr, gcr_monitored, gmres, KrylovConfig, SolveStats};
+pub use operator::{IdentityPc, JacobiPc, LinearOperator, Preconditioner, TimedOperator};
+pub use schwarz::{AdditiveSchwarz, DirectSolver, SubdomainSolve};

@@ -1,0 +1,275 @@
+//! Operator and preconditioner abstractions (the PETSc `Mat`/`PC` analogue).
+//!
+//! Everything the Krylov methods touch goes through [`LinearOperator`];
+//! assembled CSR matrices, matrix-free FEM kernels and multigrid cycles all
+//! implement it, which is what lets the benchmark harness swap the paper's
+//! Asmb / MF / Tensor operator applications inside an otherwise identical
+//! solver.
+
+/// Action of a linear operator `y = A x`.
+pub trait LinearOperator: Sync {
+    /// Number of rows of `A`.
+    fn nrows(&self) -> usize;
+    /// Number of columns of `A`.
+    fn ncols(&self) -> usize;
+    /// Compute `y = A x`. `x.len() == ncols()`, `y.len() == nrows()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// The diagonal of `A`, if the implementation can provide it
+    /// (needed by Jacobi-preconditioned Chebyshev smoothing).
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Approximate inverse action `z ≈ A⁻¹ r`.
+///
+/// Implementations may be nonlinear in `r` (e.g. an inner Krylov solve), in
+/// which case only flexible methods (FGMRES, GCR) may wrap them — exactly
+/// the constraint discussed in §III-A of the paper.
+pub trait Preconditioner: Sync {
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn ncols(&self) -> usize {
+        (**self).ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        (**self).diagonal()
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for Box<T>
+where
+    Box<T>: Sync,
+{
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn ncols(&self) -> usize {
+        (**self).ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        (**self).diagonal()
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for std::sync::Arc<T>
+where
+    std::sync::Arc<T>: Sync,
+{
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn ncols(&self) -> usize {
+        (**self).ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        (**self).diagonal()
+    }
+}
+
+/// The identity preconditioner (unpreconditioned Krylov).
+pub struct IdentityPc;
+
+impl Preconditioner for IdentityPc {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner: z = D⁻¹ r.
+pub struct JacobiPc {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPc {
+    /// Build from the operator diagonal. Zero diagonal entries are treated
+    /// as 1 (constrained Dirichlet rows keep their residual unchanged).
+    pub fn new(diag: &[f64]) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self { inv_diag }
+    }
+
+    pub fn from_operator(a: &dyn LinearOperator) -> Self {
+        let d = a
+            .diagonal()
+            .expect("operator must provide a diagonal for JacobiPc");
+        Self::new(&d)
+    }
+
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+}
+
+impl Preconditioner for JacobiPc {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        crate::vec_ops::pointwise_mult(&self.inv_diag, r, z);
+    }
+}
+
+/// Adapter: any `LinearOperator` used as a preconditioner (applies the
+/// operator itself, e.g. an explicitly formed approximate inverse).
+pub struct OperatorPc<A: LinearOperator>(pub A);
+
+impl<A: LinearOperator> Preconditioner for OperatorPc<A> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.0.apply(r, z);
+    }
+}
+
+/// A scaled operator `alpha * A` (borrowed), useful for sign flips.
+pub struct ScaledOperator<'a> {
+    pub alpha: f64,
+    pub inner: &'a dyn LinearOperator,
+}
+
+impl LinearOperator for ScaledOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        crate::vec_ops::scale(self.alpha, y);
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        self.inner.diagonal().map(|mut d| {
+            crate::vec_ops::scale(self.alpha, &mut d);
+            d
+        })
+    }
+}
+
+/// Wrapper accumulating wall-time and call counts of operator
+/// applications — instruments the "MatMult" rows of the paper's Table IV.
+pub struct TimedOperator<A: LinearOperator> {
+    pub inner: A,
+    nanos: std::sync::atomic::AtomicU64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl<A: LinearOperator> TimedOperator<A> {
+    pub fn new(inner: A) -> Self {
+        Self {
+            inner,
+            nanos: std::sync::atomic::AtomicU64::new(0),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Accumulated apply time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.nanos.store(0, std::sync::atomic::Ordering::Relaxed);
+        self.calls.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for TimedOperator<A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let t0 = std::time::Instant::now();
+        self.inner.apply(x, y);
+        self.nanos.fetch_add(
+            t0.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        self.inner.diagonal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Diag(Vec<f64>);
+    impl LinearOperator for Diag {
+        fn nrows(&self) -> usize {
+            self.0.len()
+        }
+        fn ncols(&self) -> usize {
+            self.0.len()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            for i in 0..x.len() {
+                y[i] = self.0[i] * x[i];
+            }
+        }
+        fn diagonal(&self) -> Option<Vec<f64>> {
+            Some(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal_operator() {
+        let a = Diag(vec![2.0, 4.0, 0.5]);
+        let pc = JacobiPc::from_operator(&a);
+        let r = vec![2.0, 4.0, 0.5];
+        let mut z = vec![0.0; 3];
+        pc.apply(&r, &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn timed_operator_counts_and_delegates() {
+        let a = Diag(vec![2.0, 3.0]);
+        let t = TimedOperator::new(a);
+        let mut y = vec![0.0; 2];
+        t.apply(&[1.0, 1.0], &mut y);
+        t.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![2.0, 3.0]);
+        assert_eq!(t.calls(), 2);
+        assert!(t.seconds() >= 0.0);
+        assert_eq!(t.diagonal().unwrap(), vec![2.0, 3.0]);
+        t.reset();
+        assert_eq!(t.calls(), 0);
+    }
+
+    #[test]
+    fn scaled_operator_scales() {
+        let a = Diag(vec![1.0, 2.0]);
+        let s = ScaledOperator {
+            alpha: -1.0,
+            inner: &a,
+        };
+        let mut y = vec![0.0; 2];
+        s.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![-1.0, -2.0]);
+        assert_eq!(s.diagonal().unwrap(), vec![-1.0, -2.0]);
+    }
+}

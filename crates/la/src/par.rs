@@ -1,0 +1,186 @@
+//! Minimal scoped-thread data parallelism.
+//!
+//! pTatin3D relies on MPI ranks for parallelism; this reproduction runs in
+//! shared memory and uses a small `std::thread::scope`-based parallel-for.
+//! The thread count is a process-global knob (`set_num_threads`) so that
+//! benchmark harnesses can sweep "core counts" the way the paper sweeps MPI
+//! ranks. With one thread every helper degenerates to a plain loop, which
+//! keeps results bit-for-bit deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the number of worker threads used by all parallel loops.
+///
+/// `0` (the default) means "use `std::thread::available_parallelism()`".
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel loops will currently use.
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+/// Split `len` items into per-thread ranges of near-equal size.
+///
+/// Returns at most `nt` non-empty `(start, end)` ranges. The split is a
+/// pure function of `(len, nt)` so repeated runs produce identical floating
+/// point reductions.
+pub fn split_ranges(len: usize, nt: usize) -> Vec<(usize, usize)> {
+    let nt = nt.max(1).min(len.max(1));
+    let chunk = len.div_ceil(nt);
+    let mut out = Vec::with_capacity(nt);
+    let mut s = 0;
+    while s < len {
+        let e = (s + chunk).min(len);
+        out.push((s, e));
+        s = e;
+    }
+    if out.is_empty() {
+        out.push((0, 0));
+    }
+    out
+}
+
+/// Run `f(range_index, start..end)` over a partition of `0..len`.
+///
+/// `f` must be safe to run concurrently on disjoint ranges; it receives no
+/// mutable state from here, so callers typically capture raw output slices
+/// split via [`split_at_mut`](slice::split_at_mut) or use interior atomics.
+pub fn par_ranges<F>(len: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let nt = num_threads();
+    let ranges = split_ranges(len, nt);
+    if ranges.len() <= 1 {
+        let (s, e) = ranges[0];
+        f(0, s, e);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, &(s, e)) in ranges.iter().enumerate().skip(1) {
+            let f = &f;
+            scope.spawn(move || f(i, s, e));
+        }
+        let (s, e) = ranges[0];
+        f(0, s, e);
+    });
+}
+
+/// Parallel map over mutable chunks: partitions `data` to the worker threads
+/// and calls `f(global_offset, chunk)` on each piece.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let nt = num_threads();
+    let ranges = split_ranges(len, nt);
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for &(s, e) in &ranges {
+            let (head, tail) = rest.split_at_mut(e - s);
+            rest = tail;
+            let f = &f;
+            let off = consumed;
+            consumed += head.len();
+            scope.spawn(move || f(off, head));
+        }
+    });
+}
+
+/// Parallel reduction: each worker folds its range with `fold`, partial
+/// results are combined left-to-right with `combine` (deterministic order).
+pub fn par_reduce<R, F, C>(len: usize, identity: R, fold: F, combine: C) -> R
+where
+    R: Send + Clone,
+    F: Fn(usize, usize) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    let nt = num_threads();
+    let ranges = split_ranges(len, nt);
+    if ranges.len() <= 1 {
+        let (s, e) = ranges[0];
+        return fold(s, e);
+    }
+    let mut parts: Vec<Option<R>> = vec![None; ranges.len()];
+    std::thread::scope(|scope| {
+        let fold = &fold;
+        for (slot, &(s, e)) in parts.iter_mut().zip(&ranges) {
+            scope.spawn(move || *slot = Some(fold(s, e)));
+        }
+    });
+    parts
+        .into_iter()
+        .map(|p| p.expect("worker finished"))
+        .fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for nt in 1..9 {
+                let r = split_ranges(len, nt);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for &(s, e) in &r {
+                    assert_eq!(s, prev_end);
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_all() {
+        let mut v = vec![0usize; 1003];
+        par_chunks_mut(&mut v, |off, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = off + i;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let n = 12345usize;
+        let s = par_reduce(
+            n,
+            0u64,
+            |a, b| (a..b).map(|i| i as u64).sum::<u64>(),
+            |x, y| x + y,
+        );
+        assert_eq!(s, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn thread_count_override() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! BLAS-1 style vector kernels (the PETSc `Vec` analogue).
+//!
+//! All kernels operate on plain `&[f64]` slices so that higher layers can
+//! view sub-fields (velocity / pressure splits) without copying. Reductions
+//! use a fixed deterministic combination order regardless of thread count.
+
+use crate::par;
+
+/// Threshold below which kernels run serially (thread spawn not worth it).
+const PAR_MIN: usize = 1 << 15;
+
+/// y ← x
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// x ← 0
+pub fn zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// x ← alpha * x
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    if x.len() < PAR_MIN {
+        for v in x.iter_mut() {
+            *v *= alpha;
+        }
+    } else {
+        par::par_chunks_mut(x, |_, c| {
+            for v in c.iter_mut() {
+                *v *= alpha;
+            }
+        });
+    }
+}
+
+/// y ← y + alpha * x
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if y.len() < PAR_MIN {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        par::par_chunks_mut(y, |off, c| {
+            for (i, yi) in c.iter_mut().enumerate() {
+                *yi += alpha * x[off + i];
+            }
+        });
+    }
+}
+
+/// y ← alpha * x + beta * y
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if y.len() < PAR_MIN {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    } else {
+        par::par_chunks_mut(y, |off, c| {
+            for (i, yi) in c.iter_mut().enumerate() {
+                *yi = alpha * x[off + i] + beta * *yi;
+            }
+        });
+    }
+}
+
+/// w ← alpha * x + y
+pub fn waxpy(alpha: f64, x: &[f64], y: &[f64], w: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), w.len());
+    if w.len() < PAR_MIN {
+        for i in 0..w.len() {
+            w[i] = alpha * x[i] + y[i];
+        }
+    } else {
+        par::par_chunks_mut(w, |off, c| {
+            for (i, wi) in c.iter_mut().enumerate() {
+                *wi = alpha * x[off + i] + y[off + i];
+            }
+        });
+    }
+}
+
+/// Pointwise multiply: y ← d .* x (used for Jacobi preconditioning).
+pub fn pointwise_mult(d: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(d.len(), x.len());
+    assert_eq!(d.len(), y.len());
+    if y.len() < PAR_MIN {
+        for i in 0..y.len() {
+            y[i] = d[i] * x[i];
+        }
+    } else {
+        par::par_chunks_mut(y, |off, c| {
+            for (i, yi) in c.iter_mut().enumerate() {
+                *yi = d[off + i] * x[off + i];
+            }
+        });
+    }
+}
+
+/// Euclidean inner product xᵀy.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.len() < PAR_MIN {
+        return x.iter().zip(y).map(|(a, b)| a * b).sum();
+    }
+    par::par_reduce(
+        x.len(),
+        0.0,
+        |s, e| x[s..e].iter().zip(&y[s..e]).map(|(a, b)| a * b).sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+/// Euclidean norm ‖x‖₂.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm ‖x‖∞.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    if x.len() < PAR_MIN {
+        return x.iter().fold(0.0, |m, v| m.max(v.abs()));
+    }
+    par::par_reduce(
+        x.len(),
+        0.0,
+        |s, e| x[s..e].iter().fold(0.0f64, |m, v| m.max(v.abs())),
+        f64::max,
+    )
+}
+
+/// Sum of entries.
+pub fn sum(x: &[f64]) -> f64 {
+    if x.len() < PAR_MIN {
+        return x.iter().sum();
+    }
+    par::par_reduce(
+        x.len(),
+        0.0,
+        |s, e| x[s..e].iter().sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 13) as f64 - 6.0).collect()
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let x = seq(1000);
+        let mut y = seq(1000);
+        let y0 = y.clone();
+        axpy(2.5, &x, &mut y);
+        for i in 0..1000 {
+            assert_eq!(y[i], y0[i] + 2.5 * x[i]);
+        }
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let x = vec![3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(sum(&x), 7.0);
+    }
+
+    #[test]
+    fn large_parallel_dot_deterministic() {
+        let n = 200_000;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64) / 100.0).collect();
+        crate::par::set_num_threads(4);
+        let d4 = dot(&x, &x);
+        crate::par::set_num_threads(4);
+        let d4b = dot(&x, &x);
+        crate::par::set_num_threads(0);
+        assert_eq!(d4, d4b, "same thread count must give identical bits");
+    }
+
+    #[test]
+    fn axpby_waxpy_pointwise() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, 5.0, 6.0];
+        let mut z = y.clone();
+        axpby(2.0, &x, 3.0, &mut z);
+        assert_eq!(z, vec![14.0, 19.0, 24.0]);
+        let mut w = vec![0.0; 3];
+        waxpy(-1.0, &x, &y, &mut w);
+        assert_eq!(w, vec![3.0, 3.0, 3.0]);
+        let mut p = vec![0.0; 3];
+        pointwise_mult(&x, &y, &mut p);
+        assert_eq!(p, vec![4.0, 10.0, 18.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Near-nullspace construction for smoothed aggregation: "we provide the
+//! six rigid-body modes" (§III-C of the paper) for the 3-component
+//! elasticity-like viscous block.
+
+use ptatin_la::dense::DenseMatrix;
+
+/// The six rigid-body modes (3 translations + 3 linearized rotations) of a
+/// 3-component vector field sampled at `coords`, as a `(3n) × 6` matrix.
+/// Rows of Dirichlet-constrained dofs are zeroed (`mask[i] == true`).
+pub fn rigid_body_modes(coords: &[[f64; 3]], mask: &[bool]) -> DenseMatrix {
+    let n = coords.len();
+    let mut b = DenseMatrix::zeros(3 * n, 6);
+    // Shift to the centroid for better conditioning of the local QR.
+    let mut c0 = [0.0f64; 3];
+    for c in coords {
+        for d in 0..3 {
+            c0[d] += c[d] / n as f64;
+        }
+    }
+    for (i, c) in coords.iter().enumerate() {
+        let (x, y, z) = (c[0] - c0[0], c[1] - c0[1], c[2] - c0[2]);
+        // Translations.
+        b.set(3 * i, 0, 1.0);
+        b.set(3 * i + 1, 1, 1.0);
+        b.set(3 * i + 2, 2, 1.0);
+        // Rotations about x, y, z: u = ω × r.
+        b.set(3 * i + 1, 3, -z);
+        b.set(3 * i + 2, 3, y);
+        b.set(3 * i, 4, z);
+        b.set(3 * i + 2, 4, -x);
+        b.set(3 * i, 5, -y);
+        b.set(3 * i + 1, 5, x);
+    }
+    if !mask.is_empty() {
+        assert_eq!(mask.len(), 3 * n);
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                for k in 0..6 {
+                    b.set(i, k, 0.0);
+                }
+            }
+        }
+    }
+    b
+}
+
+/// A single constant mode for scalar problems, as an `n × 1` matrix.
+pub fn constant_mode(n: usize) -> DenseMatrix {
+    let mut b = DenseMatrix::zeros(n, 1);
+    for i in 0..n {
+        b.set(i, 0, 1.0);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptatin_fem::assemble::{assemble_viscous, Q2QuadTables};
+    use ptatin_la::operator::LinearOperator;
+    use ptatin_mesh::StructuredMesh;
+
+    #[test]
+    fn rigid_modes_annihilated_by_viscous_operator() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let tables = Q2QuadTables::standard();
+        let eta = vec![1.0; mesh.num_elements() * tables.nqp()];
+        let a = assemble_viscous(&mesh, &tables, &eta);
+        let b = rigid_body_modes(&mesh.coords, &[]);
+        let n = a.nrows();
+        for k in 0..6 {
+            let x: Vec<f64> = (0..n).map(|i| b.get(i, k)).collect();
+            let mut y = vec![0.0; n];
+            a.apply(&x, &mut y);
+            let norm = ptatin_la::vec_ops::norm_inf(&y);
+            assert!(norm < 1e-10, "mode {k} not in nullspace: {norm}");
+        }
+    }
+
+    #[test]
+    fn masked_rows_are_zero() {
+        let coords = vec![[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]];
+        let mut mask = vec![false; 6];
+        mask[4] = true;
+        let b = rigid_body_modes(&coords, &mask);
+        for k in 0..6 {
+            assert_eq!(b.get(4, k), 0.0);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Material point advection through the FEM velocity field (Eq. (6):
+//! `DΦ/Dt = 0` — lithology rides with the flow).
+//!
+//! A second-order midpoint (RK2) scheme: interpolate the Q2 velocity at
+//! the point, step to the midpoint, re-interpolate, take the full step.
+//! Points are relocated after the step; points that exit the domain (e.g.
+//! through an outflow boundary) are flagged and can be culled — the
+//! behaviour §II-D prescribes ("permits material points to leave the
+//! domain if any outflow type boundary conditions are prescribed").
+
+use crate::locate::{locate_point, ElementLocator};
+use crate::points::MaterialPoints;
+use crate::projection::interpolate_velocity;
+use ptatin_mesh::StructuredMesh;
+
+/// Outcome of one advection step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdvectionStats {
+    /// Points that changed owning element.
+    pub relocated: usize,
+    /// Points that left the domain (flagged unlocated).
+    pub lost: usize,
+}
+
+/// Advect all points with velocity `v` (interleaved Q2 nodal field) over
+/// `dt` using RK2. Updates positions, owning elements and local
+/// coordinates in place.
+pub fn advect_rk2(
+    mesh: &StructuredMesh,
+    locator: &ElementLocator,
+    points: &mut MaterialPoints,
+    velocity: &[f64],
+    dt: f64,
+) -> AdvectionStats {
+    let mut stats = AdvectionStats::default();
+    for p in 0..points.len() {
+        let e0 = points.element[p];
+        if e0 == u32::MAX {
+            stats.lost += 1;
+            continue;
+        }
+        let e0 = e0 as usize;
+        let v1 = interpolate_velocity(mesh, velocity, e0, points.xi[p]);
+        let x0 = points.x[p];
+        let xmid = [
+            x0[0] + 0.5 * dt * v1[0],
+            x0[1] + 0.5 * dt * v1[1],
+            x0[2] + 0.5 * dt * v1[2],
+        ];
+        // Midpoint velocity (fall back to v1 if the midpoint left the
+        // domain, e.g. near a free surface).
+        let v2 = match locate_point(mesh, locator, xmid, Some(e0)) {
+            Some((em, xim)) => interpolate_velocity(mesh, velocity, em, xim),
+            None => v1,
+        };
+        let x1 = [
+            x0[0] + dt * v2[0],
+            x0[1] + dt * v2[1],
+            x0[2] + dt * v2[2],
+        ];
+        match locate_point(mesh, locator, x1, Some(e0)) {
+            Some((e1, xi1)) => {
+                points.x[p] = x1;
+                points.xi[p] = xi1;
+                if e1 != e0 {
+                    stats.relocated += 1;
+                }
+                points.element[p] = e1 as u32;
+            }
+            None => {
+                points.x[p] = x1;
+                points.element[p] = u32::MAX;
+                stats.lost += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Re-locate every point against (a possibly remeshed) `mesh` — required
+/// after each ALE mesh update, since ξ caches are mesh-dependent.
+pub fn relocate_all(
+    mesh: &StructuredMesh,
+    locator: &ElementLocator,
+    points: &mut MaterialPoints,
+) -> AdvectionStats {
+    let mut stats = AdvectionStats::default();
+    for p in 0..points.len() {
+        let hint = if points.element[p] == u32::MAX {
+            None
+        } else {
+            Some(points.element[p] as usize)
+        };
+        match locate_point(mesh, locator, points.x[p], hint) {
+            Some((e, xi)) => {
+                if points.element[p] != e as u32 {
+                    stats.relocated += 1;
+                }
+                points.element[p] = e as u32;
+                points.xi[p] = xi;
+            }
+            None => {
+                points.element[p] = u32::MAX;
+                stats.lost += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Reclaim points flagged unlocated by clamping them back inside the mesh
+/// bounding box (shrunk by `eps` times the box extent) and re-locating.
+///
+/// Appropriate for *closed* boundaries (free-slip walls): a point can only
+/// exit through them by time-discretization overshoot, so projecting it
+/// back is the physically consistent treatment. Points that still cannot
+/// be located stay flagged and can be culled (true outflow). Returns the
+/// number of points reclaimed.
+pub fn reclaim_lost(
+    mesh: &StructuredMesh,
+    locator: &ElementLocator,
+    points: &mut MaterialPoints,
+    eps: f64,
+) -> usize {
+    let (lo, hi) = mesh.bounding_box();
+    let mut margin = [0.0; 3];
+    for d in 0..3 {
+        margin[d] = eps * (hi[d] - lo[d]);
+    }
+    let mut reclaimed = 0;
+    for p in 0..points.len() {
+        if points.element[p] != u32::MAX {
+            continue;
+        }
+        let mut x = points.x[p];
+        for d in 0..3 {
+            x[d] = x[d].clamp(lo[d] + margin[d], hi[d] - margin[d]);
+        }
+        if let Some((e, xi)) = locate_point(mesh, locator, x, None) {
+            points.x[p] = x;
+            points.element[p] = e as u32;
+            points.xi[p] = xi;
+            reclaimed += 1;
+        }
+    }
+    reclaimed
+}
+
+/// Remove all points flagged unlocated; returns how many were culled.
+pub fn cull_lost(points: &mut MaterialPoints) -> usize {
+    let mut removed = 0;
+    let mut i = 0;
+    while i < points.len() {
+        if points.element[i] == u32::MAX {
+            points.swap_remove(i);
+            removed += 1;
+        } else {
+            i += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::seed_regular;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh() -> StructuredMesh {
+        StructuredMesh::new_box(4, 4, 4, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+    }
+
+    fn uniform_velocity(mesh: &StructuredMesh, v: [f64; 3]) -> Vec<f64> {
+        let mut out = vec![0.0; 3 * mesh.num_nodes()];
+        for n in 0..mesh.num_nodes() {
+            for d in 0..3 {
+                out[3 * n + d] = v[d];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_translation_is_exact() {
+        let mesh = mesh();
+        let locator = ElementLocator::new(&mesh);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut pts = seed_regular(&mesh, 2, 0.0, &mut rng, |_| 0);
+        let x_before = pts.x.clone();
+        let vel = uniform_velocity(&mesh, [0.05, -0.025, 0.01]);
+        let stats = advect_rk2(&mesh, &locator, &mut pts, &vel, 1.0);
+        assert_eq!(stats.lost, 0);
+        for (p, x0) in x_before.iter().enumerate() {
+            assert!((pts.x[p][0] - (x0[0] + 0.05)).abs() < 1e-12);
+            assert!((pts.x[p][1] - (x0[1] - 0.025)).abs() < 1e-12);
+            assert!((pts.x[p][2] - (x0[2] + 0.01)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rk2_second_order_on_rotation() {
+        // Rigid rotation about the domain centre in the x-y plane:
+        // u = ω × r. The Q2 space represents the linear velocity exactly,
+        // so the only error is the RK2 time discretization (O(dt³)/step).
+        let mesh = mesh();
+        let locator = ElementLocator::new(&mesh);
+        let omega = 1.0;
+        let mut vel = vec![0.0; 3 * mesh.num_nodes()];
+        for (n, c) in mesh.coords.iter().enumerate() {
+            vel[3 * n] = -omega * (c[1] - 0.5);
+            vel[3 * n + 1] = omega * (c[0] - 0.5);
+        }
+        let mut pts = MaterialPoints::default();
+        pts.push([0.7, 0.5, 0.5], 0, 0.0);
+        let _ = relocate_all(&mesh, &locator, &mut pts);
+        let dt = 0.05;
+        let steps = 20; // total angle = 1 rad
+        for _ in 0..steps {
+            let s = advect_rk2(&mesh, &locator, &mut pts, &vel, dt);
+            assert_eq!(s.lost, 0);
+        }
+        let theta: f64 = 1.0;
+        let expect = [
+            0.5 + 0.2 * theta.cos(),
+            0.5 + 0.2 * theta.sin(),
+            0.5,
+        ];
+        let err = ((pts.x[0][0] - expect[0]).powi(2) + (pts.x[0][1] - expect[1]).powi(2)).sqrt();
+        assert!(err < 2e-4, "rotation error {err}");
+        // Radius preserved to O(dt²) per unit time.
+        let r = ((pts.x[0][0] - 0.5).powi(2) + (pts.x[0][1] - 0.5).powi(2)).sqrt();
+        assert!((r - 0.2).abs() < 2e-4, "radius drift {}", (r - 0.2).abs());
+    }
+
+    #[test]
+    fn outflow_loses_points() {
+        let mesh = mesh();
+        let locator = ElementLocator::new(&mesh);
+        let mut pts = MaterialPoints::default();
+        pts.push([0.95, 0.5, 0.5], 0, 0.0);
+        pts.push([0.05, 0.5, 0.5], 0, 0.0);
+        let _ = relocate_all(&mesh, &locator, &mut pts);
+        let vel = uniform_velocity(&mesh, [0.2, 0.0, 0.0]);
+        let stats = advect_rk2(&mesh, &locator, &mut pts, &vel, 1.0);
+        assert_eq!(stats.lost, 1);
+        assert_eq!(cull_lost(&mut pts), 1);
+        assert_eq!(pts.len(), 1);
+        assert!((pts.x[0][0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reclaim_pulls_overshoot_back_inside() {
+        let mesh = mesh();
+        let locator = ElementLocator::new(&mesh);
+        let mut pts = MaterialPoints::default();
+        pts.push([1.001, 0.5, 0.5], 0, 0.0); // just past the wall
+        pts.push([0.5, -0.02, 0.5], 0, 0.0); // just below the base
+        pts.push([5.0, 5.0, 5.0], 0, 0.0); // far outside: stays lost
+        let _ = relocate_all(&mesh, &locator, &mut pts);
+        assert_eq!(pts.element[0], u32::MAX);
+        let n = reclaim_lost(&mesh, &locator, &mut pts, 1e-6);
+        assert_eq!(n, 3, "clamping pulls every point to the boundary");
+        // Everybody is inside the box afterwards.
+        for p in 0..pts.len() {
+            assert_ne!(pts.element[p], u32::MAX);
+            for d in 0..3 {
+                assert!((0.0..=1.0).contains(&pts.x[p][d]));
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_after_remesh() {
+        let mut mesh = mesh();
+        let locator = ElementLocator::new(&mesh);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts = seed_regular(&mesh, 2, 0.1, &mut rng, |_| 0);
+        // Raise the top surface by 10% and remesh.
+        let (nx, _, nz) = mesh.node_dims();
+        mesh.remesh_vertical(1, &vec![1.1; nx * nz]);
+        let locator2 = ElementLocator::new(&mesh);
+        let _ = locator;
+        let stats = relocate_all(&mesh, &locator2, &mut pts);
+        assert_eq!(stats.lost, 0, "all points must survive an upward remesh");
+        // ξ caches must be valid: reconstructing positions matches.
+        for p in 0..pts.len() {
+            let x = crate::projection::point_physical(
+                &mesh,
+                pts.element[p] as usize,
+                pts.xi[p],
+            );
+            for d in 0..3 {
+                assert!((x[d] - pts.x[p][d]).abs() < 1e-9);
+            }
+        }
+    }
+}

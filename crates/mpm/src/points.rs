@@ -1,0 +1,170 @@
+//! Material point storage (struct-of-arrays) and seeding.
+//!
+//! §II-C of the paper: "The rock lithology Φ is discretized by using a set
+//! of Lagrangian material points. The flow law and forcing term associated
+//! with a given lithology is evaluated at the position of each material
+//! point."
+
+use ptatin_mesh::StructuredMesh;
+use rand::Rng;
+
+/// Struct-of-arrays material point swarm.
+#[derive(Clone, Debug, Default)]
+pub struct MaterialPoints {
+    /// Physical position.
+    pub x: Vec<[f64; 3]>,
+    /// Lithology index Φ (into the model's material table).
+    pub lithology: Vec<u16>,
+    /// Accumulated plastic strain (history variable for strain softening).
+    pub plastic_strain: Vec<f64>,
+    /// Owning element (cache for point location; `u32::MAX` = unknown).
+    pub element: Vec<u32>,
+    /// Local (reference) coordinates within the owning element.
+    pub xi: Vec<[f64; 3]>,
+}
+
+impl MaterialPoints {
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, x: [f64; 3], lithology: u16, plastic_strain: f64) {
+        self.x.push(x);
+        self.lithology.push(lithology);
+        self.plastic_strain.push(plastic_strain);
+        self.element.push(u32::MAX);
+        self.xi.push([0.0; 3]);
+    }
+
+    /// Remove a point by swapping with the last one (O(1), order not
+    /// preserved).
+    pub fn swap_remove(&mut self, i: usize) {
+        self.x.swap_remove(i);
+        self.lithology.swap_remove(i);
+        self.plastic_strain.swap_remove(i);
+        self.element.swap_remove(i);
+        self.xi.swap_remove(i);
+    }
+
+    /// Move point `i` out, returning its full state.
+    pub fn extract(&self, i: usize) -> PointState {
+        PointState {
+            x: self.x[i],
+            lithology: self.lithology[i],
+            plastic_strain: self.plastic_strain[i],
+        }
+    }
+
+    pub fn insert(&mut self, p: PointState) {
+        self.push(p.x, p.lithology, p.plastic_strain);
+    }
+}
+
+/// A single material point's transportable state (the migration payload).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointState {
+    pub x: [f64; 3],
+    pub lithology: u16,
+    pub plastic_strain: f64,
+}
+
+/// Seed `np` points per element dimension (`np³` per element) on a regular
+/// lattice with optional uniform jitter (fraction of the sub-spacing).
+/// Lithology is assigned by the `classify` callback from the physical
+/// position.
+pub fn seed_regular<R: Rng, F: Fn([f64; 3]) -> u16>(
+    mesh: &StructuredMesh,
+    np: usize,
+    jitter: f64,
+    rng: &mut R,
+    classify: F,
+) -> MaterialPoints {
+    let mut pts = MaterialPoints::default();
+    let step = 2.0 / np as f64;
+    for e in 0..mesh.num_elements() {
+        let corners = mesh.element_corner_coords(e);
+        for c in 0..np {
+            for b in 0..np {
+                for a in 0..np {
+                    let mut xi = [
+                        -1.0 + step * (a as f64 + 0.5),
+                        -1.0 + step * (b as f64 + 0.5),
+                        -1.0 + step * (c as f64 + 0.5),
+                    ];
+                    if jitter > 0.0 {
+                        for d in &mut xi {
+                            *d += rng.gen_range(-jitter..jitter) * step;
+                            *d = d.clamp(-0.999, 0.999);
+                        }
+                    }
+                    let x = ptatin_fem::geometry::map_to_physical(&corners, xi);
+                    let lith = classify(x);
+                    pts.push(x, lith, 0.0);
+                    *pts.element.last_mut().unwrap() = e as u32;
+                    *pts.xi.last_mut().unwrap() = xi;
+                }
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeding_counts_and_positions() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = seed_regular(&mesh, 3, 0.0, &mut rng, |_| 0);
+        assert_eq!(pts.len(), mesh.num_elements() * 27);
+        let (lo, hi) = mesh.bounding_box();
+        for p in &pts.x {
+            for d in 0..3 {
+                assert!(p[d] > lo[d] && p[d] < hi[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_assigns_lithology() {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = seed_regular(&mesh, 2, 0.1, &mut rng, |x| u16::from(x[2] > 0.5));
+        assert!(pts.lithology.iter().any(|&l| l == 0));
+        assert!(pts.lithology.iter().any(|&l| l == 1));
+        for (p, &l) in pts.x.iter().zip(&pts.lithology) {
+            assert_eq!(l, u16::from(p[2] > 0.5));
+        }
+    }
+
+    #[test]
+    fn swap_remove_keeps_consistency() {
+        let mut pts = MaterialPoints::default();
+        pts.push([0.0; 3], 1, 0.5);
+        pts.push([1.0; 3], 2, 0.6);
+        pts.push([2.0; 3], 3, 0.7);
+        pts.swap_remove(0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts.lithology[0], 3);
+        assert_eq!(pts.x[0], [2.0; 3]);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let mut pts = MaterialPoints::default();
+        pts.push([0.5, 0.25, 0.75], 4, 1.5);
+        let s = pts.extract(0);
+        let mut other = MaterialPoints::default();
+        other.insert(s);
+        assert_eq!(other.extract(0), s);
+    }
+}

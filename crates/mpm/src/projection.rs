@@ -1,0 +1,339 @@
+//! Local L² projection of material-point properties onto the Q1 corner
+//! mesh (Eq. (12) of the paper) and interpolation to quadrature points
+//! (Eq. (13)): the bridge between Lagrangian points and the FEM
+//! coefficient fields.
+
+use crate::points::MaterialPoints;
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_fem::basis::q1_basis;
+use ptatin_fem::geometry::map_to_physical;
+use ptatin_mesh::StructuredMesh;
+
+/// Project per-point values onto the Q1 corner mesh:
+/// `f_i = Σ_p N_i(x_p) f_p / Σ_p N_i(x_p)` over the points in the support
+/// of node `i`. Nodes with no nearby points receive `fallback(i)`.
+pub fn project_to_corners<F, G>(
+    mesh: &StructuredMesh,
+    points: &MaterialPoints,
+    value: F,
+    fallback: G,
+) -> Vec<f64>
+where
+    F: Fn(usize) -> f64,
+    G: Fn(usize) -> f64,
+{
+    let nc = mesh.num_corners();
+    let mut num = vec![0.0f64; nc];
+    let mut den = vec![0.0f64; nc];
+    for p in 0..points.len() {
+        let e = points.element[p];
+        if e == u32::MAX {
+            continue; // unlocated point contributes nothing
+        }
+        let cids = mesh.element_corner_ids(e as usize);
+        let w = q1_basis(points.xi[p]);
+        let v = value(p);
+        for (k, &cid) in cids.iter().enumerate() {
+            num[cid] += w[k] * v;
+            den[cid] += w[k];
+        }
+    }
+    (0..nc)
+        .map(|i| {
+            if den[i] > 1e-12 {
+                num[i] / den[i]
+            } else {
+                fallback(i)
+            }
+        })
+        .collect()
+}
+
+/// Interpolate a Q1 corner field to the quadrature points of every element
+/// (Eq. (13)); output layout matches the coefficient arrays consumed by
+/// `ptatin-fem`/`ptatin-ops`: `element × nqp`.
+pub fn corners_to_quadrature(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    corner_field: &[f64],
+) -> Vec<f64> {
+    assert_eq!(corner_field.len(), mesh.num_corners());
+    let nqp = tables.nqp();
+    let mut out = vec![0.0; mesh.num_elements() * nqp];
+    // Q1 basis at the quadrature points, precomputed.
+    let basis_at_qp: Vec<[f64; 8]> = tables.quad.points.iter().map(|&p| q1_basis(p)).collect();
+    for e in 0..mesh.num_elements() {
+        let cids = mesh.element_corner_ids(e);
+        for q in 0..nqp {
+            let w = &basis_at_qp[q];
+            let mut v = 0.0;
+            for k in 0..8 {
+                v += w[k] * corner_field[cids[k]];
+            }
+            out[e * nqp + q] = v;
+        }
+    }
+    out
+}
+
+/// Geometric-mean variant of [`corners_to_quadrature`] for strictly
+/// positive fields spanning decades (viscosity): interpolates `log f`
+/// instead of `f`, avoiding arithmetic-average bias across 10⁹-contrast
+/// jumps.
+pub fn corners_to_quadrature_log(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    corner_field: &[f64],
+) -> Vec<f64> {
+    let logf: Vec<f64> = corner_field.iter().map(|&v| v.max(1e-300).ln()).collect();
+    let mut out = corners_to_quadrature(mesh, tables, &logf);
+    for v in &mut out {
+        *v = v.exp();
+    }
+    out
+}
+
+/// Restrict a corner field to a coarsened mesh by full weighting: each
+/// coarse corner averages its coincident fine corner and the neighbours
+/// within one fine cell (`[½,1,½]³` stencil, normalized). `log_space`
+/// averages geometrically — the right mean for viscosity, whose features
+/// (thin weak zones, inclusions) would otherwise alias away when they are
+/// only marginally resolved on the coarse grid.
+///
+/// This mirrors the paper's coefficient pipeline for rediscretized coarse
+/// operators: material-point properties are *locally averaged* onto every
+/// level, never point-sampled.
+pub fn restrict_corner_field(
+    fine: &StructuredMesh,
+    coarse: &StructuredMesh,
+    fine_field: &[f64],
+    log_space: bool,
+) -> Vec<f64> {
+    assert_eq!(fine.mx, 2 * coarse.mx);
+    assert_eq!(fine.my, 2 * coarse.my);
+    assert_eq!(fine.mz, 2 * coarse.mz);
+    assert_eq!(fine_field.len(), fine.num_corners());
+    let (fcx, fcy, fcz) = fine.corner_dims();
+    let (ccx, ccy, ccz) = coarse.corner_dims();
+    let value = |i: isize, j: isize, k: isize| -> Option<f64> {
+        if i < 0 || j < 0 || k < 0 {
+            return None;
+        }
+        let (i, j, k) = (i as usize, j as usize, k as usize);
+        if i >= fcx || j >= fcy || k >= fcz {
+            return None;
+        }
+        let v = fine_field[fine.corner_index(i, j, k)];
+        Some(if log_space { v.max(1e-300).ln() } else { v })
+    };
+    let mut out = Vec::with_capacity(coarse.num_corners());
+    for k in 0..ccz {
+        for j in 0..ccy {
+            for i in 0..ccx {
+                let (fi, fj, fk) = (2 * i as isize, 2 * j as isize, 2 * k as isize);
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for dk in -1isize..=1 {
+                    for dj in -1isize..=1 {
+                        for di in -1isize..=1 {
+                            if let Some(v) = value(fi + di, fj + dj, fk + dk) {
+                                let w = (2.0f64).powi(
+                                    -((di.abs() + dj.abs() + dk.abs()) as i32),
+                                );
+                                num += w * v;
+                                den += w;
+                            }
+                        }
+                    }
+                }
+                let mean = num / den;
+                out.push(if log_space { mean.exp() } else { mean });
+            }
+        }
+    }
+    out
+}
+
+/// Restrict a corner field to a coarsened mesh by injection (coarse corner
+/// `(i,j,k)` coincides with fine corner `(2i,2j,2k)`) — how coefficient
+/// fields follow the mesh hierarchy for rediscretized coarse operators.
+pub fn coarsen_corner_field(
+    fine: &StructuredMesh,
+    coarse: &StructuredMesh,
+    fine_field: &[f64],
+) -> Vec<f64> {
+    assert_eq!(fine.mx, 2 * coarse.mx);
+    assert_eq!(fine.my, 2 * coarse.my);
+    assert_eq!(fine.mz, 2 * coarse.mz);
+    assert_eq!(fine_field.len(), fine.num_corners());
+    let (ccx, ccy, ccz) = coarse.corner_dims();
+    let mut out = Vec::with_capacity(coarse.num_corners());
+    for k in 0..ccz {
+        for j in 0..ccy {
+            for i in 0..ccx {
+                out.push(fine_field[fine.corner_index(2 * i, 2 * j, 2 * k)]);
+            }
+        }
+    }
+    out
+}
+
+/// Interpolate the Q2 velocity field at a physical point inside element
+/// `e` with local coordinate `xi`.
+pub fn interpolate_velocity(
+    mesh: &StructuredMesh,
+    velocity: &[f64],
+    e: usize,
+    xi: [f64; 3],
+) -> [f64; 3] {
+    let basis = ptatin_fem::basis::q2_basis(xi);
+    let nodes = mesh.element_nodes(e);
+    let mut v = [0.0; 3];
+    for (i, &n) in nodes.iter().enumerate() {
+        let b = 3 * n;
+        for d in 0..3 {
+            v[d] += basis[i] * velocity[b + d];
+        }
+    }
+    v
+}
+
+/// Evaluate the physical coordinates of a point from its element/ξ cache.
+pub fn point_physical(mesh: &StructuredMesh, e: usize, xi: [f64; 3]) -> [f64; 3] {
+    let corners = mesh.element_corner_coords(e);
+    map_to_physical(&corners, xi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::seed_regular;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh() -> StructuredMesh {
+        StructuredMesh::new_box(3, 3, 3, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+    }
+
+    #[test]
+    fn projection_reproduces_constant_field() {
+        let mesh = mesh();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = seed_regular(&mesh, 2, 0.2, &mut rng, |_| 0);
+        let f = project_to_corners(&mesh, &pts, |_| 7.5, |_| f64::NAN);
+        for &v in &f {
+            assert!((v - 7.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_approximates_linear_field() {
+        let mesh = mesh();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = seed_regular(&mesh, 4, 0.0, &mut rng, |_| 0);
+        // Point value = linear function of position.
+        let vals: Vec<f64> = pts.x.iter().map(|p| 1.0 + 2.0 * p[0] - p[1]).collect();
+        let f = project_to_corners(&mesh, &pts, |p| vals[p], |_| f64::NAN);
+        for c in 0..mesh.num_corners() {
+            let xc = mesh.coords[mesh.corner_to_node(c)];
+            let expect = 1.0 + 2.0 * xc[0] - xc[1];
+            // Shepard-like weighting is not exact for linear fields; with a
+            // symmetric regular cloud interior nodes are accurate while
+            // boundary nodes see a one-sided cloud and are biased inward.
+            let on_boundary = (0..3).any(|d| xc[d] == 0.0 || xc[d] == 1.0);
+            let tol = if on_boundary { 0.6 } else { 0.05 };
+            assert!(
+                (f[c] - expect).abs() < tol,
+                "corner {c}: {} vs {}",
+                f[c],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_fills_empty_nodes() {
+        let mesh = mesh();
+        let pts = MaterialPoints::default(); // no points at all
+        let f = project_to_corners(&mesh, &pts, |_| 1.0, |i| i as f64);
+        for (i, &v) in f.iter().enumerate() {
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn quadrature_interpolation_exact_for_trilinear() {
+        let mesh = mesh();
+        let tables = Q2QuadTables::standard();
+        let lin = |x: [f64; 3]| 2.0 - x[0] + 3.0 * x[1] * 1.0 + 0.5 * x[2];
+        let corner_field: Vec<f64> = (0..mesh.num_corners())
+            .map(|c| lin(mesh.coords[mesh.corner_to_node(c)]))
+            .collect();
+        let qpf = corners_to_quadrature(&mesh, &tables, &corner_field);
+        for e in 0..mesh.num_elements() {
+            let corners = mesh.element_corner_coords(e);
+            for q in 0..tables.nqp() {
+                let x = map_to_physical(&corners, tables.quad.points[q]);
+                assert!(
+                    (qpf[e * tables.nqp() + q] - lin(x)).abs() < 1e-12,
+                    "element {e} qp {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_interpolation_preserves_positivity_and_contrast() {
+        let mesh = mesh();
+        let tables = Q2QuadTables::standard();
+        // Half the corners at 1e-6, half at 1e3 viscosity.
+        let corner_field: Vec<f64> = (0..mesh.num_corners())
+            .map(|c| {
+                if mesh.coords[mesh.corner_to_node(c)][0] < 0.5 {
+                    1e-6
+                } else {
+                    1e3
+                }
+            })
+            .collect();
+        let qpf = corners_to_quadrature_log(&mesh, &tables, &corner_field);
+        for &v in &qpf {
+            assert!(v > 0.0);
+            assert!((1e-7..=1e4).contains(&v));
+        }
+        // Geometric mean at the interface, not arithmetic (≈ 500).
+        let has_intermediate = qpf.iter().any(|&v| (1e-3..=1.0).contains(&v));
+        assert!(has_intermediate, "log-interp should produce geometric means");
+    }
+
+    #[test]
+    fn coarsen_field_injects() {
+        let fine = StructuredMesh::new_box(4, 4, 4, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let coarse = fine.coarsen();
+        let ff: Vec<f64> = (0..fine.num_corners()).map(|i| i as f64).collect();
+        let cf = coarsen_corner_field(&fine, &coarse, &ff);
+        assert_eq!(cf.len(), coarse.num_corners());
+        assert_eq!(cf[0], ff[0]);
+        // Last coarse corner = last fine corner.
+        assert_eq!(*cf.last().unwrap(), *ff.last().unwrap());
+    }
+
+    #[test]
+    fn velocity_interpolation_quadratic_exact() {
+        let mesh = mesh();
+        let nu = 3 * mesh.num_nodes();
+        let mut vel = vec![0.0; nu];
+        for (n, c) in mesh.coords.iter().enumerate() {
+            vel[3 * n] = c[0] * c[0]; // Q2 exactly representable
+            vel[3 * n + 1] = c[1];
+            vel[3 * n + 2] = -2.0 * c[2] * c[0];
+        }
+        let e = 13; // central element
+        let xi = [0.3, -0.4, 0.6];
+        let x = point_physical(&mesh, e, xi);
+        let v = interpolate_velocity(&mesh, &vel, e, xi);
+        assert!((v[0] - x[0] * x[0]).abs() < 1e-12);
+        assert!((v[1] - x[1]).abs() < 1e-12);
+        assert!((v[2] + 2.0 * x[2] * x[0]).abs() < 1e-12);
+    }
+}

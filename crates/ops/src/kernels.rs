@@ -1,0 +1,217 @@
+//! Shared pieces of the matrix-free element kernels: colour-parallel
+//! scatter, geometry evaluation, and the (Picard or Newton) stress update.
+
+use crate::data::{NewtonData, ViscousOpData, NQP};
+use ptatin_fem::basis::q1_grad;
+use ptatin_la::dense::inv3;
+use ptatin_la::par;
+
+/// Q1 geometry gradients at the 27 quadrature points, precomputed once.
+pub fn q1_grad_tables(points: &[[f64; 3]]) -> Vec<[[f64; 3]; 8]> {
+    points.iter().map(|&p| q1_grad(p)).collect()
+}
+
+/// Shared-mutable output vector for colour-scheduled element scatters.
+///
+/// # Safety contract
+/// Callers must guarantee that concurrent writers touch disjoint index
+/// sets. The 8-colour element schedule in [`ViscousOpData::colors`]
+/// provides exactly this: two elements of the same colour never share a
+/// node, hence never a dof.
+pub struct ColorScatter<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [f64]>,
+}
+
+unsafe impl Sync for ColorScatter<'_> {}
+unsafe impl Send for ColorScatter<'_> {}
+
+impl<'a> ColorScatter<'a> {
+    pub fn new(data: &'a mut [f64]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Add `v` to entry `i`.
+    ///
+    /// # Safety
+    /// `i < len` and no concurrent writer may target the same `i`
+    /// (guaranteed by the colour schedule).
+    #[inline]
+    pub unsafe fn add(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len);
+        unsafe {
+            *self.ptr.add(i) += v;
+        }
+    }
+}
+
+/// Run `body(element)` over all elements, colour by colour; elements within
+/// one colour run in parallel (they share no dofs).
+pub fn for_each_element_colored<F>(data: &ViscousOpData, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    for color in &data.colors {
+        par::par_ranges(color.len(), |_, s, e| {
+            for &el in &color[s..e] {
+                body(el as usize);
+            }
+        });
+    }
+}
+
+/// Geometry at one quadrature point computed from the 8 corner coordinates:
+/// returns (`Jinv` with `Jinv[d][l] = ∂ξ_d/∂x_l`, `w·det J`).
+#[inline]
+pub fn qp_jacobian(
+    corners: &[[f64; 3]; 8],
+    q1g: &[[f64; 3]; 8],
+    w: f64,
+) -> ([[f64; 3]; 3], f64) {
+    let mut j = [[0.0f64; 3]; 3];
+    for (c, corner) in corners.iter().enumerate() {
+        let g = q1g[c];
+        for i in 0..3 {
+            j[i][0] += corner[i] * g[0];
+            j[i][1] += corner[i] * g[1];
+            j[i][2] += corner[i] * g[2];
+        }
+    }
+    let (inv, det) = inv3(&j);
+    debug_assert!(det > 0.0, "inverted element in matrix-free kernel");
+    (inv, w * det)
+}
+
+/// Weighted deviatoric stress: `σ = 2η D` (Picard) plus the Newton rank-one
+/// term `2η′ (D₀ : D) D₀` when Newton data is present. `gradu` is the full
+/// velocity gradient; the result is multiplied by `scale` (usually `w·|J|`).
+#[inline]
+pub fn weighted_stress(
+    gradu: &[[f64; 3]; 3],
+    eta: f64,
+    newton: Option<(&NewtonData, usize)>,
+    scale: f64,
+) -> [[f64; 3]; 3] {
+    // D = sym(∇u)
+    let d = [
+        [
+            gradu[0][0],
+            0.5 * (gradu[0][1] + gradu[1][0]),
+            0.5 * (gradu[0][2] + gradu[2][0]),
+        ],
+        [
+            0.5 * (gradu[1][0] + gradu[0][1]),
+            gradu[1][1],
+            0.5 * (gradu[1][2] + gradu[2][1]),
+        ],
+        [
+            0.5 * (gradu[2][0] + gradu[0][2]),
+            0.5 * (gradu[2][1] + gradu[1][2]),
+            gradu[2][2],
+        ],
+    ];
+    let c = 2.0 * eta * scale;
+    let mut sigma = [
+        [c * d[0][0], c * d[0][1], c * d[0][2]],
+        [c * d[1][0], c * d[1][1], c * d[1][2]],
+        [c * d[2][0], c * d[2][1], c * d[2][2]],
+    ];
+    if let Some((nd, idx)) = newton {
+        let ep = nd.eta_prime[idx];
+        if ep != 0.0 {
+            let d0 = &nd.d_sym[idx]; // [xx,yy,zz,yz,xz,xy]
+            // D₀ : D with symmetric storage.
+            let dd = d0[0] * d[0][0]
+                + d0[1] * d[1][1]
+                + d0[2] * d[2][2]
+                + 2.0 * (d0[3] * d[1][2] + d0[4] * d[0][2] + d0[5] * d[0][1]);
+            let f = 2.0 * ep * dd * scale;
+            sigma[0][0] += f * d0[0];
+            sigma[1][1] += f * d0[1];
+            sigma[2][2] += f * d0[2];
+            sigma[1][2] += f * d0[3];
+            sigma[2][1] += f * d0[3];
+            sigma[0][2] += f * d0[4];
+            sigma[2][0] += f * d0[4];
+            sigma[0][1] += f * d0[5];
+            sigma[1][0] += f * d0[5];
+        }
+    }
+    sigma
+}
+
+/// Flatten the qp index helper: quadrature index of element `e`, point `q`.
+#[inline]
+pub fn qp_index(e: usize, q: usize) -> usize {
+    e * NQP + q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_picard_is_2eta_d() {
+        let gradu = [[1.0, 2.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, 0.0]];
+        let s = weighted_stress(&gradu, 3.0, None, 1.0);
+        // D01 = 1.0 → σ01 = 6.0; σ00 = 6.0; σ11 = -6.0.
+        assert!((s[0][0] - 6.0).abs() < 1e-14);
+        assert!((s[0][1] - 6.0).abs() < 1e-14);
+        assert!((s[1][1] + 6.0).abs() < 1e-14);
+        assert_eq!(s[0][1], s[1][0]);
+    }
+
+    #[test]
+    fn stress_newton_adds_rank_one_term() {
+        let nd = NewtonData {
+            eta_prime: vec![0.5],
+            d_sym: vec![[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]],
+        };
+        let gradu = [[2.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]];
+        let s = weighted_stress(&gradu, 1.0, Some((&nd, 0)), 1.0);
+        // Picard: 2*1*2 = 4 on xx. Newton: D0:D = 2, term = 2*0.5*2*1 = 2.
+        assert!((s[0][0] - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn qp_jacobian_unit_cube() {
+        let corners = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 1.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
+        let g = q1_grad([0.3, -0.2, 0.7]);
+        let (jinv, wdet) = qp_jacobian(&corners, &g, 2.0);
+        assert!((wdet - 2.0 * 0.125).abs() < 1e-14);
+        for d in 0..3 {
+            for l in 0..3 {
+                let expect = if d == l { 2.0 } else { 0.0 };
+                assert!((jinv[d][l] - expect).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn color_scatter_accumulates() {
+        let mut v = vec![0.0; 4];
+        {
+            let s = ColorScatter::new(&mut v);
+            unsafe {
+                s.add(0, 1.0);
+                s.add(0, 2.0);
+                s.add(3, -1.0);
+            }
+        }
+        assert_eq!(v, vec![3.0, 0.0, 0.0, -1.0]);
+    }
+}

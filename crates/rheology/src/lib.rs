@@ -1,0 +1,230 @@
+//! `ptatin-rheology` — effective viscosity and density laws (§II-A, §V of
+//! the paper): per-lithology flow laws combining Arrhenius-type
+//! temperature/strain-rate-dependent creep with a Drucker–Prager stress
+//! limiter parametrizing brittle behaviour, plus Boussinesq buoyancy.
+//!
+//! Each lithology Φ carries one [`Material`]; [`Material::effective_viscosity`]
+//! returns both η and η′ = ∂η/∂I₂ — the scalar that turns the Picard
+//! operator into the Newton operator (§III-A: the tensor coefficient
+//! `η I + η′ D(u) ⊗ D(u)`).
+
+pub mod material;
+
+pub use material::{DruckerPrager, Material, MaterialTable, ViscosityEval, ViscousLaw};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_difference_eta_prime(m: &Material, i2: f64, t: f64, p: f64) -> f64 {
+        let h = i2 * 1e-7;
+        let ep = m.effective_viscosity((i2 + h).sqrt(), t, p, 0.0).eta;
+        let em = m.effective_viscosity((i2 - h).sqrt(), t, p, 0.0).eta;
+        (ep - em) / (2.0 * h)
+    }
+
+    #[test]
+    fn constant_law() {
+        let m = Material::constant("test", 1000.0, 5.0);
+        let e = m.effective_viscosity(1.0, 0.0, 0.0, 0.0);
+        assert_eq!(e.eta, 5.0);
+        assert_eq!(e.eta_prime, 0.0);
+        assert!(!e.yielded);
+        assert_eq!(m.density(0.0), 1000.0);
+    }
+
+    #[test]
+    fn arrhenius_decreases_with_temperature() {
+        let m = Material {
+            name: "mantle".into(),
+            rho0: 3300.0,
+            thermal_expansivity: 3e-5,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Arrhenius {
+                prefactor: 1.0,
+                stress_exponent: 3.5,
+                activation: 10.0,
+            },
+            plasticity: None,
+            eta_min: 1e-30,
+            eta_max: 1e30,
+        };
+        let cold = m.effective_viscosity((1e-2_f64).sqrt(), 0.1, 0.0, 0.0).eta;
+        let hot = m.effective_viscosity((1e-2_f64).sqrt(), 1.0, 0.0, 0.0).eta;
+        assert!(cold > hot, "{cold} vs {hot}");
+    }
+
+    #[test]
+    fn shear_thinning_eta_prime_negative_and_accurate() {
+        let m = Material {
+            name: "powerlaw".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Arrhenius {
+                prefactor: 2.0,
+                stress_exponent: 3.0,
+                activation: 0.0,
+            },
+            plasticity: None,
+            eta_min: 1e-12,
+            eta_max: 1e12,
+        };
+        let i2: f64 = 0.7;
+        let e = m.effective_viscosity(i2.sqrt(), 1.0, 0.0, 0.0);
+        assert!(e.eta_prime < 0.0, "shear thinning must have η' < 0");
+        let fd = finite_difference_eta_prime(&m, i2, 1.0, 0.0);
+        assert!(
+            (e.eta_prime - fd).abs() < 1e-5 * fd.abs().max(1e-10),
+            "{} vs fd {}",
+            e.eta_prime,
+            fd
+        );
+    }
+
+    #[test]
+    fn drucker_prager_limits_stress() {
+        let m = Material {
+            name: "crust".into(),
+            rho0: 2700.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: 1e6 },
+            plasticity: Some(DruckerPrager {
+                cohesion: 2.0,
+                friction_angle: 30f64.to_radians(),
+                cohesion_softened: 2.0,
+                friction_softened: 30f64.to_radians(),
+                softening_strain: (0.0, 1.0),
+                tension_cutoff: 0.0,
+            }),
+            eta_min: 1e-3,
+            eta_max: 1e9,
+        };
+        // High strain rate → plastic branch active, stress capped at τ_y.
+        let eps = 1.0;
+        let e = m.effective_viscosity(eps, 0.0, 10.0, 0.0);
+        assert!(e.yielded);
+        let tau_y = 2.0 * 30f64.to_radians().cos() + 10.0 * 30f64.to_radians().sin();
+        let stress = 2.0 * e.eta * eps;
+        assert!((stress - tau_y).abs() < 1e-10, "{stress} vs {tau_y}");
+        // Low strain rate → viscous branch.
+        let e2 = m.effective_viscosity(1e-9, 0.0, 10.0, 0.0);
+        assert!(!e2.yielded);
+        assert_eq!(e2.eta, 1e6);
+    }
+
+    #[test]
+    fn plastic_eta_prime_matches_finite_difference() {
+        let m = Material {
+            name: "crust".into(),
+            rho0: 2700.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: 1e8 },
+            plasticity: Some(DruckerPrager {
+                cohesion: 1.0,
+                friction_angle: 0.5,
+                cohesion_softened: 1.0,
+                friction_softened: 0.5,
+                softening_strain: (0.0, 1.0),
+                tension_cutoff: 0.0,
+            }),
+            eta_min: 1e-6,
+            eta_max: 1e12,
+        };
+        let i2: f64 = 0.3;
+        let e = m.effective_viscosity(i2.sqrt(), 0.0, 5.0, 0.0);
+        assert!(e.yielded);
+        let fd = finite_difference_eta_prime(&m, i2, 0.0, 5.0);
+        assert!(
+            (e.eta_prime - fd).abs() < 1e-4 * fd.abs(),
+            "{} vs {}",
+            e.eta_prime,
+            fd
+        );
+    }
+
+    #[test]
+    fn softening_weakens_yield_envelope() {
+        let dp = DruckerPrager {
+            cohesion: 10.0,
+            friction_angle: 0.6,
+            cohesion_softened: 2.0,
+            friction_softened: 0.2,
+            softening_strain: (0.1, 1.1),
+            tension_cutoff: 0.0,
+        };
+        let m = Material {
+            name: "softening".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: 1e9 },
+            plasticity: Some(dp),
+            eta_min: 1e-9,
+            eta_max: 1e12,
+        };
+        let fresh = m.effective_viscosity(1.0, 0.0, 1.0, 0.0).eta;
+        let half = m.effective_viscosity(1.0, 0.0, 1.0, 0.6).eta;
+        let full = m.effective_viscosity(1.0, 0.0, 1.0, 5.0).eta;
+        assert!(fresh > half && half > full, "{fresh} {half} {full}");
+        // Beyond full softening the envelope stops degrading.
+        let beyond = m.effective_viscosity(1.0, 0.0, 1.0, 50.0).eta;
+        assert_eq!(full, beyond);
+    }
+
+    #[test]
+    fn bounds_clamp_and_kill_derivative() {
+        let m = Material {
+            name: "clamped".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Arrhenius {
+                prefactor: 1.0,
+                stress_exponent: 5.0,
+                activation: 0.0,
+            },
+            plasticity: None,
+            eta_min: 0.5,
+            eta_max: 2.0,
+        };
+        // Tiny strain rate → huge power-law viscosity → clamped at max.
+        let hi = m.effective_viscosity(1e-12, 1.0, 0.0, 0.0);
+        assert_eq!(hi.eta, 2.0);
+        assert_eq!(hi.eta_prime, 0.0, "clamped viscosity is insensitive");
+        let lo = m.effective_viscosity(1e12, 1.0, 0.0, 0.0);
+        assert_eq!(lo.eta, 0.5);
+        assert_eq!(lo.eta_prime, 0.0);
+    }
+
+    #[test]
+    fn boussinesq_density() {
+        let m = Material {
+            name: "rock".into(),
+            rho0: 3000.0,
+            thermal_expansivity: 1e-4,
+            reference_temperature: 273.0,
+            viscous: ViscousLaw::Constant { eta: 1.0 },
+            plasticity: None,
+            eta_min: 0.1,
+            eta_max: 10.0,
+        };
+        assert_eq!(m.density(273.0), 3000.0);
+        let hot = m.density(1273.0);
+        assert!((hot - 3000.0 * (1.0 - 1e-4 * 1000.0)).abs() < 1e-9);
+        assert!(hot < 3000.0);
+    }
+
+    #[test]
+    fn material_table_lookup() {
+        let table = MaterialTable::new(vec![
+            Material::constant("a", 1.0, 1.0),
+            Material::constant("b", 2.0, 10.0),
+        ]);
+        assert_eq!(table.get(0).name, "a");
+        assert_eq!(table.get(1).rho0, 2.0);
+        assert_eq!(table.len(), 2);
+    }
+}

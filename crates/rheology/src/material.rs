@@ -1,0 +1,208 @@
+//! Material definitions: viscous flow laws, Drucker–Prager stress limiter
+//! with strain softening, Boussinesq density.
+
+/// Viscous (creep) part of the effective viscosity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViscousLaw {
+    /// Newtonian: η = const.
+    Constant { eta: f64 },
+    /// Arrhenius-type power-law creep (dimensional or scaled):
+    /// `η = prefactor · ε̇_II^((1-n)/n) · exp(activation / (n·T̃))`
+    /// where `T̃ = max(T, T_floor)` guards the cold limit. The `activation`
+    /// constant may fold pressure dependence (`(E + P·V)/R`) in — the
+    /// pressure-aware evaluation path passes it through
+    /// [`Material::effective_viscosity`].
+    Arrhenius {
+        prefactor: f64,
+        stress_exponent: f64,
+        activation: f64,
+    },
+}
+
+/// Drucker–Prager yield envelope with linear strain softening:
+/// `τ_y = C(ε_p) cos φ(ε_p) + max(P, cutoff) sin φ(ε_p)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DruckerPrager {
+    pub cohesion: f64,
+    pub friction_angle: f64,
+    /// Fully-softened values reached at `softening_strain.1`.
+    pub cohesion_softened: f64,
+    pub friction_softened: f64,
+    /// `(onset, complete)` accumulated plastic strain for softening.
+    pub softening_strain: (f64, f64),
+    /// Pressure floor in the envelope (tension cutoff).
+    pub tension_cutoff: f64,
+}
+
+impl DruckerPrager {
+    /// Softened (cohesion, friction angle) at plastic strain `eps_p`.
+    pub fn softened(&self, eps_p: f64) -> (f64, f64) {
+        let (s0, s1) = self.softening_strain;
+        let t = if eps_p <= s0 {
+            0.0
+        } else if eps_p >= s1 {
+            1.0
+        } else {
+            (eps_p - s0) / (s1 - s0)
+        };
+        (
+            self.cohesion + t * (self.cohesion_softened - self.cohesion),
+            self.friction_angle + t * (self.friction_softened - self.friction_angle),
+        )
+    }
+
+    /// Yield stress at pressure `p` and plastic strain `eps_p`.
+    pub fn yield_stress(&self, p: f64, eps_p: f64) -> f64 {
+        let (c, phi) = self.softened(eps_p);
+        c * phi.cos() + p.max(self.tension_cutoff) * phi.sin()
+    }
+}
+
+/// Result of an effective-viscosity evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViscosityEval {
+    /// Effective shear viscosity η (clamped to the material bounds).
+    pub eta: f64,
+    /// `∂η/∂I₂` of the *active branch* (0 when the bound clamp is active)
+    /// — the Newton coefficient of §III-A.
+    pub eta_prime: f64,
+    /// Whether the Drucker–Prager limiter is the active branch.
+    pub yielded: bool,
+}
+
+/// One lithology's full constitutive description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Material {
+    pub name: String,
+    /// Reference density (Boussinesq).
+    pub rho0: f64,
+    pub thermal_expansivity: f64,
+    pub reference_temperature: f64,
+    pub viscous: ViscousLaw,
+    pub plasticity: Option<DruckerPrager>,
+    pub eta_min: f64,
+    pub eta_max: f64,
+}
+
+/// Temperature floor guarding the Arrhenius exponential.
+const T_FLOOR: f64 = 1e-6;
+/// Strain-rate invariant floor (cold/static initial states).
+const I2_FLOOR: f64 = 1e-32;
+
+impl Material {
+    /// Simple constant-viscosity material (tests, sinker benchmarks).
+    pub fn constant(name: &str, rho0: f64, eta: f64) -> Self {
+        Self {
+            name: name.into(),
+            rho0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta },
+            plasticity: None,
+            eta_min: eta * 1e-12,
+            eta_max: eta * 1e12,
+        }
+    }
+
+    /// Boussinesq density: `ρ = ρ₀ (1 − α (T − T_ref))`.
+    pub fn density(&self, temperature: f64) -> f64 {
+        self.rho0 * (1.0 - self.thermal_expansivity * (temperature - self.reference_temperature))
+    }
+
+    /// Effective viscosity and its strain-rate sensitivity.
+    ///
+    /// * `eps_ii = √I₂` — square root of the second invariant of `D(u)`,
+    /// * `temperature`, `pressure` — state at the evaluation point,
+    /// * `plastic_strain` — accumulated history variable (softening).
+    ///
+    /// ```
+    /// use ptatin_rheology::Material;
+    /// let rock = Material::constant("ambient", 1000.0, 1e21);
+    /// let ev = rock.effective_viscosity(1e-15, 300.0, 1e8, 0.0);
+    /// assert_eq!(ev.eta, 1e21);
+    /// assert!(!ev.yielded);
+    /// ```
+    pub fn effective_viscosity(
+        &self,
+        eps_ii: f64,
+        temperature: f64,
+        pressure: f64,
+        plastic_strain: f64,
+    ) -> ViscosityEval {
+        let i2 = (eps_ii * eps_ii).max(I2_FLOOR);
+        // Viscous branch.
+        let (eta_v, eta_v_prime) = match &self.viscous {
+            ViscousLaw::Constant { eta } => (*eta, 0.0),
+            ViscousLaw::Arrhenius {
+                prefactor,
+                stress_exponent,
+                activation,
+            } => {
+                let n = *stress_exponent;
+                let t = temperature.max(T_FLOOR);
+                // η = A · I₂^((1-n)/(2n)) · exp(act/(n·T))
+                let expo = (1.0 - n) / (2.0 * n);
+                let eta = prefactor * i2.powf(expo) * (activation / (n * t)).exp();
+                // dη/dI₂ = η · expo / I₂  (≤ 0 for shear-thinning n > 1)
+                (eta, eta * expo / i2)
+            }
+        };
+        // Plastic branch: η_p = τ_y / (2 √I₂); dη_p/dI₂ = −η_p / (2 I₂).
+        let mut eta = eta_v;
+        let mut eta_prime = eta_v_prime;
+        let mut yielded = false;
+        if let Some(dp) = &self.plasticity {
+            let tau_y = dp.yield_stress(pressure, plastic_strain);
+            let eta_p = tau_y / (2.0 * i2.sqrt());
+            if eta_p < eta {
+                eta = eta_p;
+                eta_prime = -eta_p / (2.0 * i2);
+                yielded = true;
+            }
+        }
+        // Bounds clamp.
+        if eta <= self.eta_min {
+            return ViscosityEval {
+                eta: self.eta_min,
+                eta_prime: 0.0,
+                yielded,
+            };
+        }
+        if eta >= self.eta_max {
+            return ViscosityEval {
+                eta: self.eta_max,
+                eta_prime: 0.0,
+                yielded,
+            };
+        }
+        ViscosityEval {
+            eta,
+            eta_prime,
+            yielded,
+        }
+    }
+}
+
+/// Lithology-indexed material table (Φ → material).
+#[derive(Clone, Debug, Default)]
+pub struct MaterialTable {
+    materials: Vec<Material>,
+}
+
+impl MaterialTable {
+    pub fn new(materials: Vec<Material>) -> Self {
+        Self { materials }
+    }
+
+    pub fn get(&self, lithology: u16) -> &Material {
+        &self.materials[lithology as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.materials.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.materials.is_empty()
+    }
+}

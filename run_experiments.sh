@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper at full (laptop) scale.
+# Outputs go to output/*.csv and output/*.log.
+set -x
+mkdir -p output
+for b in table1 fig1_sinker_field fig2_robustness table2_scaling table3_efficiency table4_comparison fig3_rift_snapshot fig4_rift_iterations; do
+  cargo run --release -p ptatin-bench --bin $b > output/$b.log 2>&1 || echo "FAILED: $b" >> output/failures.log
+done
+echo ALL DONE

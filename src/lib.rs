@@ -1,0 +1,34 @@
+//! **pTatin3D-rs** — a from-scratch Rust reproduction of
+//! *"pTatin3D: High-Performance Methods for Long-Term Lithospheric
+//! Dynamics"* (May, Brown & Le Pourhiet, SC 2014).
+//!
+//! A geodynamics modeling package combining the material-point method for
+//! tracking rock composition and history with a mixed Q2–P1disc finite
+//! element discretization of heterogeneous, incompressible visco-plastic
+//! Stokes flow, solved by flexible Krylov methods with a hybrid
+//! geometric/algebraic multigrid preconditioner whose finest levels are
+//! applied matrix-free with tensor-product (sum-factorized) kernels.
+//!
+//! This facade re-exports the subsystem crates:
+//!
+//! * [`la`] — vectors, CSR matrices, Krylov solvers, smoothers (PETSc-like),
+//! * [`mesh`] — structured deformable hex meshes, hierarchies, decomposition,
+//! * [`fem`] — Q2–P1disc element kernels, assembly, BCs, SUPG energy,
+//! * [`ops`] — Asmb / MF / Tensor / TensorC operator applications (Table I),
+//! * [`mg`] — geometric multigrid + smoothed-aggregation AMG,
+//! * [`mpm`] — material points: location, projection, advection, migration,
+//! * [`rheology`] — Arrhenius creep, Drucker–Prager plasticity, Boussinesq,
+//! * [`core`] — the coupled solvers, nonlinear drivers, models (sinker, rift).
+//!
+//! See `examples/quickstart.rs` for the 60-second tour, DESIGN.md for the
+//! architecture and experiment index, and EXPERIMENTS.md for the
+//! paper-vs-measured reproduction results.
+
+pub use ptatin_core as core;
+pub use ptatin_fem as fem;
+pub use ptatin_la as la;
+pub use ptatin_mesh as mesh;
+pub use ptatin_mg as mg;
+pub use ptatin_mpm as mpm;
+pub use ptatin_ops as ops;
+pub use ptatin_rheology as rheology;

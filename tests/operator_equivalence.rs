@@ -1,0 +1,169 @@
+//! Cross-crate integration: the four operator applications of §III-D must
+//! be bit-for-bit interchangeable inside the solver stack — same action,
+//! same diagonal, same Krylov trajectory on the same problem.
+
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_fem::{DirichletBc, VelocityBcBuilder};
+use ptatin_la::krylov::{cg, KrylovConfig};
+use ptatin_la::operator::LinearOperator;
+use ptatin_la::JacobiPc;
+use ptatin_mesh::StructuredMesh;
+use ptatin_ops::{build_viscous_operator, OperatorKind, NQP};
+
+fn deformed_mesh() -> StructuredMesh {
+    let mut mesh = StructuredMesh::new_box(3, 2, 3, [0.0, 1.5], [0.0, 1.0], [0.0, 1.2]);
+    mesh.deform(|c| {
+        [
+            c[0] + 0.04 * (3.1 * c[1]).sin() * c[2],
+            c[1] + 0.05 * (2.3 * c[2]).cos() * c[0],
+            c[2] - 0.03 * c[0] * c[1],
+        ]
+    });
+    mesh
+}
+
+fn wild_eta(nel: usize) -> Vec<f64> {
+    (0..nel * NQP)
+        .map(|i| 10f64.powf(((i * 37) % 9) as f64 - 4.0))
+        .collect()
+}
+
+fn bc(mesh: &StructuredMesh) -> DirichletBc {
+    VelocityBcBuilder::new(mesh)
+        .free_slip(0, true)
+        .no_slip(1, true)
+        .component(2, false, 2, 0.5)
+        .build()
+}
+
+const KINDS: [OperatorKind; 4] = [
+    OperatorKind::Assembled,
+    OperatorKind::MatrixFree,
+    OperatorKind::Tensor,
+    OperatorKind::TensorC,
+];
+
+#[test]
+fn actions_agree_with_9_decade_viscosity_and_mixed_bc() {
+    let mesh = deformed_mesh();
+    let eta = wild_eta(mesh.num_elements());
+    let bc = bc(&mesh);
+    let ops: Vec<_> = KINDS
+        .iter()
+        .map(|&k| build_viscous_operator(k, &mesh, eta.clone(), &bc))
+        .collect();
+    let n = ops[0].nrows();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 97) % 31) as f64 / 15.0 - 1.0).collect();
+    let mut yref = vec![0.0; n];
+    ops[0].apply(&x, &mut yref);
+    let scale = 1.0 + yref.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    for (op, kind) in ops.iter().zip(&KINDS).skip(1) {
+        let mut y = vec![0.0; n];
+        op.apply(&x, &mut y);
+        for i in 0..n {
+            assert!(
+                (y[i] - yref[i]).abs() < 1e-9 * scale,
+                "{:?} differs at dof {i}: {} vs {}",
+                kind,
+                y[i],
+                yref[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn diagonals_agree() {
+    let mesh = deformed_mesh();
+    let eta = wild_eta(mesh.num_elements());
+    let bc = bc(&mesh);
+    let ops: Vec<_> = KINDS
+        .iter()
+        .map(|&k| build_viscous_operator(k, &mesh, eta.clone(), &bc))
+        .collect();
+    let dref = ops[0].diagonal().unwrap();
+    for (op, kind) in ops.iter().zip(&KINDS).skip(1) {
+        let d = op.diagonal().unwrap();
+        for i in 0..d.len() {
+            assert!(
+                (d[i] - dref[i]).abs() < 1e-9 * (1.0 + dref[i].abs()),
+                "{kind:?} diagonal differs at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn krylov_iteration_counts_identical_across_kinds() {
+    // Same operator action → same CG trajectory (up to roundoff): the
+    // iteration counts must match exactly on a well-conditioned solve.
+    let mesh = deformed_mesh();
+    let eta = vec![1.0; mesh.num_elements() * NQP];
+    let bc = VelocityBcBuilder::new(&mesh)
+        .no_slip(0, true)
+        .no_slip(0, false)
+        .no_slip(1, true)
+        .no_slip(1, false)
+        .no_slip(2, true)
+        .no_slip(2, false)
+        .build();
+    let mut counts = Vec::new();
+    for &k in &KINDS {
+        let op = build_viscous_operator(k, &mesh, eta.clone(), &bc);
+        let n = op.nrows();
+        let b: Vec<f64> = {
+            let mask = bc.mask(n);
+            (0..n).map(|i| if mask[i] { 0.0 } else { 1.0 }).collect()
+        };
+        let mut x = vec![0.0; n];
+        let pc = JacobiPc::from_operator(op.as_ref());
+        let stats = cg(
+            op.as_ref(),
+            &pc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-8),
+        );
+        assert!(stats.converged);
+        counts.push(stats.iterations);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0].abs_diff(w[1]) <= 1),
+        "iteration counts diverge: {counts:?}"
+    );
+}
+
+#[test]
+fn element_matrix_consistent_with_operator() {
+    // The dense element kernel used by assembly must match the matrix-free
+    // action applied to a one-element mesh.
+    let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+    let tables = Q2QuadTables::standard();
+    let eta: Vec<f64> = (0..NQP).map(|q| 1.0 + q as f64).collect();
+    let corners = mesh.element_corner_coords(0);
+    let ae = ptatin_fem::element_viscous_matrix(&tables, &corners, &eta);
+    let op = build_viscous_operator(
+        OperatorKind::Tensor,
+        &mesh,
+        eta.clone(),
+        &DirichletBc::new(),
+    );
+    let n = op.nrows();
+    assert_eq!(n, 81);
+    for col in [0usize, 40, 80] {
+        let mut x = vec![0.0; n];
+        x[col] = 1.0;
+        let mut y = vec![0.0; n];
+        op.apply(&x, &mut y);
+        for row in 0..n {
+            // Map (node-major interleaved) dof == local dof on 1 element.
+            let expect = ae[row * n + col];
+            assert!(
+                (y[row] - expect).abs() < 1e-10 * (1.0 + expect.abs()),
+                "entry ({row},{col}): {} vs {}",
+                y[row],
+                expect
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) of the core data-structure and
+//! numerical invariants: CSR algebra, grid transfer partition of unity,
+//! inverse isoparametric mapping, projection bounds, Krylov correctness on
+//! random SPD systems, and pressure-mass exact inverses.
+
+use proptest::prelude::*;
+use ptatin_fem::assemble::{PressureMassBlocks, Q2QuadTables};
+use ptatin_fem::geometry::{inverse_map, map_to_physical, xi_inside};
+use ptatin_la::csr::Csr;
+use ptatin_la::krylov::{cg, KrylovConfig};
+use ptatin_la::operator::JacobiPc;
+use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar};
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use ptatin_mpm::projection::project_to_corners;
+
+/// Random sparse triplets on an n×n grid.
+fn triplet_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        1..(4 * n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_transpose_is_involution(triplets in triplet_strategy(12)) {
+        let a = Csr::from_triplets(12, 12, &triplets);
+        let att = a.transpose().transpose();
+        prop_assert!(a.diff_norm(&att) < 1e-12);
+    }
+
+    #[test]
+    fn csr_spmv_matches_dense(triplets in triplet_strategy(10),
+                              x in proptest::collection::vec(-5.0f64..5.0, 10)) {
+        let a = Csr::from_triplets(10, 10, &triplets);
+        let mut y = vec![0.0; 10];
+        a.spmv(&x, &mut y);
+        let d = a.to_dense();
+        let mut yd = vec![0.0; 10];
+        d.matvec(&x, &mut yd);
+        for i in 0..10 {
+            prop_assert!((y[i] - yd[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn csr_matmul_associates_with_vector(triplets in triplet_strategy(8),
+                                         x in proptest::collection::vec(-2.0f64..2.0, 8)) {
+        // (A·A) x == A (A x)
+        let a = Csr::from_triplets(8, 8, &triplets);
+        let aa = a.matmul(&a);
+        let mut ax = vec![0.0; 8];
+        a.spmv(&x, &mut ax);
+        let mut a_ax = vec![0.0; 8];
+        a.spmv(&ax, &mut a_ax);
+        let mut aax = vec![0.0; 8];
+        aa.spmv(&x, &mut aax);
+        for i in 0..8 {
+            prop_assert!((a_ax[i] - aax[i]).abs() < 1e-9 * (1.0 + a_ax[i].abs()));
+        }
+    }
+
+    #[test]
+    fn rap_is_symmetric_for_symmetric_a(triplets in triplet_strategy(9)) {
+        // Symmetrize A, take any P (here: A itself as a rectangular stand-in
+        // is unsuitable; use a random aggregation-style P).
+        let raw = Csr::from_triplets(9, 9, &triplets);
+        let a = {
+            let at = raw.transpose();
+            raw.add_scaled(&at, 1.0)
+        };
+        let p_trip: Vec<(usize, usize, f64)> = (0..9).map(|i| (i, i / 3, 1.0)).collect();
+        let p = Csr::from_triplets(9, 3, &p_trip);
+        let c = Csr::rap(&a, &p);
+        let ct = c.transpose();
+        prop_assert!(c.diff_norm(&ct) < 1e-10);
+    }
+
+    #[test]
+    fn cg_solves_random_spd(triplets in triplet_strategy(14),
+                            b in proptest::collection::vec(-1.0f64..1.0, 14)) {
+        // A = Mᵀ M + I is SPD for any M.
+        let m = Csr::from_triplets(14, 14, &triplets);
+        let a = m.transpose().matmul(&m).add_scaled(&Csr::identity(14), 1.0);
+        let mut x = vec![0.0; 14];
+        let stats = cg(&a, &JacobiPc::from_operator(&a), &b, &mut x,
+                       &KrylovConfig::default().with_rtol(1e-10).with_max_it(500));
+        prop_assert!(stats.converged);
+        let mut r = vec![0.0; 14];
+        a.spmv(&x, &mut r);
+        for i in 0..14 {
+            prop_assert!((r[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()));
+        }
+    }
+
+    #[test]
+    fn inverse_map_roundtrips_on_random_hexes(
+        jig in proptest::collection::vec(-0.08f64..0.08, 24),
+        xi in proptest::array::uniform3(-0.95f64..0.95),
+    ) {
+        // Random mildly-perturbed unit cube (guaranteed non-inverted for
+        // perturbations < 1/8 edge length).
+        let base = [
+            [0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0], [1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [1.0, 1.0, 1.0],
+        ];
+        let mut corners = base;
+        for c in 0..8 {
+            for d in 0..3 {
+                corners[c][d] += jig[3 * c + d];
+            }
+        }
+        let x = map_to_physical(&corners, xi);
+        let found = inverse_map(&corners, x, 1e-12, 60);
+        prop_assert!(found.is_some());
+        let found = found.unwrap();
+        prop_assert!(xi_inside(found, 1e-6));
+        for d in 0..3 {
+            prop_assert!((found[d] - xi[d]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn projection_respects_bounds(values in proptest::collection::vec(0.1f64..100.0, 27)) {
+        // Shepard projection (Eq. 12) output must stay within the data
+        // range — no overshoot.
+        let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let mut pts = MaterialPoints::default();
+        for (k, &v) in values.iter().enumerate() {
+            let xi = [
+                -0.8 + 0.8 * (k % 3) as f64,
+                -0.8 + 0.8 * ((k / 3) % 3) as f64,
+                -0.8 + 0.8 * (k / 9) as f64,
+            ];
+            let corners = mesh.element_corner_coords(0);
+            let x = map_to_physical(&corners, xi);
+            pts.push(x, 0, v);
+            *pts.element.last_mut().unwrap() = 0;
+            *pts.xi.last_mut().unwrap() = xi;
+        }
+        let f = project_to_corners(&mesh, &pts, |p| pts.plastic_strain[p], |_| f64::NAN);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        for &v in &f {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "projection out of bounds: {v} vs [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn blocked_prolongation_preserves_constants(ndof in 1usize..4) {
+        let fine = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let coarse = fine.coarsen();
+        let p = expand_blocked(&prolongation_scalar(&coarse, &fine), ndof);
+        let xc = vec![1.0; p.ncols()];
+        let mut xf = vec![0.0; p.nrows()];
+        p.spmv(&xc, &mut xf);
+        for &v in &xf {
+            prop_assert!((v - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn pressure_mass_inverse_exact(weights in proptest::collection::vec(0.01f64..100.0, 27)) {
+        let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 2.0], [0.0, 1.0], [0.0, 1.5]);
+        let tables = Q2QuadTables::standard();
+        let blocks = PressureMassBlocks::new(&mesh, &tables, &weights);
+        let mcsr = ptatin_fem::assemble_pressure_mass(&mesh, &tables, &weights);
+        let r = vec![1.0, -0.5, 2.0, 0.25];
+        let mut z = vec![0.0; 4];
+        blocks.apply_inverse(&r, &mut z);
+        let mut back = vec![0.0; 4];
+        mcsr.spmv(&z, &mut back);
+        for i in 0..4 {
+            prop_assert!((back[i] - r[i]).abs() < 1e-8 * (1.0 + r[i].abs()));
+        }
+    }
+}

