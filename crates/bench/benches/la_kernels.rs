@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the linear-algebra substrate: SpMV
+//! Micro-benchmarks of the linear-algebra substrate: SpMV
 //! (memory-bandwidth bound, the baseline the paper's matrix-free kernels
 //! beat), BLAS-1 kernels and the Galerkin RAP product.
+//!
+//! Plain `fn main()` timing harness (`harness = false`): run with
+//! `cargo bench --bench la_kernels`. No registry dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ptatin_la::csr::Csr;
 use ptatin_la::vec_ops;
-use std::time::Duration;
+use std::time::Instant;
 
 fn laplace3d(n: usize) -> Csr {
     let idx = |i: usize, j: usize, k: usize| i + n * (j + n * k);
@@ -38,29 +40,49 @@ fn laplace3d(n: usize) -> Csr {
     Csr::from_triplets(n * n * n, n * n * n, &t)
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("la_kernels");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+/// Time `f` (median of 5 samples of `iters` calls); returns seconds/call.
+fn time_it<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[2]
+}
+
+fn report(name: &str, secs: f64, bytes: Option<usize>) {
+    let bw = bytes
+        .map(|b| format!("  {:8.2} GB/s", b as f64 / secs / 1e9))
+        .unwrap_or_default();
+    println!("{name:<24} {:12.3} us/call{bw}", secs * 1e6);
+}
+
+fn main() {
+    println!("la_kernels (median of 5):");
     // SpMV with bandwidth throughput.
     for n in [16usize, 32] {
         let a = laplace3d(n);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).cos()).collect();
         let mut y = vec![0.0; a.nrows()];
-        group.throughput(Throughput::Bytes(a.bytes() as u64));
-        group.bench_with_input(BenchmarkId::new("spmv", format!("{n}^3")), &(), |b, _| {
-            b.iter(|| a.spmv(&x, &mut y))
-        });
+        let secs = time_it(20, || a.spmv(&x, &mut y));
+        report(&format!("spmv_{n}^3"), secs, Some(a.bytes()));
     }
     // BLAS-1.
     let n = 1 << 18;
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
     let mut y = vec![0.0f64; n];
-    group.throughput(Throughput::Bytes((16 * n) as u64));
-    group.bench_function("axpy_256k", |b| b.iter(|| vec_ops::axpy(1.1, &x, &mut y)));
-    group.bench_function("dot_256k", |b| b.iter(|| vec_ops::dot(&x, &y)));
+    let secs = time_it(50, || vec_ops::axpy(1.1, &x, &mut y));
+    report("axpy_256k", secs, Some(16 * n));
+    let mut acc = 0.0;
+    let secs = time_it(50, || acc += vec_ops::dot(&x, &y));
+    report("dot_256k", secs, Some(16 * n));
+    assert!(acc.is_finite());
     // RAP (setup cost of Galerkin coarsening).
     let a = laplace3d(12);
     // Aggregation-like P: every 2x2x2 block of nodes → one coarse dof.
@@ -72,9 +94,9 @@ fn bench_kernels(c: &mut Criterion) {
         })
         .collect();
     let p = Csr::from_triplets(a.nrows(), nc, &trip);
-    group.bench_function("rap_12^3", |b| b.iter(|| Csr::rap(&a, &p)));
-    group.finish();
+    let secs = time_it(5, || {
+        let c = Csr::rap(&a, &p);
+        assert!(c.nnz() > 0);
+    });
+    report("rap_12^3", secs, None);
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

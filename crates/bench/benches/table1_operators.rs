@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the four J_uu operator applications —
-//! the statistical companion to `--bin table1` (Table I of the paper).
+//! Micro-benchmarks of the four J_uu operator applications — the
+//! statistical companion to `--bin table1` (Table I of the paper).
+//!
+//! Plain `fn main()` timing harness (`harness = false`): run with
+//! `cargo bench --bench table1_operators`. No registry dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ptatin_bench::sinker_setup;
 use ptatin_core::models::sinker::sinker_bc;
 use ptatin_fem::assemble::Q2QuadTables;
@@ -10,14 +12,25 @@ use ptatin_ops::{
     assembled_viscous_op, MfViscousOp, TensorCViscousOp, TensorViscousOp, ViscousOpData,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-fn bench_operators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_operator_apply");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn time_it<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[2]
+}
+
+fn main() {
+    println!("table1_operator_apply (median of 5):");
     for m in [4usize, 8] {
         let (model, fields) = sinker_setup(m, 2, 1e4);
         let mesh = model.hier.finest();
@@ -38,15 +51,8 @@ fn bench_operators(c: &mut Criterion) {
             ("tensor_c", &tensor_c),
         ];
         for (name, op) in ops {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{m}^3")),
-                &(),
-                |b, _| b.iter(|| op.apply(&x, &mut y)),
-            );
+            let secs = time_it(10, || op.apply(&x, &mut y));
+            println!("{name:<10} {m}^3  {:12.3} us/apply", secs * 1e6);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_operators);
-criterion_main!(benches);

@@ -47,7 +47,10 @@ fn main() {
         let stats = solver.solve(&rhs, &mut x, &kcfg, KrylovOperatorChoice::Picard, None);
         let secs = t0.elapsed().as_secs_f64();
         println!("V({depth},{depth}) {:>6} {:>10.3}", stats.iterations, secs);
-        rows.push(format!("smoothing,V({depth};{depth}),{},{secs:.4}", stats.iterations));
+        rows.push(format!(
+            "smoothing,V({depth};{depth}),{},{secs:.4}",
+            stats.iterations
+        ));
     }
 
     // ---------------------------------------------------------------
@@ -86,11 +89,11 @@ fn main() {
         let rhs = model.rhs(&solver, &fields);
         let mut x = vec![0.0; solver.nu + solver.np];
         let stats = solver.solve(&rhs, &mut x, &kcfg, KrylovOperatorChoice::Picard, None);
-        println!(
-            "{name:>11} {:>5} [{lo:.2e}, {hi:.2e}]",
+        println!("{name:>11} {:>5} [{lo:.2e}, {hi:.2e}]", stats.iterations);
+        rows.push(format!(
+            "averaging,{name},{},{lo:.3e}:{hi:.3e}",
             stats.iterations
-        );
-        rows.push(format!("averaging,{name},{},{lo:.3e}:{hi:.3e}", stats.iterations));
+        ));
     }
 
     // ---------------------------------------------------------------
@@ -99,8 +102,16 @@ fn main() {
     use ptatin_core::CoefficientRestriction;
     for (name, restr, geo) in [
         ("injection", CoefficientRestriction::Injection, true),
-        ("full-weight geometric", CoefficientRestriction::FullWeighting, true),
-        ("full-weight arithmetic", CoefficientRestriction::FullWeighting, false),
+        (
+            "full-weight geometric",
+            CoefficientRestriction::FullWeighting,
+            true,
+        ),
+        (
+            "full-weight arithmetic",
+            CoefficientRestriction::FullWeighting,
+            false,
+        ),
     ] {
         let (model, fields) = sinker_setup(m, levels, 1e4);
         let mut gmg = paper_gmg_config(levels, OperatorKind::Tensor);
@@ -135,7 +146,10 @@ fn main() {
         let stats = solver.solve(&rhs, &mut x, &kcfg, KrylovOperatorChoice::Picard, None);
         let secs = t0.elapsed().as_secs_f64();
         println!("{name:>14} {:>5} {:>10.3}", stats.iterations, secs);
-        rows.push(format!("cheb_interval,{name},{},{secs:.4}", stats.iterations));
+        rows.push(format!(
+            "cheb_interval,{name},{},{secs:.4}",
+            stats.iterations
+        ));
     }
 
     // ---------------------------------------------------------------
@@ -188,7 +202,10 @@ fn main() {
     // ---------------------------------------------------------------
     println!("\n## 7. Cycle type (V vs W; exact coarse solve isolates the cycle shape)");
     println!("{:>7} {:>5} {:>10}", "cycle", "its", "solve s");
-    for (name, cyc) in [("V", ptatin_mg::CycleType::V), ("W", ptatin_mg::CycleType::W)] {
+    for (name, cyc) in [
+        ("V", ptatin_mg::CycleType::V),
+        ("W", ptatin_mg::CycleType::W),
+    ] {
         let (model, fields) = sinker_setup(m, levels, 1e4);
         let mut gmg = paper_gmg_config(levels, OperatorKind::Tensor);
         gmg.coarse = CoarseKind::Direct;
@@ -202,6 +219,10 @@ fn main() {
         println!("{name:>7} {:>5} {:>10.3}", stats.iterations, secs);
         rows.push(format!("cycle,{name},{},{secs:.4}", stats.iterations));
     }
-    let path = write_csv("ablations.csv", "study,variant,iterations,extra1,extra2,extra3", &rows);
+    let path = write_csv(
+        "ablations.csv",
+        "study,variant,iterations,extra1,extra2,extra3",
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 }

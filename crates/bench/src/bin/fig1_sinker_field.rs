@@ -32,7 +32,10 @@ fn main() {
         KrylovOperatorChoice::Picard,
         None,
     );
-    println!("Stokes solve: {} iterations (converged: {})", stats.iterations, stats.converged);
+    println!(
+        "Stokes solve: {} iterations (converged: {})",
+        stats.iterations, stats.converged
+    );
     let mesh = model.hier.finest();
     let velocity = &x[..solver.nu];
 
@@ -71,9 +74,9 @@ fn main() {
     // Path step sized to the flow magnitude.
     let mut vmax = 0.0f64;
     for n in 0..mesh.num_nodes() {
-        let v = (velocity[3 * n].powi(2) + velocity[3 * n + 1].powi(2)
-            + velocity[3 * n + 2].powi(2))
-        .sqrt();
+        let v =
+            (velocity[3 * n].powi(2) + velocity[3 * n + 1].powi(2) + velocity[3 * n + 2].powi(2))
+                .sqrt();
         vmax = vmax.max(v);
     }
     let ds = if vmax > 0.0 { 0.02 / vmax } else { 0.0 };
@@ -128,8 +131,16 @@ fn main() {
             sid += 1;
         }
     }
-    let p2 = write_csv("fig1_streamlines.csv", "streamline,step,x,y,z,speed", &stream_rows);
-    println!("wrote {} ({} streamline points)", p2.display(), stream_rows.len());
+    let p2 = write_csv(
+        "fig1_streamlines.csv",
+        "streamline,step,x,y,z,speed",
+        &stream_rows,
+    );
+    println!(
+        "wrote {} ({} streamline points)",
+        p2.display(),
+        stream_rows.len()
+    );
 
     // Sphere positions for the plot overlay.
     let sph: Vec<String> = model

@@ -84,9 +84,15 @@ fn main() {
     println!("plastic strain localization (crustal points):");
     println!("  mean in central band: {mean_in:.4}");
     println!("  mean outside:         {mean_out:.4}");
-    println!("  localization ratio:   {:.2}", mean_in / mean_out.max(1e-12));
+    println!(
+        "  localization ratio:   {:.2}",
+        mean_in / mean_out.max(1e-12)
+    );
     let topo_min = tops.iter().cloned().fold(f64::INFINITY, f64::min);
     let topo_max = tops.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("topography range: [{:.4}, {:.4}] (rift valley forms at the damage zone)",
-        topo_min - 1.0, topo_max - 1.0);
+    println!(
+        "topography range: [{:.4}, {:.4}] (rift valley forms at the damage zone)",
+        topo_min - 1.0,
+        topo_max - 1.0
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
             0.0
         };
         if args.quick() {
-            let h: Vec<String> = s.residual_history.iter().map(|r| format!("{r:.2e}")).collect();
+            let h: Vec<String> = s
+                .residual_history
+                .iter()
+                .map(|r| format!("{r:.2e}"))
+                .collect();
             println!("      |F|: {}", h.join(" -> "));
         }
         println!(

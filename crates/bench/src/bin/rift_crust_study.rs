@@ -21,7 +21,13 @@ struct Outcome {
     topo_min: f64,
 }
 
-fn run_case(label: &'static str, weak: bool, shortening: f64, steps: usize, quick: bool) -> Outcome {
+fn run_case(
+    label: &'static str,
+    weak: bool,
+    shortening: f64,
+    steps: usize,
+    quick: bool,
+) -> Outcome {
     let (mx, my, mz) = if quick { (6, 2, 4) } else { (10, 4, 6) };
     let mut model = RiftModel::new(RiftConfig {
         mx,
@@ -119,7 +125,8 @@ fn main() {
         println!("seeded damage zone — the §V margin-width contrast emerges over the");
         println!("paper's 1500-2000 step runs (raise steps=/mx= to probe it).");
     }
-    let asym = |c: &Outcome| (c.strain_z_back - c.strain_z_front) / (c.strain_z_back + c.strain_z_front);
+    let asym =
+        |c: &Outcome| (c.strain_z_back - c.strain_z_front) / (c.strain_z_back + c.strain_z_front);
     println!(
         "axial strain asymmetry (obliquity proxy): symmetric {:.3}, with shortening {:.3}",
         asym(&cases[0]),

@@ -17,6 +17,7 @@ fn main() {
     let args = Args::parse();
     let m = args.get_usize("m", if args.quick() { 8 } else { 16 });
     let reps = args.get_usize("reps", if args.quick() { 3 } else { 10 });
+    ptatin_prof::enable();
     println!("# Table I reproduction — {m}^3 Q2 elements, sinker viscosity field");
     println!();
 
@@ -74,8 +75,12 @@ fn main() {
         ));
     }
     println!();
-    println!("assembled matrix: {} nonzeros ({:.1} MB, setup {:.2} s)",
-        asmb.nnz(), asmb.bytes() as f64 / 1e6, asm_setup);
+    println!(
+        "assembled matrix: {} nonzeros ({:.1} MB, setup {:.2} s)",
+        asmb.nnz(),
+        asmb.bytes() as f64 / 1e6,
+        asm_setup
+    );
     println!("tensor-C coefficient store setup: {tc_setup:.3} s");
     println!();
     println!("# Paper Table I (Edison, 8 nodes) for comparison:");
@@ -105,4 +110,23 @@ fn main() {
         &rows,
     );
     println!("\nwrote {}", path.display());
+
+    // Cross-check the analytic models against the profiler's measured
+    // counters: flops/el as logged by each operator's apply path.
+    let snap = ptatin_prof::snapshot();
+    println!("\nprofiler flops/element (measured counters / nel / calls):");
+    for (event, paper_name) in [
+        ("MatMult", "Assembled"),
+        ("MatMult_MF", "Matrix-free"),
+        ("MatMult_Tensor", "Tensor"),
+        ("MatMult_TensorC", "Tensor C"),
+    ] {
+        if let Some(ev) = snap.event(event) {
+            let per_el = ev.flops as f64 / ev.calls as f64 / nel as f64;
+            println!("  {paper_name:<14} ({event:<16}) {per_el:>10.0}");
+        }
+    }
+    if let Some(p) = ptatin_bench::finish_prof("table1_prof.json") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -20,6 +20,7 @@ use ptatin_ops::OperatorKind;
 
 fn main() {
     let args = Args::parse();
+    ptatin_prof::enable();
     let grids: Vec<usize> = if args.quick() {
         vec![4, 8]
     } else {
@@ -31,7 +32,9 @@ fn main() {
         OperatorKind::MatrixFree,
         OperatorKind::Tensor,
     ];
-    println!("# Table II reproduction — sinker, 3-level GMG, Galerkin coarsest, SA-AMG coarse solve");
+    println!(
+        "# Table II reproduction — sinker, 3-level GMG, Galerkin coarsest, SA-AMG coarse solve"
+    );
     println!(
         "{:>6} {:>6} {:>6} {:>5} {:>11} {:>11} {:>11}",
         "grid", "cores", "kind", "its", "crs setup s", "crs apply s", "solve s"
@@ -91,4 +94,7 @@ fn main() {
     println!("\npaper shape: Tens < MF < Asmb solve time at every size; iteration");
     println!("counts increase mildly with refinement (fixed 3-level hierarchy);");
     println!("coarse setup stays a small fraction of the solve.");
+    if let Some(p) = ptatin_bench::finish_prof("table2_prof.json") {
+        println!("wrote {}", p.display());
+    }
 }

@@ -13,11 +13,8 @@ use ptatin_ops::{assembled_model, mf_model, tensor_model, OperatorKind};
 
 fn main() {
     let args = Args::parse();
-    let grids: Vec<usize> = if args.quick() {
-        vec![8]
-    } else {
-        vec![8, 16]
-    };
+    ptatin_prof::enable();
+    let grids: Vec<usize> = if args.quick() { vec![8] } else { vec![8, 16] };
     let cores = 1usize; // physical cores on the reproduction host
     let kinds = [
         OperatorKind::Assembled,
@@ -97,6 +94,9 @@ fn main() {
     println!("\npaper shape: MF faster than Asmb, Tens faster than MF in E/C/s for");
     println!("both events; the tensor kernel's GF/s is lower than MF's for the");
     println!("end-to-end solve because it does ~3.5x fewer flops (paper §IV-B).");
+    if let Some(p) = ptatin_bench::finish_prof("table3_prof.json") {
+        println!("wrote {}", p.display());
+    }
 }
 
 /// Estimated nonzeros of the assembled Q2 operator at grid m (exact value

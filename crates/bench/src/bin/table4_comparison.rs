@@ -133,12 +133,8 @@ fn main() {
     b_masked.zero_cols(&bc.dofs);
     // Homogeneous BC rhs.
     let rhs = {
-        let mut f_u = ptatin_fem::assemble::assemble_body_force(
-            mesh,
-            &tables,
-            &fields.rho_qp,
-            model.gravity,
-        );
+        let mut f_u =
+            ptatin_fem::assemble::assemble_body_force(mesh, &tables, &fields.rho_qp, model.gravity);
         bc.zero_constrained(&mut f_u);
         let mut r = vec![0.0; a_fine.nrows() + b_masked.nrows()];
         r[..a_fine.nrows()].copy_from_slice(&f_u);
@@ -194,14 +190,7 @@ fn main() {
         let mut x = vec![0.0; rhs.len()];
         let t0 = std::time::Instant::now();
         let stats = solve_stokes_with_pc(
-            &a_timed,
-            &b_masked,
-            &schur,
-            &pc_timed,
-            &rhs,
-            &mut x,
-            &kcfg,
-            None,
+            &a_timed, &b_masked, &schur, &pc_timed, &rhs, &mut x, &kcfg, None,
         );
         let solve_s = t0.elapsed().as_secs_f64();
         results.push(Row {

@@ -73,7 +73,9 @@ pub fn time_per_call<F: FnMut()>(mut f: F, reps: usize) -> f64 {
 /// Median-of-3 timing of an operator application.
 pub fn time_apply(op: &dyn LinearOperator, reps: usize) -> f64 {
     let n = op.ncols();
-    let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+        .collect();
     let mut y = vec![0.0; op.nrows()];
     let mut samples: Vec<f64> = (0..3)
         .map(|_| time_per_call(|| op.apply(&x, &mut y), reps))
@@ -144,6 +146,22 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
 /// Pretty separator line for table output.
 pub fn rule(width: usize) -> String {
     "-".repeat(width)
+}
+
+/// Finish a profiled bench run: print the `-log_view`-style event table to
+/// stderr and write the same snapshot as JSON to `output/<name>`.
+/// No-op (returns `None`) when the profiler was never enabled.
+pub fn finish_prof(json_name: &str) -> Option<std::path::PathBuf> {
+    let snap = ptatin_prof::snapshot();
+    if snap.events.is_empty() {
+        return None;
+    }
+    ptatin_prof::print_log_view();
+    let dir = std::path::Path::new("output");
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(json_name);
+    ptatin_prof::write_json(&path).expect("write profiler json");
+    Some(path)
 }
 
 #[cfg(test)]

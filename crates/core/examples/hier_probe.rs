@@ -4,11 +4,20 @@ use ptatin_la::krylov::KrylovConfig;
 use ptatin_ops::OperatorKind;
 
 fn run(m: usize, levels: usize, coarse: CoarseKind, galerkin_mid: bool, label: &str) {
-    let model = SinkerModel::new(SinkerConfig { m, levels, delta_eta: 1e4, ..SinkerConfig::default() });
+    let model = SinkerModel::new(SinkerConfig {
+        m,
+        levels,
+        delta_eta: 1e4,
+        ..SinkerConfig::default()
+    });
     let fields = model.coefficients();
     let gmg = GmgConfig {
         levels,
-        fine_kind: if galerkin_mid { OperatorKind::Assembled } else { OperatorKind::Tensor },
+        fine_kind: if galerkin_mid {
+            OperatorKind::Assembled
+        } else {
+            OperatorKind::Tensor
+        },
         galerkin_intermediate: galerkin_mid,
         coarse,
         ..GmgConfig::default()
@@ -16,13 +25,40 @@ fn run(m: usize, levels: usize, coarse: CoarseKind, galerkin_mid: bool, label: &
     let solver = model.build_solver(&fields, &gmg);
     let rhs = model.rhs(&solver, &fields);
     let mut x = vec![0.0; solver.nu + solver.np];
-    let s = solver.solve(&rhs, &mut x, &KrylovConfig::default().with_rtol(1e-5).with_max_it(500), KrylovOperatorChoice::Picard, None);
-    println!("m={m} levels={levels} {label}: its={} conv={}", s.iterations, s.converged);
+    let s = solver.solve(
+        &rhs,
+        &mut x,
+        &KrylovConfig::default().with_rtol(1e-5).with_max_it(500),
+        KrylovOperatorChoice::Picard,
+        None,
+    );
+    println!(
+        "m={m} levels={levels} {label}: its={} conv={}",
+        s.iterations, s.converged
+    );
 }
 
 fn main() {
-    run(12, 2, CoarseKind::Direct, false, "2lv galerkin-coarse direct");
-    run(12, 3, CoarseKind::Direct, false, "3lv redisc-mid galerkin-coarse direct");
-    run(12, 3, CoarseKind::Amg { coarse_blocks: 4 }, false, "3lv redisc-mid galerkin-coarse amg");
+    run(
+        12,
+        2,
+        CoarseKind::Direct,
+        false,
+        "2lv galerkin-coarse direct",
+    );
+    run(
+        12,
+        3,
+        CoarseKind::Direct,
+        false,
+        "3lv redisc-mid galerkin-coarse direct",
+    );
+    run(
+        12,
+        3,
+        CoarseKind::Amg { coarse_blocks: 4 },
+        false,
+        "3lv redisc-mid galerkin-coarse amg",
+    );
     run(12, 3, CoarseKind::Direct, true, "3lv galerkin-all direct");
 }

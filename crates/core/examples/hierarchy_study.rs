@@ -47,14 +47,43 @@ fn run(m: usize, levels: usize, coarse: CoarseKind, galerkin_mid: bool, label: &
 
 fn main() {
     let m = 8;
-    run(m, 2, CoarseKind::Direct, false, "2 levels, Galerkin coarsest, direct");
-    run(m, 3, CoarseKind::Direct, false, "3 levels, rediscretized mid, direct");
-    run(m, 3, CoarseKind::Amg { coarse_blocks: 4 }, false, "3 levels, rediscretized mid, AMG-PCG");
-    run(m, 3, CoarseKind::Direct, true, "3 levels, all-Galerkin, direct");
+    run(
+        m,
+        2,
+        CoarseKind::Direct,
+        false,
+        "2 levels, Galerkin coarsest, direct",
+    );
     run(
         m,
         3,
-        CoarseKind::InexactCgAsm { subdomains: 4, overlap: 2, rtol: 1e-4, max_it: 25 },
+        CoarseKind::Direct,
+        false,
+        "3 levels, rediscretized mid, direct",
+    );
+    run(
+        m,
+        3,
+        CoarseKind::Amg { coarse_blocks: 4 },
+        false,
+        "3 levels, rediscretized mid, AMG-PCG",
+    );
+    run(
+        m,
+        3,
+        CoarseKind::Direct,
+        true,
+        "3 levels, all-Galerkin, direct",
+    );
+    run(
+        m,
+        3,
+        CoarseKind::InexactCgAsm {
+            subdomains: 4,
+            overlap: 2,
+            rtol: 1e-4,
+            max_it: 25,
+        },
         false,
         "3 levels, rediscretized mid, CG+ASM",
     );

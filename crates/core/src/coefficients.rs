@@ -9,7 +9,9 @@ use ptatin_fem::basis::{element_frame, p1disc_basis, q1_basis, q2_grad, NP1};
 use ptatin_fem::geometry::{physical_grad, qp_geometry};
 use ptatin_mesh::StructuredMesh;
 use ptatin_mpm::points::MaterialPoints;
-use ptatin_mpm::projection::{corners_to_quadrature, corners_to_quadrature_log, project_to_corners};
+use ptatin_mpm::projection::{
+    corners_to_quadrature, corners_to_quadrature_log, project_to_corners,
+};
 use ptatin_ops::NewtonData;
 use ptatin_rheology::MaterialTable;
 
@@ -30,12 +32,7 @@ pub struct CoefficientFields {
 
 /// Symmetric strain rate `D(u)` at one reference location of an element,
 /// packed `[xx, yy, zz, yz, xz, xy]`.
-pub fn strain_rate_at(
-    mesh: &StructuredMesh,
-    velocity: &[f64],
-    e: usize,
-    xi: [f64; 3],
-) -> [f64; 6] {
+pub fn strain_rate_at(mesh: &StructuredMesh, velocity: &[f64], e: usize, xi: [f64; 3]) -> [f64; 6] {
     let corners = mesh.element_corner_coords(e);
     let geo = qp_geometry(&corners, xi, 1.0);
     let grads = q2_grad(xi);
@@ -61,10 +58,7 @@ pub fn strain_rate_at(
 
 /// √I₂ of a packed symmetric strain rate.
 pub fn eps_ii(d: &[f64; 6]) -> f64 {
-    (0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2])
-        + d[3] * d[3]
-        + d[4] * d[4]
-        + d[5] * d[5])
+    (0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]) + d[3] * d[3] + d[4] * d[4] + d[5] * d[5])
         .sqrt()
 }
 
@@ -106,12 +100,7 @@ pub fn strain_rate_at_qps(
 
 /// Interpolate the P1disc pressure at a point of element `e` with local
 /// coordinate `xi`.
-pub fn pressure_at(
-    mesh: &StructuredMesh,
-    pressure: &[f64],
-    e: usize,
-    xi: [f64; 3],
-) -> f64 {
+pub fn pressure_at(mesh: &StructuredMesh, pressure: &[f64], e: usize, xi: [f64; 3]) -> f64 {
     let corners = mesh.element_corner_coords(e);
     let (centroid, half) = element_frame(&corners);
     let x = ptatin_fem::geometry::map_to_physical(&corners, xi);
@@ -124,12 +113,7 @@ pub fn pressure_at(
 }
 
 /// Interpolate a Q1 corner field (e.g. temperature) at a point.
-pub fn corner_field_at(
-    mesh: &StructuredMesh,
-    field: &[f64],
-    e: usize,
-    xi: [f64; 3],
-) -> f64 {
+pub fn corner_field_at(mesh: &StructuredMesh, field: &[f64], e: usize, xi: [f64; 3]) -> f64 {
     let cids = mesh.element_corner_ids(e);
     let w = q1_basis(xi);
     let mut v = 0.0;
@@ -256,9 +240,8 @@ pub fn update_coefficients(
 mod tests {
     use super::*;
     use ptatin_mpm::points::seed_regular;
+    use ptatin_prng::StdRng;
     use ptatin_rheology::Material;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn mesh() -> StructuredMesh {
         StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])

@@ -133,7 +133,15 @@ impl VankaSmoother {
                 Some(lu) => lu,
                 None => {
                     for i in 0..m {
-                        dense.add(i, i, if i < pstart { 1e-8 * avg_diag } else { -1e-8 * avg_diag });
+                        dense.add(
+                            i,
+                            i,
+                            if i < pstart {
+                                1e-8 * avg_diag
+                            } else {
+                                -1e-8 * avg_diag
+                            },
+                        );
                     }
                     DenseLu::factor(&dense).expect("regularized Vanka patch factors")
                 }
@@ -186,12 +194,7 @@ impl VankaSmoother {
                     }
                     x[g] += c;
                     // r -= c * J[:, g] via the transpose row.
-                    for (row, v) in self
-                        .jt
-                        .row_indices(g)
-                        .iter()
-                        .zip(self.jt.row_values(g))
-                    {
+                    for (row, v) in self.jt.row_indices(g).iter().zip(self.jt.row_values(g)) {
                         r[*row as usize] -= v * c;
                     }
                 }
@@ -219,16 +222,8 @@ pub fn pressure_prolongation(coarse: &StructuredMesh, fine: &StructuredMesh) -> 
         // b0 = p_C(c_f), b_d = a_d h_f_d / h_C_d.
         triplets.push((NP1 * ef, NP1 * ec, 1.0));
         for d in 0..3 {
-            triplets.push((
-                NP1 * ef,
-                NP1 * ec + 1 + d,
-                (cf[d] - cc[d]) / hc[d],
-            ));
-            triplets.push((
-                NP1 * ef + 1 + d,
-                NP1 * ec + 1 + d,
-                hf[d] / hc[d],
-            ));
+            triplets.push((NP1 * ef, NP1 * ec + 1 + d, (cf[d] - cc[d]) / hc[d]));
+            triplets.push((NP1 * ef + 1 + d, NP1 * ec + 1 + d, hf[d] / hc[d]));
         }
     }
     Csr::from_triplets(nf, nc, &triplets)

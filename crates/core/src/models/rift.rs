@@ -16,10 +16,10 @@
 use crate::coefficients::{update_coefficients, CoefficientFields, StateFields};
 use crate::nonlinear::{solve_nonlinear, NonlinearConfig, NonlinearStats, StokesNonlinearProblem};
 use crate::solver::{build_stokes_solver, CoarseKind, GmgConfig, StokesSolver};
-use crate::timestep::{
-    accumulate_plastic_strain, advected_surface, cfl_dt, velocity_at_corners,
+use crate::timestep::{accumulate_plastic_strain, advected_surface, cfl_dt, velocity_at_corners};
+use ptatin_fem::assemble::{
+    assemble_body_force, assemble_gradient, num_pressure_dofs, num_velocity_dofs, Q2QuadTables,
 };
-use ptatin_fem::assemble::{assemble_body_force, assemble_gradient, num_pressure_dofs, num_velocity_dofs, Q2QuadTables};
 use ptatin_fem::bc::{DirichletBc, VelocityBcBuilder};
 use ptatin_fem::energy::{assemble_energy_step, solve_energy_step};
 use ptatin_la::csr::Csr;
@@ -31,9 +31,8 @@ use ptatin_mpm::locate::ElementLocator;
 use ptatin_mpm::points::{seed_regular, MaterialPoints};
 use ptatin_mpm::population::{control_population, PopulationConfig};
 use ptatin_ops::{OperatorKind, TensorViscousOp, ViscousOpData};
+use ptatin_prng::{Rng, StdRng};
 use ptatin_rheology::{DruckerPrager, Material, MaterialTable, ViscousLaw};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Configuration of the rifting model (scaled units).
@@ -147,7 +146,7 @@ fn rift_materials(weak_lower_crust: bool) -> MaterialTable {
     let lower_crust_eta = if weak_lower_crust { 3.0 } else { 300.0 };
     let crust_dp = DruckerPrager {
         cohesion: 1.0,
-        friction_angle: 0.5236, // 30°
+        friction_angle: std::f64::consts::FRAC_PI_6, // 30°
         cohesion_softened: 0.2,
         friction_softened: 0.0873, // 5°
         softening_strain: (0.05, 1.0),
@@ -218,14 +217,8 @@ pub struct RiftModel {
 
 impl RiftModel {
     pub fn new(cfg: RiftConfig) -> Self {
-        let mesh = StructuredMesh::new_box(
-            cfg.mx,
-            cfg.my,
-            cfg.mz,
-            [0.0, 6.0],
-            [0.0, 1.0],
-            [0.0, 3.0],
-        );
+        let mesh =
+            StructuredMesh::new_box(cfg.mx, cfg.my, cfg.mz, [0.0, 6.0], [0.0, 1.0], [0.0, 3.0]);
         assert!(mesh.supports_levels(cfg.levels));
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let classify = |x: [f64; 3]| -> u16 {
@@ -542,12 +535,9 @@ mod tests {
         // Extension thins the domain: surface is free to move; just check
         // the mesh remains valid (positive volumes) by locating a point.
         let locator = ElementLocator::new(&model.mesh);
-        assert!(ptatin_mpm::locate::locate_point(
-            &model.mesh,
-            &locator,
-            [3.0, 0.5, 1.5],
-            None
-        )
-        .is_some());
+        assert!(
+            ptatin_mpm::locate::locate_point(&model.mesh, &locator, [3.0, 0.5, 1.5], None)
+                .is_some()
+        );
     }
 }

@@ -10,9 +10,8 @@ use ptatin_fem::bc::{DirichletBc, VelocityBcBuilder};
 use ptatin_mesh::hierarchy::MeshHierarchy;
 use ptatin_mesh::StructuredMesh;
 use ptatin_mpm::points::{seed_regular, MaterialPoints};
+use ptatin_prng::{Rng, StdRng};
 use ptatin_rheology::{Material, MaterialTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the sinker problem.
 #[derive(Clone, Debug)]
@@ -146,12 +145,8 @@ impl SinkerModel {
     /// constrained entries zeroed).
     pub fn rhs(&self, solver: &StokesSolver, fields: &CoefficientFields) -> Vec<f64> {
         let tables = Q2QuadTables::standard();
-        let mut f_u = assemble_body_force(
-            self.hier.finest(),
-            &tables,
-            &fields.rho_qp,
-            self.gravity,
-        );
+        let mut f_u =
+            assemble_body_force(self.hier.finest(), &tables, &fields.rho_qp, self.gravity);
         solver.bc.zero_constrained(&mut f_u);
         let mut rhs = vec![0.0; solver.nu + solver.np];
         rhs[..solver.nu].copy_from_slice(&f_u);
@@ -175,14 +170,14 @@ mod tests {
         assert_eq!(model.spheres.len(), 8);
         for (i, a) in model.spheres.iter().enumerate() {
             for b in model.spheres.iter().skip(i + 1) {
-                let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
-                    .sqrt();
+                let d =
+                    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
                 assert!(d >= 2.0 * model.cfg.radius - 1e-12);
             }
         }
         // Both lithologies present.
-        assert!(model.points.lithology.iter().any(|&l| l == 0));
-        assert!(model.points.lithology.iter().any(|&l| l == 1));
+        assert!(model.points.lithology.contains(&0));
+        assert!(model.points.lithology.contains(&1));
     }
 
     #[test]

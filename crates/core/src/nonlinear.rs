@@ -146,7 +146,13 @@ pub fn solve_nonlinear<P: StokesNonlinearProblem>(
         }
         let solver = prob.build_solver(cfg.use_newton);
         let rtol = if cfg.eisenstat_walker {
-            forcing_term(eta_prev, rnorm, rnorm_prev, cfg.linear_rtol.max(1e-3), it == 0)
+            forcing_term(
+                eta_prev,
+                rnorm,
+                rnorm_prev,
+                cfg.linear_rtol.max(1e-3),
+                it == 0,
+            )
         } else {
             cfg.linear_rtol
         };
@@ -184,7 +190,7 @@ pub fn solve_nonlinear<P: StokesNonlinearProblem>(
             stokes_residual(&a_t, prob.b_full(), prob.bc(), &ut, &pt, &f_t, &mut rt);
             let rt_norm = vec_ops::norm2(&rt);
             let sufficient = rt_norm <= (1.0 - 1e-4 * alpha) * rnorm;
-            if best.as_ref().map_or(true, |b| rt_norm < b.3) {
+            if best.as_ref().is_none_or(|b| rt_norm < b.3) {
                 best = Some((ut, pt, rt, rt_norm));
                 best_was_last_eval = true;
             } else {

@@ -214,7 +214,11 @@ mod tests {
         let cv = corner_vector_field(&mesh, &q2);
         assert_eq!(cv.len(), 3 * mesh.num_corners());
         assert!(cv.iter().all(|&v| v == 2.0));
-        let ca = cell_average(4, 3, &[1.0, 2.0, 3.0, 4.0, 4.0, 4.0, 0.0, 0.0, 3.0, 1.0, 1.0, 1.0]);
+        let ca = cell_average(
+            4,
+            3,
+            &[1.0, 2.0, 3.0, 4.0, 4.0, 4.0, 0.0, 0.0, 3.0, 1.0, 1.0, 1.0],
+        );
         assert_eq!(ca, vec![2.0, 4.0, 1.0, 1.0]);
     }
 }

@@ -16,10 +16,16 @@ use ptatin_mesh::decomp::nodes_to_dofs;
 use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar, MeshHierarchy};
 use ptatin_mesh::ElementPartition;
 use ptatin_mg::amg::{build_sa_amg, AmgConfig};
-use ptatin_mg::gmg::{filter_transfer, galerkin_coarse, ArcOp, CycleType, GeometricMg, GmgCoarseSolver, GmgLevel};
+use ptatin_mg::gmg::{
+    filter_transfer, galerkin_coarse, ArcOp, CycleType, GeometricMg, GmgCoarseSolver, GmgLevel,
+};
 use ptatin_mg::nullspace::rigid_body_modes;
 use ptatin_mpm::projection::{corners_to_quadrature_log, restrict_corner_field};
-use ptatin_ops::{assembled_viscous_op, MfViscousOp, OperatorKind, TensorCViscousOp, TensorViscousOp, ViscousOpData};
+use ptatin_ops::{
+    assembled_viscous_op, MfViscousOp, OperatorKind, TensorCViscousOp, TensorViscousOp,
+    ViscousOpData,
+};
+use ptatin_prof as prof;
 use std::sync::Arc;
 
 /// Coarsest-level solver selection for the velocity multigrid.
@@ -201,6 +207,7 @@ pub fn build_stokes_solver(
     cfg: &GmgConfig,
     newton: Option<ptatin_ops::NewtonData>,
 ) -> StokesSolver {
+    let _ev = prof::scope("StokesSetup");
     let t_setup = std::time::Instant::now();
     let tables = Q2QuadTables::standard();
     let levels = cfg.levels;
@@ -392,12 +399,22 @@ pub fn build_stokes_solver(
             smoother,
         });
     }
-    let mg = GeometricMg::new(gmg_levels, transfers, coarse, cfg.pre_smooth, cfg.post_smooth)
-        .with_cycle(cfg.cycle);
+    let mg = GeometricMg::new(
+        gmg_levels,
+        transfers,
+        coarse,
+        cfg.pre_smooth,
+        cfg.post_smooth,
+    )
+    .with_cycle(cfg.cycle);
     let a_fine = mg.levels.last().expect("at least two levels").op.clone();
 
-    // Newton action (matrix-free only).
-    let a_newton = newton.map(|nd| {
+    // Newton action (matrix-free only). When η′ ≡ 0 the Newton action
+    // equals the Picard operator exactly; reuse it (solve() falls back
+    // to `a_fine`) instead of building a second matrix-free operator
+    // whose apply may differ in round-off.
+    let a_newton = newton.filter(|nd| nd.eta_prime.iter().any(|&e| e != 0.0));
+    let a_newton = a_newton.map(|nd| {
         build_arc_operator(
             match cfg.fine_kind {
                 OperatorKind::Assembled | OperatorKind::TensorC => OperatorKind::Tensor,
@@ -545,7 +562,14 @@ impl StokesSolver {
             nu: self.nu,
             np: self.np,
         };
-        gcr_monitored(&op, &pc, rhs, x, cfg, monitor)
+        let _ev = prof::scope("StokesSolve");
+        // Label the outer solve so the profiler records its KSP history
+        // (inner coarse-level solves stay unlabelled and unrecorded).
+        let cfg = match cfg.label {
+            Some(_) => cfg.clone(),
+            None => cfg.clone().with_label("Stokes"),
+        };
+        gcr_monitored(&op, &pc, rhs, x, &cfg, monitor)
     }
 
     /// Schur-complement reduction (§III-B, §IV-A): accurate inner solves
@@ -559,6 +583,7 @@ impl StokesSolver {
         outer: &KrylovConfig,
         inner_rtol: f64,
     ) -> (SolveStats, u64) {
+        let _ev = prof::scope("StokesSolveSCR");
         let (rhs_u, rhs_p) = rhs.split_at(self.nu);
         let inner_cfg = KrylovConfig::default()
             .with_rtol(inner_rtol)
@@ -622,7 +647,11 @@ impl StokesSolver {
         };
         let spc = SchurPcNeg(&self.schur);
         let (xu_slice, xp_slice) = x.split_at_mut(self.nu);
-        let stats = fgmres(&sop, &spc, &g, xp_slice, outer);
+        let outer = match outer.label {
+            Some(_) => outer.clone(),
+            None => outer.clone().with_label("StokesSCR"),
+        };
+        let stats = fgmres(&sop, &spc, &g, xp_slice, &outer);
         // Back-substitute: u = A⁻¹ (rhs_u − Bᵀ p).
         let mut btp = vec![0.0; self.nu];
         self.b_masked.spmv_transpose(xp_slice, &mut btp);
@@ -698,5 +727,10 @@ pub fn solve_stokes_with_pc<M: Preconditioner + ?Sized>(
         nu,
         np,
     };
-    gcr_monitored(&op, &pc, rhs, x, cfg, monitor)
+    let _ev = prof::scope("StokesSolve");
+    let cfg = match cfg.label {
+        Some(_) => cfg.clone(),
+        None => cfg.clone().with_label("Stokes"),
+    };
+    gcr_monitored(&op, &pc, rhs, x, &cfg, monitor)
 }

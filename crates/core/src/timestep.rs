@@ -82,12 +82,7 @@ pub fn surface_heights(mesh: &StructuredMesh, axis: usize) -> Vec<f64> {
 /// column (full Lagrangian vertical motion of the boundary-fitted mesh).
 /// Returns the new per-column top coordinates for
 /// [`StructuredMesh::remesh_vertical`].
-pub fn advected_surface(
-    mesh: &StructuredMesh,
-    velocity: &[f64],
-    axis: usize,
-    dt: f64,
-) -> Vec<f64> {
+pub fn advected_surface(mesh: &StructuredMesh, velocity: &[f64], axis: usize, dt: f64) -> Vec<f64> {
     let (nx, ny, nz) = mesh.node_dims();
     let dims = [nx, ny, nz];
     let (a1, a2) = match axis {
@@ -136,9 +131,7 @@ pub fn accumulate_plastic_strain(
         let pres = crate::coefficients::pressure_at(mesh, pressure, e, xi);
         let temp = match temperature {
             Some(t) => crate::coefficients::corner_field_at(mesh, t, e, xi),
-            None => materials
-                .get(points.lithology[i])
-                .reference_temperature,
+            None => materials.get(points.lithology[i]).reference_temperature,
         };
         let mat = materials.get(points.lithology[i]);
         let ev = mat.effective_viscosity(eps, temp, pres, points.plastic_strain[i]);

@@ -84,9 +84,8 @@ pub fn element_viscous_matrix(
         let ew = eta[q] * geo.wdetj;
         for i in 0..NQ2 {
             for j in 0..NQ2 {
-                let gdot = gphi[i][0] * gphi[j][0]
-                    + gphi[i][1] * gphi[j][1]
-                    + gphi[i][2] * gphi[j][2];
+                let gdot =
+                    gphi[i][0] * gphi[j][0] + gphi[i][1] * gphi[j][1] + gphi[i][2] * gphi[j][2];
                 for r in 0..3 {
                     let row = 3 * i + r;
                     for c in 0..3 {
@@ -206,11 +205,7 @@ pub fn assemble_gradient(mesh: &StructuredMesh, tables: &Q2QuadTables) -> Csr {
 /// `weight` (per element × qp). Returned as CSR for generic use; the
 /// element blocks are also directly invertible — see
 /// [`PressureMassBlocks`].
-pub fn assemble_pressure_mass(
-    mesh: &StructuredMesh,
-    tables: &Q2QuadTables,
-    weight: &[f64],
-) -> Csr {
+pub fn assemble_pressure_mass(mesh: &StructuredMesh, tables: &Q2QuadTables, weight: &[f64]) -> Csr {
     let nqp = tables.nqp();
     let np = num_pressure_dofs(mesh);
     let mut b = CsrBuilder::new(np, np);
@@ -391,7 +386,10 @@ mod tests {
             }
             let mut y = vec![0.0; n];
             a.spmv(&x, &mut y);
-            assert!(vec_ops::norm_inf(&y) < 1e-11, "translation {d} not in kernel");
+            assert!(
+                vec_ops::norm_inf(&y) < 1e-11,
+                "translation {d} not in kernel"
+            );
         }
         // Linearized rotation (0, z, -y)-style is in the kernel of D(u).
         let mesh1 = box_mesh(1);
@@ -528,9 +526,8 @@ mod tests {
         // Neumann terms).
         let mut max_err = 0.0f64;
         for (nn, _) in mesh.coords.iter().enumerate() {
-            let interior = (0..3).all(|ax| {
-                !mesh.node_on_face(nn, ax, true) && !mesh.node_on_face(nn, ax, false)
-            });
+            let interior = (0..3)
+                .all(|ax| !mesh.node_on_face(nn, ax, true) && !mesh.node_on_face(nn, ax, false));
             if interior {
                 for d in 0..3 {
                     max_err = max_err.max((au[3 * nn + d] - rhs[3 * nn + d]).abs());

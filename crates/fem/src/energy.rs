@@ -120,8 +120,7 @@ pub fn assemble_energy_step(
                     // Mass (time) + advection get the SUPG test function;
                     // diffusion keeps the Galerkin test function (the Q1
                     // Laplacian of the trial space vanishes element-wise).
-                    ke[i][j] += w
-                        * (wi_advective * (inv_dt * basis[q][j] + ugj) + diff);
+                    ke[i][j] += w * (wi_advective * (inv_dt * basis[q][j] + ugj) + diff);
                 }
                 fe[i] += w * wi_advective * (inv_dt * tq_old + sq);
             }

@@ -10,6 +10,7 @@
 
 use crate::operator::LinearOperator;
 use crate::par;
+use ptatin_prof as prof;
 
 /// Sparse matrix in CSR format with sorted column indices per row.
 #[derive(Clone, Debug, Default)]
@@ -80,11 +81,7 @@ impl Csr {
     }
 
     /// Build from COO triplets, summing duplicates.
-    pub fn from_triplets(
-        nrows: usize,
-        ncols: usize,
-        triplets: &[(usize, usize, f64)],
-    ) -> Self {
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         let mut counts = vec![0usize; nrows + 1];
         for &(i, _, _) in triplets {
             assert!(i < nrows);
@@ -109,8 +106,11 @@ impl Csr {
         let mut out_vals: Vec<f64> = Vec::with_capacity(triplets.len());
         for i in 0..nrows {
             let (s, e) = (counts[i], counts[i + 1]);
-            let mut row: Vec<(u32, f64)> =
-                cols[s..e].iter().copied().zip(vals[s..e].iter().copied()).collect();
+            let mut row: Vec<(u32, f64)> = cols[s..e]
+                .iter()
+                .copied()
+                .zip(vals[s..e].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut k = 0;
             while k < row.len() {
@@ -185,6 +185,9 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
+        let _ev = prof::scope("MatMult");
+        prof::log_flops(2 * self.nnz() as u64);
+        prof::log_bytes(self.bytes() as u64 + 8 * (x.len() + y.len()) as u64);
         let indptr = &self.indptr;
         let indices = &self.indices;
         let values = &self.values;
@@ -361,7 +364,11 @@ impl Csr {
                 continue;
             }
             for k in self.indptr[i]..self.indptr[i + 1] {
-                self.values[k] = if self.indices[k] as usize == i { 1.0 } else { 0.0 };
+                self.values[k] = if self.indices[k] as usize == i {
+                    1.0
+                } else {
+                    0.0
+                };
             }
         }
     }

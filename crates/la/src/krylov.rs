@@ -10,6 +10,7 @@
 
 use crate::operator::{LinearOperator, Preconditioner};
 use crate::vec_ops as v;
+use ptatin_prof as prof;
 
 /// Stopping criteria and restart length for a Krylov solve.
 #[derive(Clone, Debug)]
@@ -24,6 +25,11 @@ pub struct KrylovConfig {
     pub restart: usize,
     /// Record the residual history in [`SolveStats::history`].
     pub record_history: bool,
+    /// Profiler label. When set (and profiling is enabled) the solve
+    /// appends a [`prof::KspRecord`] on completion. Inner solves (coarse
+    /// grids, smoother setup) leave this `None` so the KSP log stays at
+    /// solver granularity.
+    pub label: Option<&'static str>,
 }
 
 impl Default for KrylovConfig {
@@ -34,6 +40,7 @@ impl Default for KrylovConfig {
             max_it: 10_000,
             restart: 50,
             record_history: false,
+            label: None,
         }
     }
 }
@@ -53,6 +60,11 @@ impl KrylovConfig {
     }
     pub fn with_history(mut self) -> Self {
         self.record_history = true;
+        self
+    }
+    /// Name this solve in the profiler's KSP log (e.g. `"GCR(stokes)"`).
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = Some(label);
         self
     }
 }
@@ -96,6 +108,30 @@ fn tolerance(cfg: &KrylovConfig, r0: f64) -> f64 {
     (cfg.rtol * r0).max(cfg.atol)
 }
 
+/// Append a KSP record for a labelled solve (no-op otherwise).
+fn finish_ksp(method: &str, cfg: &KrylovConfig, stats: &SolveStats) {
+    if !prof::enabled() {
+        return;
+    }
+    if let Some(label) = cfg.label {
+        prof::record_ksp(prof::KspRecord {
+            label: format!("{method}({label})"),
+            iterations: stats.iterations,
+            converged: stats.converged,
+            initial_residual: stats.initial_residual,
+            final_residual: stats.final_residual,
+            history: stats.history.clone(),
+        });
+    }
+}
+
+/// Apply the preconditioner under the `PCApply` profiling event.
+#[inline]
+fn pc_apply(pc: &dyn Preconditioner, r: &[f64], z: &mut [f64]) {
+    let _ev = prof::scope("PCApply");
+    pc.apply(r, z);
+}
+
 fn residual(a: &dyn LinearOperator, b: &[f64], x: &[f64], r: &mut [f64]) {
     a.apply(x, r);
     for i in 0..r.len() {
@@ -121,6 +157,19 @@ pub fn cg(
     x: &mut [f64],
     cfg: &KrylovConfig,
 ) -> SolveStats {
+    let _ev = prof::scope("KSPSolve_CG");
+    let stats = cg_impl(a, pc, b, x, cfg);
+    finish_ksp("CG", cfg, &stats);
+    stats
+}
+
+fn cg_impl(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+) -> SolveStats {
     let n = b.len();
     let mut r = vec![0.0; n];
     residual(a, b, x, &mut r);
@@ -132,7 +181,7 @@ pub fn cg(
     }
     let tol = tolerance(cfg, r0);
     let mut z = vec![0.0; n];
-    pc.apply(&r, &mut z);
+    pc_apply(pc, &r, &mut z);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
     let mut rz = v::dot(&r, &z);
@@ -154,7 +203,7 @@ pub fn cg(
             stats.converged = true;
             return stats;
         }
-        pc.apply(&r, &mut z);
+        pc_apply(pc, &r, &mut z);
         let rz_new = v::dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -173,7 +222,10 @@ pub fn gmres(
     x: &mut [f64],
     cfg: &KrylovConfig,
 ) -> SolveStats {
-    gmres_impl(a, pc, b, x, cfg, false, &mut None)
+    let _ev = prof::scope("KSPSolve_GMRES");
+    let stats = gmres_impl(a, pc, b, x, cfg, false, &mut None);
+    finish_ksp("GMRES", cfg, &stats);
+    stats
 }
 
 /// Flexible GMRES: stores the preconditioned directions so the
@@ -185,7 +237,10 @@ pub fn fgmres(
     x: &mut [f64],
     cfg: &KrylovConfig,
 ) -> SolveStats {
-    gmres_impl(a, pc, b, x, cfg, true, &mut None)
+    let _ev = prof::scope("KSPSolve_FGMRES");
+    let stats = gmres_impl(a, pc, b, x, cfg, true, &mut None);
+    finish_ksp("FGMRES", cfg, &stats);
+    stats
 }
 
 /// Per-iteration observer: `(iteration, residual_norm, residual_vector)`.
@@ -215,7 +270,7 @@ fn gmres_impl(
 
     let mut vbasis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
     let mut zbasis: Vec<Vec<f64>> = Vec::with_capacity(m); // FGMRES only
-    // Hessenberg (column-major: h[j] has j+2 entries), Givens rotations.
+                                                           // Hessenberg (column-major: h[j] has j+2 entries), Givens rotations.
     let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
     let (mut cs, mut sn) = (vec![0.0; m], vec![0.0; m]);
     let mut g = vec![0.0; m + 1];
@@ -240,7 +295,7 @@ fn gmres_impl(
 
         for j in 0..m {
             // w = A M⁻¹ v_j
-            pc.apply(&vbasis[j], &mut zj);
+            pc_apply(pc, &vbasis[j], &mut zj);
             if flexible {
                 zbasis.push(zj.clone());
             }
@@ -311,7 +366,7 @@ fn gmres_impl(
                     for (l, yl) in y.iter().enumerate() {
                         v::axpy(*yl, &vbasis[l], &mut u);
                     }
-                    pc.apply(&u, &mut zj);
+                    pc_apply(pc, &u, &mut zj);
                     v::axpy(1.0, &zj, x);
                 }
                 if rnorm <= tol {
@@ -334,6 +389,20 @@ fn gmres_impl(
 /// GCR(m): flexible, with the iterate and true residual available every
 /// iteration. `monitor` (if provided) observes `(it, ‖r‖, r)`.
 pub fn gcr_monitored(
+    a: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KrylovConfig,
+    monitor: Monitor,
+) -> SolveStats {
+    let _ev = prof::scope("KSPSolve_GCR");
+    let stats = gcr_monitored_impl(a, pc, b, x, cfg, monitor);
+    finish_ksp("GCR", cfg, &stats);
+    stats
+}
+
+fn gcr_monitored_impl(
     a: &dyn LinearOperator,
     pc: &dyn Preconditioner,
     b: &[f64],
@@ -365,7 +434,7 @@ pub fn gcr_monitored(
             ps.clear();
             aps.clear();
         }
-        pc.apply(&r, &mut z);
+        pc_apply(pc, &r, &mut z);
         a.apply(&z, &mut az);
         // Orthogonalize A z against previous normalized A p_i.
         let mut p = z.clone();

@@ -7,6 +7,7 @@
 //! ranks. With one thread every helper degenerates to a plain loop, which
 //! keeps results bit-for-bit deterministic.
 
+use ptatin_prof as prof;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -65,10 +66,14 @@ where
         f(0, s, e);
         return;
     }
+    let parent = prof::current_id();
     std::thread::scope(|scope| {
         for (i, &(s, e)) in ranges.iter().enumerate().skip(1) {
             let f = &f;
-            scope.spawn(move || f(i, s, e));
+            scope.spawn(move || {
+                let _attr = prof::adopt(parent);
+                f(i, s, e)
+            });
         }
         let (s, e) = ranges[0];
         f(0, s, e);
@@ -88,17 +93,30 @@ where
         f(0, data);
         return;
     }
+    let parent = prof::current_id();
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut consumed = 0usize;
+        // Spawn workers for every range but the first; fold the first on
+        // the calling thread (same policy as `par_ranges`).
+        let mut first: Option<(usize, &mut [T])> = None;
         for &(s, e) in &ranges {
             let (head, tail) = rest.split_at_mut(e - s);
             rest = tail;
-            let f = &f;
             let off = consumed;
             consumed += head.len();
-            scope.spawn(move || f(off, head));
+            if s == 0 {
+                first = Some((off, head));
+                continue;
+            }
+            let f = &f;
+            scope.spawn(move || {
+                let _attr = prof::adopt(parent);
+                f(off, head)
+            });
         }
+        let (off, head) = first.expect("first range exists");
+        f(off, head);
     });
 }
 
@@ -117,11 +135,20 @@ where
         return fold(s, e);
     }
     let mut parts: Vec<Option<R>> = vec![None; ranges.len()];
+    let parent = prof::current_id();
     std::thread::scope(|scope| {
         let fold = &fold;
-        for (slot, &(s, e)) in parts.iter_mut().zip(&ranges) {
-            scope.spawn(move || *slot = Some(fold(s, e)));
+        let (first, spawned) = parts.split_first_mut().expect("nonempty ranges");
+        for (slot, &(s, e)) in spawned.iter_mut().zip(&ranges[1..]) {
+            scope.spawn(move || {
+                let _attr = prof::adopt(parent);
+                *slot = Some(fold(s, e))
+            });
         }
+        // Fold the first range on the calling thread instead of idling
+        // while nt workers run (same policy as `par_ranges`).
+        let (s, e) = ranges[0];
+        *first = Some(fold(s, e));
     });
     parts
         .into_iter()
@@ -174,6 +201,52 @@ mod tests {
             |x, y| x + y,
         );
         assert_eq!(s, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn par_reduce_folds_first_range_on_calling_thread() {
+        set_num_threads(4);
+        let caller = std::thread::current().id();
+        let ids = par_reduce(
+            1000,
+            Vec::new(),
+            |s, _e| vec![(s, std::thread::current().id())],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        set_num_threads(0);
+        assert!(ids.len() > 1, "expected a parallel split");
+        let first = ids.iter().find(|(s, _)| *s == 0).expect("range 0 present");
+        assert_eq!(first.1, caller, "range 0 must fold on the calling thread");
+        for (s, id) in &ids {
+            if *s != 0 {
+                assert_ne!(*id, caller, "spawned range folded on the caller");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_workers_attribute_flops_to_enclosing_event() {
+        // The prof registry is process-global; run this test's scope under
+        // a unique event name so parallel tests cannot collide on it.
+        prof::enable();
+        let nt = 4;
+        set_num_threads(nt);
+        {
+            let _s = prof::scope("par_attribution_test");
+            par_ranges(1000, |_i, s, e| prof::log_flops((e - s) as u64));
+        }
+        set_num_threads(0);
+        prof::disable();
+        let snap = prof::snapshot();
+        let ev = snap.event("par_attribution_test").expect("event recorded");
+        assert_eq!(
+            ev.flops, 1000,
+            "worker flops must land on the enclosing event"
+        );
+        assert_eq!(ev.calls, 1);
     }
 
     #[test]

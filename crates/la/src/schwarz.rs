@@ -120,10 +120,7 @@ impl AdditiveSchwarz {
     pub fn block_jacobi(a: &Csr, nblocks: usize, kind: SubdomainSolve) -> Self {
         let n = a.nrows();
         let ranges = crate::par::split_ranges(n, nblocks.max(1));
-        let sets = ranges
-            .into_iter()
-            .map(|(s, e)| (s..e).collect())
-            .collect();
+        let sets = ranges.into_iter().map(|(s, e)| (s..e).collect()).collect();
         Self::new(a, sets, kind)
     }
 

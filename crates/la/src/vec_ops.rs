@@ -109,7 +109,13 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     par::par_reduce(
         x.len(),
         0.0,
-        |s, e| x[s..e].iter().zip(&y[s..e]).map(|(a, b)| a * b).sum::<f64>(),
+        |s, e| {
+            x[s..e]
+                .iter()
+                .zip(&y[s..e])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        },
         |a, b| a + b,
     )
 }

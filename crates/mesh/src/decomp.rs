@@ -102,7 +102,11 @@ impl ElementPartition {
 
     #[inline]
     pub fn subdomain_ijk(&self, s: usize) -> (usize, usize, usize) {
-        (s % self.px, (s / self.px) % self.py, s / (self.px * self.py))
+        (
+            s % self.px,
+            (s / self.px) % self.py,
+            s / (self.px * self.py),
+        )
     }
 
     fn locate(split: &[usize], e: usize) -> usize {

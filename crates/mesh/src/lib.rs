@@ -39,14 +39,7 @@ impl StructuredMesh {
     /// assert_eq!(mesh.node_dims(), (9, 9, 9)); // Q2 node grid
     /// assert!(mesh.supports_levels(3));        // 4 → 2 → 1 hierarchy
     /// ```
-    pub fn new_box(
-        mx: usize,
-        my: usize,
-        mz: usize,
-        x: [f64; 2],
-        y: [f64; 2],
-        z: [f64; 2],
-    ) -> Self {
+    pub fn new_box(mx: usize, my: usize, mz: usize, x: [f64; 2], y: [f64; 2], z: [f64; 2]) -> Self {
         assert!(mx > 0 && my > 0 && mz > 0);
         let (nx, ny, nz) = (2 * mx + 1, 2 * my + 1, 2 * mz + 1);
         let mut coords = Vec::with_capacity(nx * ny * nz);
@@ -106,7 +99,11 @@ impl StructuredMesh {
     /// Inverse of [`element_index`](Self::element_index).
     #[inline]
     pub fn element_ijk(&self, e: usize) -> (usize, usize, usize) {
-        (e % self.mx, (e / self.mx) % self.my, e / (self.mx * self.my))
+        (
+            e % self.mx,
+            (e / self.mx) % self.my,
+            e / (self.mx * self.my),
+        )
     }
 
     /// The 27 Q2 node indices of element `e`, ordered x-fastest over the
@@ -385,7 +382,11 @@ mod tests {
         assert_eq!(nodes[26], m.node_index(2, 2, 2));
         // Neighbouring elements share a face of 9 nodes.
         let right = m.element_nodes(1);
-        let shared: Vec<usize> = nodes.iter().filter(|n| right.contains(n)).copied().collect();
+        let shared: Vec<usize> = nodes
+            .iter()
+            .filter(|n| right.contains(n))
+            .copied()
+            .collect();
         assert_eq!(shared.len(), 9);
     }
 

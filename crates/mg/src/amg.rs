@@ -11,6 +11,7 @@ use ptatin_la::dense::{thin_qr, DenseMatrix};
 use ptatin_la::krylov::{fgmres, KrylovConfig};
 use ptatin_la::operator::Preconditioner;
 use ptatin_la::schwarz::{AdditiveSchwarz, DirectSolver, SubdomainSolve};
+use ptatin_prof as prof;
 
 /// Level smoother selection (Table IV configurations).
 #[derive(Clone, Debug)]
@@ -30,7 +31,11 @@ pub enum CoarseSolverKind {
     /// Block-Jacobi with exact LU per block (the paper's GAMG coarse solve).
     BlockJacobiLu { blocks: usize },
     /// Inexact FGMRES terminated at a relative tolerance (SAML-ii).
-    InexactGmres { rtol: f64, max_it: usize, blocks: usize },
+    InexactGmres {
+        rtol: f64,
+        max_it: usize,
+        blocks: usize,
+    },
 }
 
 /// Smoothed-aggregation configuration.
@@ -210,10 +215,9 @@ fn aggregate(strong: &[Vec<u32>], nnodes: usize, min_agg: usize) -> (Vec<u32>, u
                 if counts[ai] >= min_agg {
                     continue;
                 }
-                if let Some(&j) = strong[i]
-                    .iter()
-                    .find(|&&j| agg[j as usize] != agg[i] && counts[agg[j as usize] as usize] >= min_agg)
-                {
+                if let Some(&j) = strong[i].iter().find(|&&j| {
+                    agg[j as usize] != agg[i] && counts[agg[j as usize] as usize] >= min_agg
+                }) {
                     counts[ai] -= 1;
                     agg[i] = agg[j as usize];
                     counts[agg[i] as usize] += 1;
@@ -346,6 +350,7 @@ fn tentative_prolongator(
 
 /// Build a smoothed-aggregation hierarchy for `a` with near-nullspace `b`.
 pub fn build_sa_amg(a: Csr, b: &DenseMatrix, cfg: &AmgConfig) -> AmgHierarchy {
+    let _ev = prof::scope("PCSetUp_AMG");
     let start = std::time::Instant::now();
     let k = b.ncols;
     let mut levels: Vec<AmgLevel> = Vec::new();
@@ -428,7 +433,10 @@ impl AmgHierarchy {
             self.coarse.solve(&lvl.a, b, x);
             return;
         }
-        let sm = lvl.smoother.as_ref().expect("non-coarse level has smoother");
+        let sm = lvl
+            .smoother
+            .as_ref()
+            .expect("non-coarse level has smoother");
         // Pre-smooth.
         sm.smooth(&lvl.a, b, x);
         // Residual and restriction through the next level's P.
@@ -460,6 +468,7 @@ impl AmgHierarchy {
 
 impl Preconditioner for AmgHierarchy {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let _ev = prof::scope("PCApply_AMG");
         z.fill(0.0);
         self.vcycle(0, r, z);
     }
@@ -603,7 +612,9 @@ mod tests {
             ..AmgConfig::default()
         };
         let amg = build_sa_amg(a.clone(), &b, &cfg);
-        let rhs: Vec<f64> = (0..a.nrows()).map(|i| if mask[i] { 0.0 } else { 1.0 }).collect();
+        let rhs: Vec<f64> = (0..a.nrows())
+            .map(|i| if mask[i] { 0.0 } else { 1.0 })
+            .collect();
         let mut x = vec![0.0; a.nrows()];
         let with_amg = cg(
             &a,
@@ -651,7 +662,10 @@ mod tests {
             a.clone(),
             &b,
             &AmgConfig {
-                smoother: SmootherKind::FgmresBlockJacobiIlu0 { iters: 2, blocks: 4 },
+                smoother: SmootherKind::FgmresBlockJacobiIlu0 {
+                    iters: 2,
+                    blocks: 4,
+                },
                 ..base
             },
         );
@@ -662,7 +676,12 @@ mod tests {
         let mut x2 = vec![0.0; a.nrows()];
         let s2 = gcr(&a, &strong, &rhs, &mut x2, &cfg);
         assert!(s1.converged && s2.converged);
-        assert!(s2.iterations <= s1.iterations, "{} vs {}", s2.iterations, s1.iterations);
+        assert!(
+            s2.iterations <= s1.iterations,
+            "{} vs {}",
+            s2.iterations,
+            s1.iterations
+        );
     }
 
     #[test]

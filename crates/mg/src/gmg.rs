@@ -10,7 +10,26 @@ use ptatin_la::csr::Csr;
 use ptatin_la::krylov::{cg, fgmres, KrylovConfig};
 use ptatin_la::operator::{LinearOperator, Preconditioner};
 use ptatin_la::schwarz::{AdditiveSchwarz, DirectSolver};
+use ptatin_prof as prof;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-level smoother event names (profiling scopes need `&'static str`);
+/// levels deeper than the table share the last entry.
+const MG_SMOOTH_NAMES: [&str; 9] = [
+    "MGSmooth_L0",
+    "MGSmooth_L1",
+    "MGSmooth_L2",
+    "MGSmooth_L3",
+    "MGSmooth_L4",
+    "MGSmooth_L5",
+    "MGSmooth_L6",
+    "MGSmooth_L7",
+    "MGSmooth_L8+",
+];
+
+fn smooth_event(k: usize) -> &'static str {
+    MG_SMOOTH_NAMES[k.min(MG_SMOOTH_NAMES.len() - 1)]
+}
 
 /// Coarsest-level solver of the geometric hierarchy.
 pub enum GmgCoarseSolver {
@@ -65,7 +84,12 @@ impl GmgCoarseSolver {
             }
             GmgCoarseSolver::Direct(lu) => lu.apply(b, x),
             GmgCoarseSolver::BlockJacobiLu(pc) => pc.apply(b, x),
-            GmgCoarseSolver::InexactCgAsm { a, pc, rtol, max_it } => {
+            GmgCoarseSolver::InexactCgAsm {
+                a,
+                pc,
+                rtol,
+                max_it,
+            } => {
                 x.fill(0.0);
                 let cfg = KrylovConfig::default()
                     .with_rtol(*rtol)
@@ -177,6 +201,7 @@ impl GeometricMg {
     /// finest.
     fn vcycle(&self, k: usize, b: &[f64], x: &mut [f64]) {
         if k == 0 {
+            let _ev = prof::scope("MGCoarseSolve");
             let t0 = std::time::Instant::now();
             self.coarse.solve(b, x);
             self.coarse_nanos
@@ -186,7 +211,10 @@ impl GeometricMg {
         }
         let lvl = &self.levels[k - 1];
         let a = lvl.op.as_ref();
-        lvl.smoother.smooth_with(a, b, x, self.pre_smooth);
+        {
+            let _ev = prof::scope(smooth_event(k));
+            lvl.smoother.smooth_with(a, b, x, self.pre_smooth);
+        }
         // Residual.
         let n = b.len();
         let mut r = vec![0.0; n];
@@ -197,7 +225,10 @@ impl GeometricMg {
         // Restrict through Pᵀ.
         let p = &self.prolongations[k - 1];
         let mut rc = vec![0.0; p.ncols()];
-        p.spmv_transpose(&r, &mut rc);
+        {
+            let _ev = prof::scope("MGRestrict");
+            p.spmv_transpose(&r, &mut rc);
+        }
         // μ-cycle: recurse μ times on the *same* coarse problem with a
         // warm start (the textbook W-cycle; refreshing the fine residual
         // between visits instead is not contractive when intermediate
@@ -215,11 +246,17 @@ impl GeometricMg {
         }
         // Prolong and correct.
         let mut corr = vec![0.0; n];
-        p.spmv(&xc, &mut corr);
+        {
+            let _ev = prof::scope("MGProlong");
+            p.spmv(&xc, &mut corr);
+        }
         for i in 0..n {
             x[i] += corr[i];
         }
-        lvl.smoother.smooth_with(a, b, x, self.post_smooth);
+        {
+            let _ev = prof::scope(smooth_event(k));
+            lvl.smoother.smooth_with(a, b, x, self.post_smooth);
+        }
     }
 }
 
@@ -258,8 +295,7 @@ pub fn galerkin_coarse(a_fine: &Csr, p: &Csr, coarse_mask: &[bool]) -> Csr {
         .collect();
     // Rows are zero after filtering; make them identity.
     let eye = {
-        let triplets: Vec<(usize, usize, f64)> =
-            bc_rows.iter().map(|&i| (i, i, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f64)> = bc_rows.iter().map(|&i| (i, i, 1.0)).collect();
         Csr::from_triplets(ac.nrows(), ac.ncols(), &triplets)
     };
     ac = ac.add_scaled(&eye, 1.0);
@@ -331,11 +367,7 @@ mod tests {
             let mask = masks.last().unwrap();
             (0..n).map(|i| if mask[i] { 0.0 } else { 1.0 }).collect()
         };
-        (
-            fine_a,
-            GeometricMg::new(lvls, ps, coarse, pre, post),
-            rhs,
-        )
+        (fine_a, GeometricMg::new(lvls, ps, coarse, pre, post), rhs)
     }
 
     #[test]
@@ -443,8 +475,9 @@ mod tests {
         );
         // W-cycle visits the coarse solver more often per application.
         assert!(
-            mgw.coarse_apply_count() as f64 > 1.4 * mgv.coarse_apply_count() as f64
-                / (sv.iterations as f64 / sw.iterations as f64).max(1.0)
+            mgw.coarse_apply_count() as f64
+                > 1.4 * mgv.coarse_apply_count() as f64
+                    / (sv.iterations as f64 / sw.iterations as f64).max(1.0)
         );
     }
 

@@ -53,11 +53,7 @@ pub fn advect_rk2(
             Some((em, xim)) => interpolate_velocity(mesh, velocity, em, xim),
             None => v1,
         };
-        let x1 = [
-            x0[0] + dt * v2[0],
-            x0[1] + dt * v2[1],
-            x0[2] + dt * v2[2],
-        ];
+        let x1 = [x0[0] + dt * v2[0], x0[1] + dt * v2[1], x0[2] + dt * v2[2]];
         match locate_point(mesh, locator, x1, Some(e0)) {
             Some((e1, xi1)) => {
                 points.x[p] = x1;
@@ -165,8 +161,7 @@ pub fn cull_lost(points: &mut MaterialPoints) -> usize {
 mod tests {
     use super::*;
     use crate::points::seed_regular;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptatin_prng::StdRng;
 
     fn mesh() -> StructuredMesh {
         StructuredMesh::new_box(4, 4, 4, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
@@ -222,11 +217,7 @@ mod tests {
             assert_eq!(s.lost, 0);
         }
         let theta: f64 = 1.0;
-        let expect = [
-            0.5 + 0.2 * theta.cos(),
-            0.5 + 0.2 * theta.sin(),
-            0.5,
-        ];
+        let expect = [0.5 + 0.2 * theta.cos(), 0.5 + 0.2 * theta.sin(), 0.5];
         let err = ((pts.x[0][0] - expect[0]).powi(2) + (pts.x[0][1] - expect[1]).powi(2)).sqrt();
         assert!(err < 2e-4, "rotation error {err}");
         // Radius preserved to O(dt²) per unit time.
@@ -286,11 +277,7 @@ mod tests {
         assert_eq!(stats.lost, 0, "all points must survive an upward remesh");
         // ξ caches must be valid: reconstructing positions matches.
         for p in 0..pts.len() {
-            let x = crate::projection::point_physical(
-                &mesh,
-                pts.element[p] as usize,
-                pts.xi[p],
-            );
+            let x = crate::projection::point_physical(&mesh, pts.element[p] as usize, pts.xi[p]);
             for d in 0..3 {
                 assert!((x[d] - pts.x[p][d]).abs() < 1e-9);
             }

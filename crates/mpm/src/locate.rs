@@ -48,10 +48,8 @@ impl ElementLocator {
             let mut cl = [0usize; 3];
             let mut ch = [0usize; 3];
             for d in 0..3 {
-                cl[d] = (((blo[d] - lo[d]) * inv_h[d]).floor().max(0.0) as usize)
-                    .min(dims[d] - 1);
-                ch[d] = (((bhi[d] - lo[d]) * inv_h[d]).floor().max(0.0) as usize)
-                    .min(dims[d] - 1);
+                cl[d] = (((blo[d] - lo[d]) * inv_h[d]).floor().max(0.0) as usize).min(dims[d] - 1);
+                ch[d] = (((bhi[d] - lo[d]) * inv_h[d]).floor().max(0.0) as usize).min(dims[d] - 1);
             }
             for ck in cl[2]..=ch[2] {
                 for cj in cl[1]..=ch[1] {

@@ -107,17 +107,16 @@ impl SubdomainSwarms {
         // Phase 2: offer each send list to the neighbours of its origin;
         // the first neighbour whose subdomain contains the point claims it.
         for s in 0..ns {
-            let neighbors = partition.neighbors(s);
             for ps in send_lists[s].drain(..) {
                 let mut claimed = false;
                 if let Some((e, xi)) = locate_point(mesh, locator, ps.x, None) {
                     let owner = partition.subdomain_of_element(e);
-                    if owner != s && (neighbors.contains(&owner) || true) {
-                        // Accept also non-neighbour owners (a point can
-                        // cross a subdomain corner in one step); the paper
-                        // restricts to neighbours because MPI messages are
-                        // only posted there — with a CFL-limited step the
-                        // two sets coincide.
+                    if owner != s {
+                        // Accept any owner, not just `partition.neighbors(s)`
+                        // (a point can cross a subdomain corner in one
+                        // step); the paper restricts to neighbours because
+                        // MPI messages are only posted there — with a
+                        // CFL-limited step the two sets coincide.
                         let sw = &mut self.swarms[owner];
                         sw.insert(ps);
                         *sw.element.last_mut().unwrap() = e as u32;
@@ -140,8 +139,7 @@ mod tests {
     use super::*;
     use crate::advect::advect_rk2;
     use crate::points::seed_regular;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptatin_prng::StdRng;
 
     fn setup() -> (StructuredMesh, ElementLocator, ElementPartition) {
         let mesh = StructuredMesh::new_box(4, 4, 4, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
@@ -160,10 +158,7 @@ mod tests {
         assert_eq!(swarms.total(), total);
         for (s, sw) in swarms.swarms.iter().enumerate() {
             for p in 0..sw.len() {
-                assert_eq!(
-                    partition.subdomain_of_element(sw.element[p] as usize),
-                    s
-                );
+                assert_eq!(partition.subdomain_of_element(sw.element[p] as usize), s);
             }
         }
     }

@@ -6,7 +6,7 @@
 //! point."
 
 use ptatin_mesh::StructuredMesh;
-use rand::Rng;
+use ptatin_prng::Rng;
 
 /// Struct-of-arrays material point swarm.
 #[derive(Clone, Debug, Default)]
@@ -117,8 +117,7 @@ pub fn seed_regular<R: Rng, F: Fn([f64; 3]) -> u16>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptatin_prng::StdRng;
 
     #[test]
     fn seeding_counts_and_positions() {
@@ -139,8 +138,8 @@ mod tests {
         let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
         let mut rng = StdRng::seed_from_u64(7);
         let pts = seed_regular(&mesh, 2, 0.1, &mut rng, |x| u16::from(x[2] > 0.5));
-        assert!(pts.lithology.iter().any(|&l| l == 0));
-        assert!(pts.lithology.iter().any(|&l| l == 1));
+        assert!(pts.lithology.contains(&0));
+        assert!(pts.lithology.contains(&1));
         for (p, &l) in pts.x.iter().zip(&pts.lithology) {
             assert_eq!(l, u16::from(p[2] > 0.5));
         }

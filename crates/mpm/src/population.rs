@@ -7,7 +7,7 @@
 use crate::points::MaterialPoints;
 use ptatin_fem::geometry::map_to_physical;
 use ptatin_mesh::StructuredMesh;
-use rand::Rng;
+use ptatin_prng::Rng;
 
 /// Population bounds per element.
 #[derive(Clone, Copy, Debug)]
@@ -170,8 +170,7 @@ pub fn control_population<R: Rng>(
 mod tests {
     use super::*;
     use crate::points::seed_regular;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptatin_prng::StdRng;
 
     fn mesh() -> StructuredMesh {
         StructuredMesh::new_box(3, 3, 3, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])

@@ -137,9 +137,7 @@ pub fn restrict_corner_field(
                     for dj in -1isize..=1 {
                         for di in -1isize..=1 {
                             if let Some(v) = value(fi + di, fj + dj, fk + dk) {
-                                let w = (2.0f64).powi(
-                                    -((di.abs() + dj.abs() + dk.abs()) as i32),
-                                );
+                                let w = (2.0f64).powi(-((di.abs() + dj.abs() + dk.abs()) as i32));
                                 num += w * v;
                                 den += w;
                             }
@@ -208,8 +206,7 @@ pub fn point_physical(mesh: &StructuredMesh, e: usize, xi: [f64; 3]) -> [f64; 3]
 mod tests {
     use super::*;
     use crate::points::seed_regular;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptatin_prng::StdRng;
 
     fn mesh() -> StructuredMesh {
         StructuredMesh::new_box(3, 3, 3, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
@@ -303,7 +300,10 @@ mod tests {
         }
         // Geometric mean at the interface, not arithmetic (≈ 500).
         let has_intermediate = qpf.iter().any(|&v| (1e-3..=1.0).contains(&v));
-        assert!(has_intermediate, "log-interp should produce geometric means");
+        assert!(
+            has_intermediate,
+            "log-interp should produce geometric means"
+        );
     }
 
     #[test]

@@ -48,13 +48,18 @@ mod tests {
         let data = Arc::new(ViscousOpData::new(&mesh, eta, &bc));
         let t = TensorViscousOp::new(data);
         let n = a.nrows();
-        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 101) as f64 / 50.0 - 1.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31) % 101) as f64 / 50.0 - 1.0)
+            .collect();
         let mut y1 = vec![0.0; n];
         let mut y2 = vec![0.0; n];
         a.spmv(&x, &mut y1);
         t.apply(&x, &mut y2);
         for i in 0..n {
-            assert!((y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()), "dof {i}");
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()),
+                "dof {i}"
+            );
         }
     }
 }

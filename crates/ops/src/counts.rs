@@ -158,7 +158,10 @@ mod tests {
         assert_eq!(m.bytes_perfect, t.bytes_perfect);
         assert!(m.flops > 3 * t.flops);
         let tc = tensor_c_model();
-        assert!(tc.bytes_perfect > t.bytes_perfect, "TensorC trades bytes for flops");
+        assert!(
+            tc.bytes_perfect > t.bytes_perfect,
+            "TensorC trades bytes for flops"
+        );
         assert!(tc.flops < t.flops);
     }
 }

@@ -135,10 +135,15 @@ impl ViscousOpData {
 #[inline]
 pub fn second_invariant(d: &[f64; 6]) -> f64 {
     // I₂ = ½ D:D = ½(xx²+yy²+zz²) + yz²+xz²+xy²
-    0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2])
-        + d[3] * d[3]
-        + d[4] * d[4]
-        + d[5] * d[5]
+    0.5 * (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]) + d[3] * d[3] + d[4] * d[4] + d[5] * d[5]
+}
+
+/// Re-export for convenience of operator modules.
+pub use ptatin_fem::assemble::Q2QuadTables as Tables;
+
+/// Build the standard quadrature tables once.
+pub fn standard_tables() -> Q2QuadTables {
+    Q2QuadTables::standard()
 }
 
 #[cfg(test)]
@@ -191,12 +196,4 @@ mod tests {
         let d = [0.0, 0.0, 0.0, 0.0, 0.0, 0.5];
         assert!((second_invariant(&d) - 0.25).abs() < 1e-15);
     }
-}
-
-/// Re-export for convenience of operator modules.
-pub use ptatin_fem::assemble::Q2QuadTables as Tables;
-
-/// Build the standard quadrature tables once.
-pub fn standard_tables() -> Q2QuadTables {
-    Q2QuadTables::standard()
 }

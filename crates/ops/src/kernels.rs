@@ -68,11 +68,7 @@ where
 /// Geometry at one quadrature point computed from the 8 corner coordinates:
 /// returns (`Jinv` with `Jinv[d][l] = ∂ξ_d/∂x_l`, `w·det J`).
 #[inline]
-pub fn qp_jacobian(
-    corners: &[[f64; 3]; 8],
-    q1g: &[[f64; 3]; 8],
-    w: f64,
-) -> ([[f64; 3]; 3], f64) {
+pub fn qp_jacobian(corners: &[[f64; 3]; 8], q1g: &[[f64; 3]; 8], w: f64) -> ([[f64; 3]; 3], f64) {
     let mut j = [[0.0f64; 3]; 3];
     for (c, corner) in corners.iter().enumerate() {
         let g = q1g[c];
@@ -125,7 +121,7 @@ pub fn weighted_stress(
         let ep = nd.eta_prime[idx];
         if ep != 0.0 {
             let d0 = &nd.d_sym[idx]; // [xx,yy,zz,yz,xz,xy]
-            // D₀ : D with symmetric storage.
+                                     // D₀ : D with symmetric storage.
             let dd = d0[0] * d[0][0]
                 + d0[1] * d[1][1]
                 + d0[2] * d[2][2]

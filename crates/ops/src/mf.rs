@@ -15,6 +15,7 @@ use crate::kernels::{
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::basis::NQ2;
 use ptatin_la::operator::LinearOperator;
+use ptatin_prof as prof;
 use std::sync::Arc;
 
 /// Matrix-free viscous operator (reference implementation).
@@ -48,8 +49,7 @@ impl MfViscousOp {
             let mut re = [[0.0f64; 3]; NQ2];
             let mut gphi = [[0.0f64; 3]; NQ2];
             for q in 0..NQP {
-                let (jinv, wdet) =
-                    qp_jacobian(corners, &self.q1g[q], self.tables.quad.weights[q]);
+                let (jinv, wdet) = qp_jacobian(corners, &self.q1g[q], self.tables.quad.weights[q]);
                 // Physical gradients and velocity gradient.
                 let mut gradu = [[0.0f64; 3]; 3];
                 for i in 0..NQ2 {
@@ -72,8 +72,7 @@ impl MfViscousOp {
                 for i in 0..NQ2 {
                     let g = gphi[i];
                     for c in 0..3 {
-                        re[i][c] +=
-                            sigma[c][0] * g[0] + sigma[c][1] * g[1] + sigma[c][2] * g[2];
+                        re[i][c] += sigma[c][0] * g[0] + sigma[c][1] * g[1] + sigma[c][2] * g[2];
                     }
                 }
             }
@@ -98,6 +97,10 @@ impl LinearOperator for MfViscousOp {
         self.data.ndof
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let _ev = prof::scope("MatMult_MF");
+        let model = crate::counts::mf_model();
+        prof::log_flops(model.flops * self.data.nel as u64);
+        prof::log_bytes(model.bytes_perfect * self.data.nel as u64);
         y.fill(0.0);
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
@@ -126,7 +129,9 @@ mod tests {
     use ptatin_mesh::StructuredMesh;
 
     fn random_like(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0)
+            .collect()
     }
 
     fn varying_eta(nel: usize) -> Vec<f64> {

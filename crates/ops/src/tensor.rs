@@ -14,6 +14,7 @@ use crate::kernels::{
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::basis::{q2_basis_1d, q2_deriv_1d};
 use ptatin_la::operator::LinearOperator;
+use ptatin_prof as prof;
 use std::sync::Arc;
 
 /// 1-D basis (`B̃`) and derivative (`D̃`) matrices evaluated at the three
@@ -67,11 +68,7 @@ pub fn contract_dim1(m: &[[f64; 3]; 3], input: &[f64; 27], out: &mut [f64; 27]) 
     for k in 0..3 {
         let base = 9 * k;
         for i in 0..3 {
-            let (i0, i1, i2) = (
-                input[base + i],
-                input[base + i + 3],
-                input[base + i + 6],
-            );
+            let (i0, i1, i2) = (input[base + i], input[base + i + 3], input[base + i + 6]);
             out[base + i] = m[0][0] * i0 + m[0][1] * i1 + m[0][2] * i2;
             out[base + i + 3] = m[1][0] * i0 + m[1][1] * i1 + m[1][2] * i2;
             out[base + i + 6] = m[2][0] * i0 + m[2][1] * i1 + m[2][2] * i2;
@@ -172,8 +169,7 @@ impl TensorViscousOp {
             // Quadrature loop with metric terms applied in place.
             let mut what = [[[0.0f64; 27]; 3]; 3];
             for q in 0..NQP {
-                let (jinv, wdet) =
-                    qp_jacobian(corners, &self.q1g[q], self.tables.quad.weights[q]);
+                let (jinv, wdet) = qp_jacobian(corners, &self.q1g[q], self.tables.quad.weights[q]);
                 let mut gradu = [[0.0f64; 3]; 3];
                 for c in 0..3 {
                     for l in 0..3 {
@@ -219,6 +215,10 @@ impl LinearOperator for TensorViscousOp {
         self.data.ndof
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let _ev = prof::scope("MatMult_Tensor");
+        let model = crate::counts::tensor_model();
+        prof::log_flops(model.flops * self.data.nel as u64);
+        prof::log_bytes(model.bytes_perfect * self.data.nel as u64);
         y.fill(0.0);
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
@@ -302,7 +302,9 @@ mod tests {
         let mf = MfViscousOp::new(data.clone());
         let tp = TensorViscousOp::new(data);
         let n = mf.nrows();
-        let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) % 997) as f64 / 500.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 997) as f64 / 500.0)
+            .collect();
         let mut y1 = vec![0.0; n];
         let mut y2 = vec![0.0; n];
         mf.apply(&x, &mut y1);
@@ -325,7 +327,9 @@ mod tests {
         let nel = mesh.num_elements();
         let eta: Vec<f64> = (0..nel * NQP).map(|i| 1.0 + (i % 3) as f64).collect();
         let newton = NewtonData {
-            eta_prime: (0..nel * NQP).map(|i| -0.1 * ((i % 7) as f64) / 7.0).collect(),
+            eta_prime: (0..nel * NQP)
+                .map(|i| -0.1 * ((i % 7) as f64) / 7.0)
+                .collect(),
             d_sym: (0..nel * NQP)
                 .map(|i| {
                     let s = (i as f64 * 0.01).sin();
@@ -333,9 +337,8 @@ mod tests {
                 })
                 .collect(),
         };
-        let data = Arc::new(
-            ViscousOpData::new(&mesh, eta, &DirichletBc::new()).with_newton(newton),
-        );
+        let data =
+            Arc::new(ViscousOpData::new(&mesh, eta, &DirichletBc::new()).with_newton(newton));
         let mf = MfViscousOp::new(data.clone());
         let tp = TensorViscousOp::new(data);
         let n = mf.nrows();
@@ -345,7 +348,10 @@ mod tests {
         mf.apply(&x, &mut y1);
         tp.apply(&x, &mut y2);
         for i in 0..n {
-            assert!((y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()), "dof {i}");
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()),
+                "dof {i}"
+            );
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::kernels::{for_each_element_colored, q1_grad_tables, qp_jacobian, Colo
 use crate::tensor::{ref_derivative, ref_derivative_adjoint_add, Tensor1d};
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_la::operator::LinearOperator;
+use ptatin_prof as prof;
 use std::sync::Arc;
 
 /// Precomputed per-quadrature-point coefficient of the TensorC kernel.
@@ -162,6 +163,10 @@ impl LinearOperator for TensorCViscousOp {
         self.data.ndof
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let _ev = prof::scope("MatMult_TensorC");
+        let model = crate::counts::tensor_c_model();
+        prof::log_flops(model.flops * self.data.nel as u64);
+        prof::log_bytes(model.bytes_perfect * self.data.nel as u64);
         y.fill(0.0);
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
@@ -234,7 +239,10 @@ mod tests {
         mf.apply(&x, &mut y1);
         tc.apply(&x, &mut y2);
         for i in 0..n {
-            assert!((y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()), "dof {i}");
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-10 * (1.0 + y1[i].abs()),
+                "dof {i}"
+            );
         }
     }
 }

@@ -23,13 +23,8 @@ fn main() {
         ..RiftConfig::default()
     };
     println!(
-        "rift model: {}x{}x{} elements, extension ±{}, shortening {}, {} material points",
-        cfg.mx,
-        cfg.my,
-        cfg.mz,
-        cfg.extension_velocity,
-        cfg.shortening_velocity,
-        "..."
+        "rift model: {}x{}x{} elements, extension ±{}, shortening {}",
+        cfg.mx, cfg.my, cfg.mz, cfg.extension_velocity, cfg.shortening_velocity,
     );
     let mut model = RiftModel::new(cfg);
     println!("{} material points, 3 lithologies", model.points.len());
@@ -60,7 +55,12 @@ fn main() {
             (a.0.min(h), a.1.max(h))
         });
     println!();
-    println!("surface relief after {:.3} time units: [{:.4}, {:.4}]", model.time, tmin - 1.0, tmax - 1.0);
+    println!(
+        "surface relief after {:.3} time units: [{:.4}, {:.4}]",
+        model.time,
+        tmin - 1.0,
+        tmax - 1.0
+    );
     let mut max_strain = 0.0f64;
     let mut crust_points = 0;
     for i in 0..model.points.len() {

@@ -77,11 +77,16 @@ fn main() {
         w_min = w_min.min(u[3 * n + 2]);
         w_max = w_max.max(u[3 * n + 2]);
     }
-    let p_range = p.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
-        (acc.0.min(v), acc.1.max(v))
-    });
+    let p_range = p
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
+            (acc.0.min(v), acc.1.max(v))
+        });
     println!("vertical velocity range: [{w_min:.3e}, {w_max:.3e}] (sinking + return flow)");
-    println!("pressure coefficient range: [{:.3e}, {:.3e}]", p_range.0, p_range.1);
+    println!(
+        "pressure coefficient range: [{:.3e}, {:.3e}]",
+        p_range.0, p_range.1
+    );
     assert!(stats.converged && w_min < 0.0 && w_max > 0.0);
     println!("ok");
 }

@@ -84,7 +84,10 @@ fn main() {
         );
     }
     let z1 = sphere_centroid_depth(&model);
-    println!("sphere centroid sank by {:.3e} (z {z0:.4} -> {z1:.4})", z0 - z1);
+    println!(
+        "sphere centroid sank by {:.3e} (z {z0:.4} -> {z1:.4})",
+        z0 - z1
+    );
     assert!(z1 < z0, "the dense spheres must sink");
     println!("ok");
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI gate for pTatin3D-rs. No network access required: the
+# workspace has zero third-party dependencies (see DESIGN.md §1).
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  skip the release build and run tests in debug only.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+export CARGO_NET_OFFLINE=true
+
+if [[ $FAST -eq 0 ]]; then
+    step "release build (library, binaries, benches)"
+    cargo build --release --workspace --bins --benches
+fi
+
+step "tests"
+cargo test --workspace -q
+
+step "rustfmt"
+cargo fmt --all --check
+
+step "clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "OK"

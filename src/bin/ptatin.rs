@@ -8,6 +8,13 @@
 //!
 //! Both subcommands solve the model and write ParaView-ready legacy VTK
 //! files (mesh fields + material-point cloud) into `out/`.
+//!
+//! Profiling (any subcommand; with no subcommand `sinker` is implied):
+//!
+//! ```text
+//! ptatin --log-view                  # -log_view-style table on stderr
+//! ptatin --log-json=output/prof.json # same data as JSON
+//! ```
 
 use ptatin3d::core::models::rift::{RiftConfig, RiftModel};
 use ptatin3d::core::models::sinker::{SinkerConfig, SinkerModel};
@@ -35,27 +42,47 @@ impl Args {
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // `ptatin --log-view` (flags only) implies the default subcommand.
     let cmd = if argv.is_empty() {
         String::from("help")
+    } else if argv[0].starts_with("--") {
+        String::from("sinker")
     } else {
         argv.remove(0)
     };
     let args = Args(argv);
+    let log_view = args.flag("--log-view");
+    let log_json = {
+        let p = args.get("--log-json", String::new());
+        (!p.is_empty()).then(|| PathBuf::from(p))
+    };
+    if log_view || log_json.is_some() {
+        ptatin_prof::enable();
+    }
     match cmd.as_str() {
         "sinker" => run_sinker(&args),
         "rift" => run_rift(&args),
         _ => {
-            eprintln!("usage: ptatin <sinker|rift> [key=value ...]");
+            eprintln!("usage: ptatin <sinker|rift> [key=value ...] [--log-view] [--log-json=FILE]");
             eprintln!("  sinker: m=8 levels=3 delta_eta=1e4 out=vtk_out");
             eprintln!("  rift:   mx=12 my=4 mz=8 steps=10 shortening=0 [strong-crust] out=vtk_out");
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
     }
+    if log_view {
+        ptatin_prof::print_log_view();
+    }
+    if let Some(path) = log_json {
+        ptatin_prof::write_json(&path).expect("write profiler json");
+        println!("wrote profiler report to {}", path.display());
+    }
 }
 
 fn run_sinker(args: &Args) {
     let m = args.get("m", 8usize);
-    let levels = args.get("levels", if m % 4 == 0 { 3usize } else { 2 }).min(3);
+    let levels = args
+        .get("levels", if m % 4 == 0 { 3usize } else { 2 })
+        .min(3);
     let delta_eta = args.get("delta_eta", 1e4f64);
     let out: PathBuf = PathBuf::from(args.get("out", String::from("vtk_out")));
     println!("sinker: {m}^3 elements, {levels} levels, Δη = {delta_eta:.0e}");
@@ -103,7 +130,10 @@ fn run_sinker(args: &Args) {
     )
     .expect("write mesh vtk");
     write_vtk_points(&out.join("sinker_points.vtk"), &model.points).expect("write points vtk");
-    println!("wrote {}/sinker_mesh.vtk and sinker_points.vtk", out.display());
+    println!(
+        "wrote {}/sinker_mesh.vtk and sinker_points.vtk",
+        out.display()
+    );
 }
 
 fn run_rift(args: &Args) {
@@ -125,7 +155,11 @@ fn run_rift(args: &Args) {
         cfg.mz,
         steps,
         cfg.shortening_velocity,
-        if cfg.weak_lower_crust { "weak" } else { "strong" }
+        if cfg.weak_lower_crust {
+            "weak"
+        } else {
+            "strong"
+        }
     );
     let mut model = RiftModel::new(cfg);
     for _ in 0..steps {

@@ -18,7 +18,9 @@
 //! * [`mg`] — geometric multigrid + smoothed-aggregation AMG,
 //! * [`mpm`] — material points: location, projection, advection, migration,
 //! * [`rheology`] — Arrhenius creep, Drucker–Prager plasticity, Boussinesq,
-//! * [`core`] — the coupled solvers, nonlinear drivers, models (sinker, rift).
+//! * [`core`] — the coupled solvers, nonlinear drivers, models (sinker, rift),
+//! * [`prof`] — `-log_view`-style profiling (event timers, flop counters,
+//!   KSP histories; see `ptatin --log-view`).
 //!
 //! See `examples/quickstart.rs` for the 60-second tour, DESIGN.md for the
 //! architecture and experiment index, and EXPERIMENTS.md for the
@@ -31,4 +33,5 @@ pub use ptatin_mesh as mesh;
 pub use ptatin_mg as mg;
 pub use ptatin_mpm as mpm;
 pub use ptatin_ops as ops;
+pub use ptatin_prof as prof;
 pub use ptatin_rheology as rheology;

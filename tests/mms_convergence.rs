@@ -223,6 +223,9 @@ fn pressure_is_captured_up_to_its_order() {
     let mut div = vec![0.0; solver.np];
     solver.b_full.spmv(&u, &mut div);
     let nrm = ptatin_la::vec_ops::norm2(&div) / (solver.np as f64).sqrt();
-    assert!(nrm < 5e-3, "interpolated exact field divergence too large: {nrm}");
+    assert!(
+        nrm < 5e-3,
+        "interpolated exact field divergence too large: {nrm}"
+    );
     let _ = tables;
 }

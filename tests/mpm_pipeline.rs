@@ -11,8 +11,7 @@ use ptatin_mpm::locate::ElementLocator;
 use ptatin_mpm::migrate::SubdomainSwarms;
 use ptatin_mpm::population::{control_population, element_counts, PopulationConfig};
 use ptatin_mpm::projection::{corners_to_quadrature_log, project_to_corners};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ptatin_prng::StdRng;
 
 #[test]
 fn advection_through_solved_flow_preserves_lithology_budget() {
@@ -39,12 +38,7 @@ fn advection_through_solved_flow_preserves_lithology_budget() {
         None,
     );
     assert!(stats.converged);
-    let sphere_before = model
-        .points
-        .lithology
-        .iter()
-        .filter(|&&l| l == 1)
-        .count();
+    let sphere_before = model.points.lithology.iter().filter(|&&l| l == 1).count();
     let mesh = model.hier.finest().clone();
     let locator = ElementLocator::new(&mesh);
     // Several CFL-limited advection steps.
@@ -56,12 +50,7 @@ fn advection_through_solved_flow_preserves_lithology_budget() {
         let _ = reclaim_lost(&mesh, &locator, &mut model.points, 1e-6);
         let _ = cull_lost(&mut model.points);
     }
-    let sphere_after = model
-        .points
-        .lithology
-        .iter()
-        .filter(|&&l| l == 1)
-        .count();
+    let sphere_after = model.points.lithology.iter().filter(|&&l| l == 1).count();
     // Sphere points sink into the interior — they must survive (ambient
     // points can exit through the free surface).
     assert!(

@@ -53,7 +53,9 @@ fn actions_agree_with_9_decade_viscosity_and_mixed_bc() {
         .map(|&k| build_viscous_operator(k, &mesh, eta.clone(), &bc))
         .collect();
     let n = ops[0].nrows();
-    let x: Vec<f64> = (0..n).map(|i| ((i * 97) % 31) as f64 / 15.0 - 1.0).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 97) % 31) as f64 / 15.0 - 1.0)
+        .collect();
     let mut yref = vec![0.0; n];
     ops[0].apply(&x, &mut yref);
     let scale = 1.0 + yref.iter().fold(0.0f64, |m, v| m.max(v.abs()));

@@ -38,7 +38,13 @@ fn gmg_i_and_gmg_ii_agree_on_the_solution() {
         ..paper_gmg_config(2, OperatorKind::Assembled)
     };
     let (x1, _) = solve_with(GmgConfig { levels: 2, ..gmg_i }, m);
-    let (x2, _) = solve_with(GmgConfig { levels: 2, ..gmg_ii }, m);
+    let (x2, _) = solve_with(
+        GmgConfig {
+            levels: 2,
+            ..gmg_ii
+        },
+        m,
+    );
     let scale = x1.iter().fold(0.0f64, |a, v| a.max(v.abs()));
     for i in 0..x1.len() {
         assert!(
@@ -84,7 +90,10 @@ fn newton_with_zero_eta_prime_matches_picard() {
         None,
     );
     assert!(sp.converged && sn.converged);
-    assert_eq!(sp.iterations, sn.iterations, "identical operators, identical trajectory");
+    assert_eq!(
+        sp.iterations, sn.iterations,
+        "identical operators, identical trajectory"
+    );
     let scale = xp.iter().fold(0.0f64, |a, v| a.max(v.abs()));
     for i in 0..xp.len() {
         assert!((xp[i] - xn[i]).abs() < 1e-8 * scale);
@@ -97,7 +106,13 @@ fn sa_amg_velocity_pc_solves_the_same_system() {
     // the same field-split frame; the solution must agree with GMG's.
     let m = 4;
     let (model, fields) = sinker_setup(m, 2, 1e3);
-    let (x_ref, _) = solve_with(GmgConfig { levels: 2, ..paper_gmg_config(2, OperatorKind::Tensor) }, m);
+    let (x_ref, _) = solve_with(
+        GmgConfig {
+            levels: 2,
+            ..paper_gmg_config(2, OperatorKind::Tensor)
+        },
+        m,
+    );
     let mesh = model.hier.finest();
     let tables = Q2QuadTables::standard();
     let bc = sinker_bc(mesh);

@@ -1,0 +1,239 @@
+//! Randomized (deterministically seeded) tests of the core
+//! data-structure and numerical invariants: CSR algebra, grid transfer
+//! partition of unity, inverse isoparametric mapping, projection
+//! bounds, Krylov correctness on random SPD systems, and pressure-mass
+//! exact inverses. Formerly proptest-based; rewritten as fixed-seed
+//! splitmix64 loops so the suite builds and runs with no registry
+//! access.
+
+use ptatin_fem::assemble::{PressureMassBlocks, Q2QuadTables};
+use ptatin_fem::geometry::{inverse_map, map_to_physical, xi_inside};
+use ptatin_la::csr::Csr;
+use ptatin_la::krylov::{cg, KrylovConfig};
+use ptatin_la::operator::JacobiPc;
+use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar};
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use ptatin_mpm::projection::project_to_corners;
+use ptatin_prng::{Rng, SplitMix64};
+
+const CASES: usize = 32;
+
+/// Random sparse triplets on an n×n grid (1 to 4n entries).
+fn random_triplets<R: Rng>(rng: &mut R, n: usize) -> Vec<(usize, usize, f64)> {
+    let count = 1 + rng.gen_index(4 * n);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_index(n),
+                rng.gen_index(n),
+                rng.gen_range(-10.0..10.0),
+            )
+        })
+        .collect()
+}
+
+fn random_vec<R: Rng>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn csr_transpose_is_involution() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let triplets = random_triplets(&mut rng, 12);
+        let a = Csr::from_triplets(12, 12, &triplets);
+        let att = a.transpose().transpose();
+        assert!(a.diff_norm(&att) < 1e-12);
+    }
+}
+
+#[test]
+fn csr_spmv_matches_dense() {
+    let mut rng = SplitMix64::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let triplets = random_triplets(&mut rng, 10);
+        let x = random_vec(&mut rng, 10, -5.0, 5.0);
+        let a = Csr::from_triplets(10, 10, &triplets);
+        let mut y = vec![0.0; 10];
+        a.spmv(&x, &mut y);
+        let d = a.to_dense();
+        let mut yd = vec![0.0; 10];
+        d.matvec(&x, &mut yd);
+        for i in 0..10 {
+            assert!((y[i] - yd[i]).abs() < 1e-10);
+        }
+    }
+}
+
+#[test]
+fn csr_matmul_associates_with_vector() {
+    // (A·A) x == A (A x)
+    let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let triplets = random_triplets(&mut rng, 8);
+        let x = random_vec(&mut rng, 8, -2.0, 2.0);
+        let a = Csr::from_triplets(8, 8, &triplets);
+        let aa = a.matmul(&a);
+        let mut ax = vec![0.0; 8];
+        a.spmv(&x, &mut ax);
+        let mut a_ax = vec![0.0; 8];
+        a.spmv(&ax, &mut a_ax);
+        let mut aax = vec![0.0; 8];
+        aa.spmv(&x, &mut aax);
+        for i in 0..8 {
+            assert!((a_ax[i] - aax[i]).abs() < 1e-9 * (1.0 + a_ax[i].abs()));
+        }
+    }
+}
+
+#[test]
+fn rap_is_symmetric_for_symmetric_a() {
+    let mut rng = SplitMix64::seed_from_u64(0xD00D);
+    for _ in 0..CASES {
+        let triplets = random_triplets(&mut rng, 9);
+        // Symmetrize A, take an aggregation-style P.
+        let raw = Csr::from_triplets(9, 9, &triplets);
+        let a = {
+            let at = raw.transpose();
+            raw.add_scaled(&at, 1.0)
+        };
+        let p_trip: Vec<(usize, usize, f64)> = (0..9).map(|i| (i, i / 3, 1.0)).collect();
+        let p = Csr::from_triplets(9, 3, &p_trip);
+        let c = Csr::rap(&a, &p);
+        let ct = c.transpose();
+        assert!(c.diff_norm(&ct) < 1e-10);
+    }
+}
+
+#[test]
+fn cg_solves_random_spd() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
+        let triplets = random_triplets(&mut rng, 14);
+        let b = random_vec(&mut rng, 14, -1.0, 1.0);
+        // A = Mᵀ M + I is SPD for any M.
+        let m = Csr::from_triplets(14, 14, &triplets);
+        let a = m.transpose().matmul(&m).add_scaled(&Csr::identity(14), 1.0);
+        let mut x = vec![0.0; 14];
+        let stats = cg(
+            &a,
+            &JacobiPc::from_operator(&a),
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10).with_max_it(500),
+        );
+        assert!(stats.converged);
+        let mut r = vec![0.0; 14];
+        a.spmv(&x, &mut r);
+        for i in 0..14 {
+            assert!((r[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()));
+        }
+    }
+}
+
+#[test]
+fn inverse_map_roundtrips_on_random_hexes() {
+    let mut rng = SplitMix64::seed_from_u64(0x4E7);
+    for _ in 0..CASES {
+        // Random mildly-perturbed unit cube (guaranteed non-inverted for
+        // perturbations < 1/8 edge length).
+        let base = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 1.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
+        let mut corners = base;
+        for corner in corners.iter_mut() {
+            for coord in corner.iter_mut() {
+                *coord += rng.gen_range(-0.08..0.08);
+            }
+        }
+        let xi = [
+            rng.gen_range(-0.95..0.95),
+            rng.gen_range(-0.95..0.95),
+            rng.gen_range(-0.95..0.95),
+        ];
+        let x = map_to_physical(&corners, xi);
+        let found = inverse_map(&corners, x, 1e-12, 60);
+        assert!(found.is_some());
+        let found = found.unwrap();
+        assert!(xi_inside(found, 1e-6));
+        for d in 0..3 {
+            assert!((found[d] - xi[d]).abs() < 1e-7);
+        }
+    }
+}
+
+#[test]
+fn projection_respects_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(0x90D);
+    for _ in 0..CASES {
+        // Shepard projection (Eq. 12) output must stay within the data
+        // range — no overshoot.
+        let values = random_vec(&mut rng, 27, 0.1, 100.0);
+        let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let mut pts = MaterialPoints::default();
+        for (k, &v) in values.iter().enumerate() {
+            let xi = [
+                -0.8 + 0.8 * (k % 3) as f64,
+                -0.8 + 0.8 * ((k / 3) % 3) as f64,
+                -0.8 + 0.8 * (k / 9) as f64,
+            ];
+            let corners = mesh.element_corner_coords(0);
+            let x = map_to_physical(&corners, xi);
+            pts.push(x, 0, v);
+            *pts.element.last_mut().unwrap() = 0;
+            *pts.xi.last_mut().unwrap() = xi;
+        }
+        let f = project_to_corners(&mesh, &pts, |p| pts.plastic_strain[p], |_| f64::NAN);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        for &v in &f {
+            assert!(
+                v >= lo - 1e-12 && v <= hi + 1e-12,
+                "projection out of bounds: {v} vs [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_prolongation_preserves_constants() {
+    for ndof in 1usize..4 {
+        let fine = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let coarse = fine.coarsen();
+        let p = expand_blocked(&prolongation_scalar(&coarse, &fine), ndof);
+        let xc = vec![1.0; p.ncols()];
+        let mut xf = vec![0.0; p.nrows()];
+        p.spmv(&xc, &mut xf);
+        for &v in &xf {
+            assert!((v - 1.0).abs() < 1e-13);
+        }
+    }
+}
+
+#[test]
+fn pressure_mass_inverse_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A55);
+    for _ in 0..CASES {
+        let weights = random_vec(&mut rng, 27, 0.01, 100.0);
+        let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 2.0], [0.0, 1.0], [0.0, 1.5]);
+        let tables = Q2QuadTables::standard();
+        let blocks = PressureMassBlocks::new(&mesh, &tables, &weights);
+        let mcsr = ptatin_fem::assemble_pressure_mass(&mesh, &tables, &weights);
+        let r = vec![1.0, -0.5, 2.0, 0.25];
+        let mut z = vec![0.0; 4];
+        blocks.apply_inverse(&r, &mut z);
+        let mut back = vec![0.0; 4];
+        mcsr.spmv(&z, &mut back);
+        for i in 0..4 {
+            assert!((back[i] - r[i]).abs() < 1e-8 * (1.0 + r[i].abs()));
+        }
+    }
+}

@@ -1,25 +1,35 @@
-//! Property-based tests of the numerical kernels: tensor-product
-//! contraction algebra, ILU(0) exactness classes, Vanka patch solves,
-//! rheology branch consistency, and Chebyshev polynomial bounds.
+//! Randomized (deterministically seeded) tests of the numerical
+//! kernels: tensor-product contraction algebra, ILU(0) exactness
+//! classes, rheology branch consistency. Formerly proptest-based;
+//! rewritten as fixed-seed splitmix64 loops so the suite builds and
+//! runs with no registry access.
 
-use proptest::prelude::*;
 use ptatin_la::csr::Csr;
 use ptatin_la::Ilu0;
 use ptatin_ops::tensor::{
     contract_dim0, contract_dim1, contract_dim2, ref_derivative, ref_derivative_adjoint_add,
     Tensor1d,
 };
+use ptatin_prng::{Rng, SplitMix64};
 use ptatin_rheology::{DruckerPrager, Material, ViscousLaw};
 
-fn arr27() -> impl Strategy<Value = [f64; 27]> {
-    proptest::array::uniform27(-3.0f64..3.0)
+const CASES: usize = 48;
+
+fn arr27<R: Rng>(rng: &mut R) -> [f64; 27] {
+    let mut a = [0.0; 27];
+    for v in a.iter_mut() {
+        *v = rng.gen_range(-3.0..3.0);
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn contractions_are_linear(u in arr27(), v in arr27(), a in -2.0f64..2.0) {
+#[test]
+fn contractions_are_linear() {
+    let mut rng = SplitMix64::seed_from_u64(0x11);
+    for _ in 0..CASES {
+        let u = arr27(&mut rng);
+        let v = arr27(&mut rng);
+        let a = rng.gen_range(-2.0..2.0);
         let t = Tensor1d::gauss3();
         for f in [contract_dim0, contract_dim1, contract_dim2] {
             let mut fu = [0.0; 27];
@@ -33,14 +43,18 @@ proptest! {
             let mut fw = [0.0; 27];
             f(&t.b, &w, &mut fw);
             for i in 0..27 {
-                prop_assert!((fw[i] - (a * fu[i] + fv[i])).abs() < 1e-11);
+                assert!((fw[i] - (a * fu[i] + fv[i])).abs() < 1e-11);
             }
         }
     }
+}
 
-    #[test]
-    fn contraction_dims_commute(u in arr27()) {
-        // Applying B̃ along dim 0 then dim 1 equals dim 1 then dim 0.
+#[test]
+fn contraction_dims_commute() {
+    // Applying B̃ along dim 0 then dim 1 equals dim 1 then dim 0.
+    let mut rng = SplitMix64::seed_from_u64(0x22);
+    for _ in 0..CASES {
+        let u = arr27(&mut rng);
         let t = Tensor1d::gauss3();
         let mut a01 = [0.0; 27];
         let mut tmp = [0.0; 27];
@@ -50,13 +64,18 @@ proptest! {
         contract_dim1(&t.b, &u, &mut tmp);
         contract_dim0(&t.b, &tmp, &mut a10);
         for i in 0..27 {
-            prop_assert!((a01[i] - a10[i]).abs() < 1e-12);
+            assert!((a01[i] - a10[i]).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn derivative_adjoint_pairing(u in arr27(), v in arr27()) {
-        // <D_d u, v> == <u, D_dᵀ v> for every direction.
+#[test]
+fn derivative_adjoint_pairing() {
+    // <D_d u, v> == <u, D_dᵀ v> for every direction.
+    let mut rng = SplitMix64::seed_from_u64(0x33);
+    for _ in 0..CASES {
+        let u = arr27(&mut rng);
+        let v = arr27(&mut rng);
         let t = Tensor1d::gauss3();
         for d in 0..3 {
             let mut du = [0.0; 27];
@@ -65,30 +84,36 @@ proptest! {
             ref_derivative_adjoint_add(&t, d, &v, &mut dtv);
             let lhs: f64 = du.iter().zip(&v).map(|(x, y)| x * y).sum();
             let rhs: f64 = u.iter().zip(&dtv).map(|(x, y)| x * y).sum();
-            prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+            assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
         }
     }
+}
 
-    #[test]
-    fn derivative_kills_constants(c in -5.0f64..5.0) {
+#[test]
+fn derivative_kills_constants() {
+    let mut rng = SplitMix64::seed_from_u64(0x44);
+    for _ in 0..CASES {
+        let c = rng.gen_range(-5.0..5.0);
         let t = Tensor1d::gauss3();
         let u = [c; 27];
         for d in 0..3 {
             let mut du = [0.0; 27];
             ref_derivative(&t, d, &u, &mut du);
             for x in du {
-                prop_assert!(x.abs() < 1e-12);
+                assert!(x.abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn ilu0_exact_when_pattern_has_no_fill(
-        diag in proptest::collection::vec(2.0f64..8.0, 12),
-        off in proptest::collection::vec(-1.0f64..1.0, 11),
-    ) {
-        // Tridiagonal matrices factor without fill → ILU(0) is exact LU.
+#[test]
+fn ilu0_exact_when_pattern_has_no_fill() {
+    // Tridiagonal matrices factor without fill → ILU(0) is exact LU.
+    let mut rng = SplitMix64::seed_from_u64(0x55);
+    for _ in 0..CASES {
         let n = 12;
+        let diag: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..8.0)).collect();
+        let off: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut t = Vec::new();
         for i in 0..n {
             t.push((i, i, diag[i]));
@@ -105,16 +130,19 @@ proptest! {
         let mut check = vec![0.0; n];
         a.spmv(&z, &mut check);
         for i in 0..n {
-            prop_assert!((check[i] - b[i]).abs() < 1e-8, "row {i}");
+            assert!((check[i] - b[i]).abs() < 1e-8, "row {i}");
         }
     }
+}
 
-    #[test]
-    fn effective_viscosity_is_min_of_branches(
-        eps in 1e-6f64..1e2,
-        pressure in 0.0f64..10.0,
-        cohesion in 0.1f64..5.0,
-    ) {
+#[test]
+fn effective_viscosity_is_min_of_branches() {
+    let mut rng = SplitMix64::seed_from_u64(0x66);
+    for _ in 0..CASES {
+        // Log-uniform strain rate over [1e-6, 1e2].
+        let eps = 10f64.powf(rng.gen_range(-6.0..2.0));
+        let pressure = rng.gen_range(0.0..10.0);
+        let cohesion = rng.gen_range(0.1..5.0);
         let eta_v = 100.0;
         let m = Material {
             name: "x".into(),
@@ -137,19 +165,24 @@ proptest! {
         let tau_y = cohesion * 0.5f64.cos() + pressure * 0.5f64.sin();
         let eta_p = tau_y / (2.0 * eps);
         let expected = eta_v.min(eta_p);
-        prop_assert!((ev.eta - expected).abs() < 1e-9 * expected,
-            "eta {} vs min({eta_v}, {eta_p})", ev.eta);
-        prop_assert_eq!(ev.yielded, eta_p < eta_v);
+        assert!(
+            (ev.eta - expected).abs() < 1e-9 * expected,
+            "eta {} vs min({eta_v}, {eta_p})",
+            ev.eta
+        );
+        assert_eq!(ev.yielded, eta_p < eta_v);
         // Stress never exceeds the yield envelope.
         let stress = 2.0 * ev.eta * eps;
-        prop_assert!(stress <= tau_y.max(2.0 * eta_v * eps) + 1e-9);
+        assert!(stress <= tau_y.max(2.0 * eta_v * eps) + 1e-9);
     }
+}
 
-    #[test]
-    fn viscosity_monotone_decreasing_in_strain_rate_when_yielding(
-        e1 in 1e-3f64..1.0,
-        factor in 1.5f64..10.0,
-    ) {
+#[test]
+fn viscosity_monotone_decreasing_in_strain_rate_when_yielding() {
+    let mut rng = SplitMix64::seed_from_u64(0x77);
+    for _ in 0..CASES {
+        let e1 = rng.gen_range(1e-3..1.0);
+        let factor = rng.gen_range(1.5..10.0);
         let m = Material {
             name: "y".into(),
             rho0: 1.0,
@@ -169,9 +202,9 @@ proptest! {
         };
         let a = m.effective_viscosity(e1, 0.0, 1.0, 0.0);
         let b = m.effective_viscosity(e1 * factor, 0.0, 1.0, 0.0);
-        prop_assert!(a.yielded && b.yielded);
-        prop_assert!(b.eta < a.eta);
+        assert!(a.yielded && b.yielded);
+        assert!(b.eta < a.eta);
         // Yield stress itself is strain-rate independent:
-        prop_assert!((2.0 * a.eta * e1 - 2.0 * b.eta * (e1 * factor)).abs() < 1e-9);
+        assert!((2.0 * a.eta * e1 - 2.0 * b.eta * (e1 * factor)).abs() < 1e-9);
     }
 }
