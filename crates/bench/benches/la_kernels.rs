@@ -6,7 +6,9 @@
 //! `cargo bench --bench la_kernels`. No registry dependencies.
 
 use ptatin_la::csr::Csr;
+use ptatin_la::par;
 use ptatin_la::vec_ops;
+use ptatin_prof::json::Value;
 use std::time::Instant;
 
 fn laplace3d(n: usize) -> Csr {
@@ -63,6 +65,77 @@ fn report(name: &str, secs: f64, bytes: Option<usize>) {
     println!("{name:<24} {:12.3} us/call{bw}", secs * 1e6);
 }
 
+/// Spawn-per-call parallel axpy: the dispatch strategy `ptatin-la::par`
+/// used before the persistent pool, replicated here as the overhead
+/// baseline. One scoped thread per non-first range, every call.
+fn spawn_axpy(a: f64, x: &[f64], y: &mut [f64], nt: usize) {
+    let ranges = par::split_ranges(y.len(), nt);
+    let mut chunks: Vec<(usize, &mut [f64])> = Vec::with_capacity(ranges.len());
+    let mut rest = y;
+    for &(s, e) in &ranges {
+        let (head, tail) = rest.split_at_mut(e - s);
+        chunks.push((s, head));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let mut it = chunks.into_iter();
+        let first = it.next().unwrap();
+        for (s, chunk) in it {
+            scope.spawn(move || {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += a * x[s + i];
+                }
+            });
+        }
+        let (s, chunk) = first;
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v += a * x[s + i];
+        }
+    });
+}
+
+/// Small-N dispatch-overhead microbench: serial vs spawn-per-call vs the
+/// persistent pool, at nt=4. At these sizes the arithmetic is ~1 µs, so
+/// the numbers are dominated by dispatch cost. Returns JSON entries.
+fn dispatch_overhead() -> Vec<Value> {
+    let nt = 4;
+    let mut entries = Vec::new();
+    for n in [1usize << 12, 1 << 13] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y = vec![0.0f64; n];
+
+        par::set_num_threads(1);
+        let serial = time_it(2000, || vec_ops::axpy(1.000001, &x, &mut y));
+
+        par::set_num_threads(nt);
+        assert!(
+            n >= vec_ops::PAR_MIN,
+            "bench must exercise the parallel path"
+        );
+        let pool = time_it(2000, || vec_ops::axpy(1.000001, &x, &mut y));
+
+        let spawn = time_it(200, || spawn_axpy(1.000001, &x, &mut y, nt));
+        par::set_num_threads(0);
+
+        let label = format!("dispatch_axpy_{}k", n >> 10);
+        report(&format!("{label}_serial"), serial, None);
+        report(&format!("{label}_spawn"), spawn, None);
+        report(&format!("{label}_pool"), pool, None);
+        entries.push(Value::obj(vec![
+            ("kernel", Value::Str("axpy".into())),
+            ("n", Value::Num(n as f64)),
+            ("nt", Value::Num(nt as f64)),
+            ("serial_us", Value::Num(serial * 1e6)),
+            ("spawn_us", Value::Num(spawn * 1e6)),
+            ("pool_us", Value::Num(pool * 1e6)),
+            ("spawn_overhead_us", Value::Num((spawn - serial) * 1e6)),
+            ("pool_overhead_us", Value::Num((pool - serial) * 1e6)),
+        ]));
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+    entries
+}
+
 fn main() {
     println!("la_kernels (median of 5):");
     // SpMV with bandwidth throughput.
@@ -99,4 +172,18 @@ fn main() {
         assert!(c.nnz() > 0);
     });
     report("rap_12^3", secs, None);
+    // Pool-dispatch overhead vs the old spawn-per-call strategy; persisted
+    // as JSON so the PAR_MIN tuning in vec_ops stays tied to a measurement.
+    let entries = dispatch_overhead();
+    let doc = Value::obj(vec![
+        ("bench", Value::Str("la_kernels_dispatch".into())),
+        ("entries", Value::Arr(entries)),
+    ]);
+    // cargo runs benches with CWD = the package dir; anchor to the
+    // workspace-root output/ where the table binaries write their JSON.
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../output");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    std::fs::write(format!("{out_dir}/la_kernels_dispatch.json"), doc.to_json())
+        .expect("write dispatch JSON");
+    println!("wrote output/la_kernels_dispatch.json");
 }

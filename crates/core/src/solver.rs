@@ -12,6 +12,7 @@ use ptatin_la::csr::Csr;
 use ptatin_la::krylov::{cg, fgmres, gcr_monitored, KrylovConfig, Monitor, SolveStats};
 use ptatin_la::operator::{LinearOperator, Preconditioner, TimedOperator};
 use ptatin_la::schwarz::{grow_overlap, AdditiveSchwarz, DirectSolver, SubdomainSolve};
+use ptatin_la::vec_ops;
 use ptatin_mesh::decomp::nodes_to_dofs;
 use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar, MeshHierarchy};
 use ptatin_mesh::ElementPartition;
@@ -480,9 +481,7 @@ impl LinearOperator for StokesOperator<'_> {
         self.a.apply(xu, yu);
         let mut bt = vec![0.0; self.nu];
         self.b.spmv_transpose(xp, &mut bt);
-        for i in 0..self.nu {
-            yu[i] += bt[i];
-        }
+        vec_ops::axpy(1.0, &bt, yu);
         // yp = B xu
         self.b.spmv(xu, yp);
     }
@@ -509,9 +508,7 @@ impl<M: Preconditioner + ?Sized> Preconditioner for BlockLowerTriangularPc<'_, M
         // t = r_p − B z_u
         let mut t = vec![0.0; self.np];
         self.b.spmv(zu, &mut t);
-        for i in 0..self.np {
-            t[i] = rp[i] - t[i];
-        }
+        vec_ops::axpby(1.0, rp, -1.0, &mut t);
         // z_p = Ŝ⁻¹ t = −M⁻¹ t.
         self.schur.apply_inverse(&t, zp);
         for v in zp.iter_mut() {
@@ -595,9 +592,7 @@ impl StokesSolver {
         inner_counter.fetch_add(s1.iterations as u64, std::sync::atomic::Ordering::Relaxed);
         let mut g = vec![0.0; self.np];
         self.b_masked.spmv(&au, &mut g);
-        for i in 0..self.np {
-            g[i] = rhs_p[i] - g[i];
-        }
+        vec_ops::axpby(1.0, rhs_p, -1.0, &mut g);
         // Schur operator: S p = −B A⁻¹ Bᵀ p (A⁻¹ = inner MG-CG solve).
         struct SchurOp<'s> {
             solver: &'s StokesSolver,
@@ -656,9 +651,7 @@ impl StokesSolver {
         let mut btp = vec![0.0; self.nu];
         self.b_masked.spmv_transpose(xp_slice, &mut btp);
         let mut rhs_u2 = rhs_u.to_vec();
-        for i in 0..self.nu {
-            rhs_u2[i] -= btp[i];
-        }
+        vec_ops::axpy(-1.0, &btp, &mut rhs_u2);
         xu_slice.fill(0.0);
         let s2 = cg(&self.a_fine, &self.mg, &rhs_u2, xu_slice, &inner_cfg);
         inner_counter.fetch_add(s2.iterations as u64, std::sync::atomic::Ordering::Relaxed);

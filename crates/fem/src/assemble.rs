@@ -14,6 +14,7 @@ use crate::basis::{element_frame, p1disc_basis, q2_basis, q2_grad, NP1, NQ2};
 use crate::geometry::{map_to_physical, physical_grad, qp_geometry, QpGeometry};
 use crate::quadrature::Quadrature;
 use ptatin_la::csr::{Csr, CsrBuilder};
+use ptatin_la::par;
 use ptatin_mesh::StructuredMesh;
 
 /// Precomputed Q2 basis values and reference gradients at the quadrature
@@ -72,9 +73,24 @@ pub fn element_viscous_matrix(
     corners: &[[f64; 3]; 8],
     eta: &[f64],
 ) -> Vec<f64> {
+    let mut ae = vec![0.0f64; (3 * NQ2) * (3 * NQ2)];
+    element_viscous_matrix_into(tables, corners, eta, &mut ae);
+    ae
+}
+
+/// [`element_viscous_matrix`] writing into caller-provided storage, so
+/// batched assembly can compute element matrices in parallel scratch
+/// without per-element allocation.
+pub fn element_viscous_matrix_into(
+    tables: &Q2QuadTables,
+    corners: &[[f64; 3]; 8],
+    eta: &[f64],
+    ae: &mut [f64],
+) {
     let nqp = tables.nqp();
     assert_eq!(eta.len(), nqp);
-    let mut ae = vec![0.0f64; (3 * NQ2) * (3 * NQ2)];
+    assert_eq!(ae.len(), (3 * NQ2) * (3 * NQ2));
+    ae.fill(0.0);
     let mut gphi = [[0.0f64; 3]; NQ2];
     for q in 0..nqp {
         let geo = qp_geometry(corners, tables.quad.points[q], tables.quad.weights[q]);
@@ -101,15 +117,27 @@ pub fn element_viscous_matrix(
             }
         }
     }
-    ae
 }
 
 /// Dense 4×81 element matrix of the divergence (J_pu) block:
 /// `B[q][(j,c)] = -∫ ψ_q ∂φ_j/∂x_c`.
 pub fn element_gradient_matrix(tables: &Q2QuadTables, corners: &[[f64; 3]; 8]) -> Vec<f64> {
+    let mut be = vec![0.0f64; NP1 * 3 * NQ2];
+    element_gradient_matrix_into(tables, corners, &mut be);
+    be
+}
+
+/// [`element_gradient_matrix`] writing into caller-provided storage (see
+/// [`element_viscous_matrix_into`]).
+pub fn element_gradient_matrix_into(
+    tables: &Q2QuadTables,
+    corners: &[[f64; 3]; 8],
+    be: &mut [f64],
+) {
     let nqp = tables.nqp();
     let (centroid, half) = element_frame(corners);
-    let mut be = vec![0.0f64; NP1 * 3 * NQ2];
+    assert_eq!(be.len(), NP1 * 3 * NQ2);
+    be.fill(0.0);
     for q in 0..nqp {
         let xi = tables.quad.points[q];
         let geo = qp_geometry(corners, xi, tables.quad.weights[q]);
@@ -124,7 +152,6 @@ pub fn element_gradient_matrix(tables: &Q2QuadTables, corners: &[[f64; 3]; 8]) -
             }
         }
     }
-    be
 }
 
 /// 4×4 pressure "mass" block of one element, weighted pointwise by
@@ -154,49 +181,86 @@ pub fn element_pressure_mass(
     m
 }
 
+/// Elements per batch of the parallel assembly loops below: large enough
+/// to keep every pool worker busy, small enough that the element-matrix
+/// scratch stays cache-friendly (64 × 81² × 8 B ≈ 3.4 MB for the viscous
+/// block).
+const ASSEMBLY_BATCH: usize = 64;
+
 /// Assemble the global viscous block `J_uu` (SPD apart from boundary
 /// conditions) from per-(element, qp) viscosity.
+///
+/// Element matrices within a batch are computed in parallel (independent
+/// rows of scratch); insertion into the builder stays serial in element
+/// order, so the assembled matrix is bitwise-independent of the thread
+/// count.
 pub fn assemble_viscous(mesh: &StructuredMesh, tables: &Q2QuadTables, eta: &[f64]) -> Csr {
     let nqp = tables.nqp();
     assert_eq!(eta.len(), mesh.num_elements() * nqp);
     let n = num_velocity_dofs(mesh);
     let mut b = CsrBuilder::new(n, n);
     let mut dofs = [0usize; 3 * NQ2];
-    for e in 0..mesh.num_elements() {
-        let corners = mesh.element_corner_coords(e);
-        let ae = element_viscous_matrix(tables, &corners, &eta[e * nqp..(e + 1) * nqp]);
-        let nodes = mesh.element_nodes(e);
-        for (i, &nid) in nodes.iter().enumerate() {
-            for c in 0..3 {
-                dofs[3 * i + c] = 3 * nid + c;
+    let ne = mesh.num_elements();
+    let bs = (3 * NQ2) * (3 * NQ2);
+    let mut scratch = vec![0.0f64; ASSEMBLY_BATCH.min(ne.max(1)) * bs];
+    let mut e0 = 0;
+    while e0 < ne {
+        let bl = ASSEMBLY_BATCH.min(ne - e0);
+        let batch = &mut scratch[..bl * bs];
+        par::par_blocks_mut(batch, bs, |bi, ae| {
+            let e = e0 + bi;
+            let corners = mesh.element_corner_coords(e);
+            element_viscous_matrix_into(tables, &corners, &eta[e * nqp..(e + 1) * nqp], ae);
+        });
+        for bi in 0..bl {
+            let e = e0 + bi;
+            let nodes = mesh.element_nodes(e);
+            for (i, &nid) in nodes.iter().enumerate() {
+                for c in 0..3 {
+                    dofs[3 * i + c] = 3 * nid + c;
+                }
             }
+            b.add_block(&dofs, &dofs, &batch[bi * bs..(bi + 1) * bs]);
         }
-        b.add_block(&dofs, &dofs, &ae);
+        e0 += bl;
     }
     b.finish()
 }
 
 /// Assemble the global divergence block `J_pu` (`num_pressure_dofs ×
-/// num_velocity_dofs`); `J_up = J_puᵀ`.
+/// num_velocity_dofs`); `J_up = J_puᵀ`. Parallel over element batches
+/// like [`assemble_viscous`].
 pub fn assemble_gradient(mesh: &StructuredMesh, tables: &Q2QuadTables) -> Csr {
     let np = num_pressure_dofs(mesh);
     let nu = num_velocity_dofs(mesh);
     let mut b = CsrBuilder::new(np, nu);
     let mut vdofs = [0usize; 3 * NQ2];
     let mut pdofs = [0usize; NP1];
-    for e in 0..mesh.num_elements() {
-        let corners = mesh.element_corner_coords(e);
-        let be = element_gradient_matrix(tables, &corners);
-        let nodes = mesh.element_nodes(e);
-        for (i, &nid) in nodes.iter().enumerate() {
-            for c in 0..3 {
-                vdofs[3 * i + c] = 3 * nid + c;
+    let ne = mesh.num_elements();
+    let bs = NP1 * 3 * NQ2;
+    let mut scratch = vec![0.0f64; ASSEMBLY_BATCH.min(ne.max(1)) * bs];
+    let mut e0 = 0;
+    while e0 < ne {
+        let bl = ASSEMBLY_BATCH.min(ne - e0);
+        let batch = &mut scratch[..bl * bs];
+        par::par_blocks_mut(batch, bs, |bi, be| {
+            let corners = mesh.element_corner_coords(e0 + bi);
+            element_gradient_matrix_into(tables, &corners, be);
+        });
+        for bi in 0..bl {
+            let e = e0 + bi;
+            let nodes = mesh.element_nodes(e);
+            for (i, &nid) in nodes.iter().enumerate() {
+                for c in 0..3 {
+                    vdofs[3 * i + c] = 3 * nid + c;
+                }
             }
+            for m in 0..NP1 {
+                pdofs[m] = NP1 * e + m;
+            }
+            b.add_block(&pdofs, &vdofs, &batch[bi * bs..(bi + 1) * bs]);
         }
-        for m in 0..NP1 {
-            pdofs[m] = NP1 * e + m;
-        }
-        b.add_block(&pdofs, &vdofs, &be);
+        e0 += bl;
     }
     b.finish()
 }

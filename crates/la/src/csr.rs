@@ -203,10 +203,67 @@ impl Csr {
         });
     }
 
-    /// y = Aᵀ x without forming the transpose (serial scatter).
+    /// y = Aᵀ x without forming the transpose.
+    ///
+    /// The scatter races on output columns, so the parallel path gives
+    /// each row-block its own column accumulator and combines the blocks
+    /// in fixed order afterwards — bitwise-deterministic at a fixed thread
+    /// count. Small matrices keep the serial scatter (identical to the
+    /// single-thread result).
     pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
+        let _ev = prof::scope("MatMultTranspose");
+        prof::log_flops(2 * self.nnz() as u64);
+        prof::log_bytes(self.bytes() as u64 + 8 * (x.len() + y.len()) as u64);
+        let nt = par::num_threads();
+        const PAR_MIN_NNZ: usize = 1 << 14;
+        if nt <= 1 || self.nnz() < PAR_MIN_NNZ {
+            self.spmv_transpose_serial_into(x, y);
+            return;
+        }
+        let ranges = par::split_ranges(self.nrows, nt);
+        let npieces = ranges.len();
+        if npieces <= 1 {
+            self.spmv_transpose_serial_into(x, y);
+            return;
+        }
+        // Per-piece column accumulators (piece-major).
+        let mut parts = vec![0.0f64; npieces * self.ncols];
+        {
+            let indptr = &self.indptr;
+            let indices = &self.indices;
+            let values = &self.values;
+            let ncols = self.ncols;
+            par::par_blocks_mut(&mut parts, ncols, |p, acc| {
+                let (s, e) = ranges[p];
+                for i in s..e {
+                    let xi = x[i];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    for k in indptr[i]..indptr[i + 1] {
+                        acc[indices[k] as usize] += values[k] * xi;
+                    }
+                }
+            });
+        }
+        // Combine per output column, pieces in fixed order (parallelism
+        // over columns does not change the per-column summation order).
+        let ncols = self.ncols;
+        par::par_chunks_mut(y, |off, yc| {
+            for (lj, yj) in yc.iter_mut().enumerate() {
+                let j = off + lj;
+                let mut s = 0.0;
+                for p in 0..npieces {
+                    s += parts[p * ncols + j];
+                }
+                *yj = s;
+            }
+        });
+    }
+
+    fn spmv_transpose_serial_into(&self, x: &[f64], y: &mut [f64]) {
         y.fill(0.0);
         for i in 0..self.nrows {
             let xi = x[i];
@@ -619,6 +676,52 @@ mod tests {
         let mut y2 = vec![0.0; 3];
         a.transpose().spmv(&[1.0, 2.0], &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn spmv_transpose_parallel_matches_dense() {
+        use ptatin_prng::{Rng, SplitMix64};
+        let _g = crate::par::test_guard();
+        let (nrows, ncols) = (300usize, 200usize);
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let mut trips = Vec::new();
+        for i in 0..nrows {
+            for _ in 0..90 {
+                let j = rng.gen_index(ncols);
+                trips.push((i, j, rng.gen_range(-1.0..1.0)));
+            }
+        }
+        let a = Csr::from_triplets(nrows, ncols, &trips);
+        assert!(a.nnz() >= 1 << 14, "must exercise the parallel scatter");
+        let x: Vec<f64> = (0..nrows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Dense reference Aᵀx.
+        let ad = a.to_dense();
+        let mut yref = vec![0.0; ncols];
+        for i in 0..nrows {
+            for (j, yj) in yref.iter_mut().enumerate() {
+                *yj += ad.get(i, j) * x[i];
+            }
+        }
+        crate::par::set_num_threads(4);
+        let mut y4 = vec![0.0; ncols];
+        a.spmv_transpose(&x, &mut y4);
+        let mut y4b = vec![0.0; ncols];
+        a.spmv_transpose(&x, &mut y4b);
+        crate::par::set_num_threads(1);
+        let mut y1 = vec![0.0; ncols];
+        a.spmv_transpose(&x, &mut y1);
+        crate::par::set_num_threads(0);
+        for j in 0..ncols {
+            let tol = 1e-12 * (1.0 + yref[j].abs());
+            assert!(
+                (y4[j] - yref[j]).abs() < tol,
+                "col {j}: {} vs {}",
+                y4[j],
+                yref[j]
+            );
+            assert!((y1[j] - yref[j]).abs() < tol, "col {j} (serial)");
+        }
+        assert_eq!(y4, y4b, "fixed thread count must be bitwise deterministic");
     }
 
     #[test]

@@ -1,32 +1,100 @@
-//! Minimal scoped-thread data parallelism.
+//! Shared-memory data parallelism on a persistent worker pool.
 //!
 //! pTatin3D relies on MPI ranks for parallelism; this reproduction runs in
-//! shared memory and uses a small `std::thread::scope`-based parallel-for.
+//! shared memory. Earlier revisions spawned fresh OS threads per call via
+//! `std::thread::scope`, so every SpMV / dot / element loop in the Krylov
+//! hot path paid thread-creation syscalls — exactly the per-apply fixed
+//! cost the paper's matrix-free kernels work to eliminate. The helpers now
+//! dispatch onto a lazily-created pool of long-lived workers parked on a
+//! condvar; `std::thread` spawning happens only when the pool is (re)built.
+//!
+//! ## Determinism contract
+//!
+//! * [`split_ranges`] is a pure function of `(len, nt)`.
+//! * Piece results depend only on the piece index, never on which thread
+//!   ran the piece; [`par_reduce`] combines partials left-to-right.
+//! * The calling thread folds piece 0 itself (it would otherwise idle).
+//!
+//! Together these make every helper bitwise-deterministic at a fixed
+//! thread count; across thread counts only the floating-point regrouping
+//! of reductions changes (see `tests/thread_invariance.rs`).
+//!
+//! ## Nested parallelism
+//!
+//! `par_*` calls made from inside a pool worker, or re-entrantly from a
+//! piece running on the dispatching thread, degrade to the serial path
+//! (pieces executed in order on the current thread) instead of
+//! deadlocking. Distinct top-level dispatching threads serialize on the
+//! pool lock.
+//!
 //! The thread count is a process-global knob (`set_num_threads`) so that
-//! benchmark harnesses can sweep "core counts" the way the paper sweeps MPI
-//! ranks. With one thread every helper degenerates to a plain loop, which
-//! keeps results bit-for-bit deterministic.
+//! benchmark harnesses can sweep "core counts" the way the paper sweeps
+//! MPI ranks; `PTATIN_TEST_THREADS` supplies the default so CI can run the
+//! whole suite at several counts.
 
 use ptatin_prof as prof;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Set the number of worker threads used by all parallel loops.
-///
-/// `0` (the default) means "use `std::thread::available_parallelism()`".
-pub fn set_num_threads(n: usize) {
-    NUM_THREADS.store(n, Ordering::Relaxed);
+thread_local! {
+    /// Set for the lifetime of a pool worker thread.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Set on the dispatching thread while it runs piece 0 of a job.
+    static DISPATCH_ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
-/// The number of worker threads parallel loops will currently use.
+/// `PTATIN_TEST_THREADS` (read once): default thread count for the whole
+/// process so CI can run the test suite at several counts. `0`/unset defer
+/// to `available_parallelism`.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PTATIN_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Set the number of worker threads used by all parallel loops, resizing
+/// the persistent pool eagerly (old workers are joined, never leaked).
+///
+/// `0` (the default) means "use `PTATIN_TEST_THREADS`, else
+/// `std::thread::available_parallelism()`".
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+    if IS_POOL_WORKER.with(Cell::get) || DISPATCH_ACTIVE.with(Cell::get) {
+        // Resizing from inside a parallel region would self-join / deadlock
+        // on the pool lock; the new count takes effect on the next
+        // top-level dispatch.
+        return;
+    }
+    let mut slot = pool_registry().lock().unwrap_or_else(|e| e.into_inner());
+    ensure_pool(&mut slot, num_threads().saturating_sub(1));
+}
+
+/// The number of threads parallel loops will currently use (the calling
+/// thread plus pool workers).
 pub fn num_threads() -> usize {
     let n = NUM_THREADS.load(Ordering::Relaxed);
     if n != 0 {
-        n
-    } else {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
+        return n;
     }
+    let e = env_threads();
+    if e != 0 {
+        return e;
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Number of live worker threads in the persistent pool (excludes the
+/// calling thread; `num_threads() == 1` keeps the pool empty).
+pub fn pool_worker_count() -> usize {
+    let slot = pool_registry().lock().unwrap_or_else(|e| e.into_inner());
+    slot.as_ref().map_or(0, |p| p.handles.len())
 }
 
 /// Split `len` items into per-thread ranges of near-equal size.
@@ -50,7 +118,303 @@ pub fn split_ranges(len: usize, nt: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Run `f(range_index, start..end)` over a partition of `0..len`.
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// Published pointer to the in-flight [`Job`] (lives on the dispatcher's
+/// stack; validity is guaranteed by the attach/retire protocol below).
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job);
+unsafe impl Send for JobPtr {}
+
+/// One dispatched parallel region. `func` is the type-erased piece
+/// closure; the `'static` lifetime is a lie told to the type system — the
+/// dispatcher does not return until every worker has detached, so the
+/// borrow it erases is live whenever a worker dereferences it.
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    npieces: usize,
+    /// Next unclaimed piece (piece 0 is reserved for the caller).
+    next: AtomicUsize,
+    /// Completed worker pieces (target: `npieces - 1`).
+    done: AtomicUsize,
+    /// Profiler event open on the dispatching thread, adopted per dispatch.
+    parent: Option<usize>,
+    /// First panic payload raised by a worker piece.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Gate {
+    /// Bumped at every publish so parked workers can tell a new job from a
+    /// spurious wakeup.
+    seq: u64,
+    job: Option<JobPtr>,
+    /// Workers currently holding a reference to the published job.
+    attached: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    /// Workers park here waiting for a job (or shutdown).
+    work: Condvar,
+    /// The dispatcher parks here waiting for workers to finish/detach.
+    done: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn pool_registry() -> &'static Mutex<Option<Pool>> {
+    static POOL: OnceLock<Mutex<Option<Pool>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(None))
+}
+
+/// Resize the pool to `target` workers: joins every old worker (no thread
+/// leaks across resizes) and spawns a fresh generation. The only
+/// `std::thread` spawn in this module — dispatch paths never spawn.
+fn ensure_pool(slot: &mut Option<Pool>, target: usize) {
+    let current = slot.as_ref().map_or(0, |p| p.handles.len());
+    if current == target {
+        return;
+    }
+    if let Some(pool) = slot.take() {
+        {
+            let mut gate = pool.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            gate.shutdown = true;
+            pool.shared.work.notify_all();
+        }
+        for h in pool.handles {
+            let _ = h.join();
+        }
+    }
+    if target == 0 {
+        return;
+    }
+    let shared = Arc::new(Shared {
+        gate: Mutex::new(Gate {
+            seq: 0,
+            job: None,
+            attached: 0,
+            shutdown: false,
+        }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+    });
+    let mut handles = Vec::with_capacity(target);
+    for k in 0..target {
+        let sh = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ptatin-par-{k}"))
+                .spawn(move || worker_loop(sh))
+                .expect("spawn pool worker"),
+        );
+    }
+    *slot = Some(Pool { shared, handles });
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IS_POOL_WORKER.with(|c| c.set(true));
+    let mut seen = 0u64;
+    let mut gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if gate.shutdown {
+            return;
+        }
+        if gate.seq != seen {
+            seen = gate.seq;
+            if let Some(jp) = gate.job {
+                gate.attached += 1;
+                drop(gate);
+                // SAFETY: `attached` was incremented under the gate lock
+                // while the job was published; the dispatcher retires the
+                // job only after `attached` returns to 0.
+                run_pieces(unsafe { &*jp.0 });
+                gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+                gate.attached -= 1;
+                shared.done.notify_all();
+                continue; // re-check shutdown/seq before parking
+            }
+        }
+        gate = shared.work.wait(gate).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Claim and run pieces of `job` until none remain. Runs on pool workers;
+/// panics in user code are caught so a poisoned piece can't wedge the
+/// pool, and re-thrown on the dispatching thread.
+fn run_pieces(job: &Job) {
+    let _attr = prof::adopt(job.parent);
+    // SAFETY: see `Job::func` — the borrow outlives every attached worker.
+    let f = unsafe { &*job.func };
+    loop {
+        let p = job.next.fetch_add(1, Ordering::Relaxed);
+        if p >= job.npieces {
+            return;
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p)));
+        if let Err(payload) = result {
+            let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // Release ordering publishes the piece's writes to the dispatcher.
+        job.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Marks the dispatching thread while it runs piece 0, so re-entrant
+/// `par_*` calls fall back to serial instead of deadlocking on the pool.
+struct DispatchFlag;
+impl DispatchFlag {
+    fn set() -> Self {
+        DISPATCH_ACTIVE.with(|c| c.set(true));
+        DispatchFlag
+    }
+}
+impl Drop for DispatchFlag {
+    fn drop(&mut self) {
+        DISPATCH_ACTIVE.with(|c| c.set(false));
+    }
+}
+
+/// Waits for all workers to finish and detach, then unpublishes the job.
+/// Runs on drop so the stack-allocated `Job` stays valid even when piece 0
+/// unwinds on the dispatching thread.
+struct RetireGuard<'a> {
+    shared: &'a Shared,
+    job: &'a Job,
+}
+impl Drop for RetireGuard<'_> {
+    fn drop(&mut self) {
+        let mut gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+        while gate.attached != 0 || self.job.done.load(Ordering::Acquire) != self.job.npieces - 1 {
+            gate = self
+                .shared
+                .done
+                .wait(gate)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        gate.job = None;
+    }
+}
+
+/// Dispatch `piece(0..npieces)` across the pool: the calling thread runs
+/// piece 0, parked workers claim the rest. Blocks until every piece
+/// completed. Requires `npieces >= 2`; callers handle the serial cases.
+fn dispatch(npieces: usize, piece: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(npieces >= 2);
+    // Hold the registry lock for the whole dispatch: concurrent top-level
+    // dispatchers serialize here (they never fall back to serial, which
+    // keeps "piece 0 on the caller, the rest on workers" an invariant that
+    // tests may rely on).
+    let mut slot = pool_registry().lock().unwrap_or_else(|e| e.into_inner());
+    ensure_pool(&mut slot, num_threads().saturating_sub(1));
+    let shared = match slot.as_ref() {
+        Some(pool) if !pool.handles.is_empty() => Arc::clone(&pool.shared),
+        _ => {
+            // nt == 1: no workers to hand pieces to.
+            drop(slot);
+            for i in 0..npieces {
+                piece(i);
+            }
+            return;
+        }
+    };
+    // SAFETY: erase the borrow's lifetime to publish it to the workers.
+    // `RetireGuard` below guarantees no worker holds the pointer once this
+    // function returns (normally or by unwind).
+    let func: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(piece)
+    };
+    let job = Job {
+        func: func as *const (dyn Fn(usize) + Sync),
+        npieces,
+        next: AtomicUsize::new(1),
+        done: AtomicUsize::new(0),
+        parent: prof::current_id(),
+        panic: Mutex::new(None),
+    };
+    {
+        let mut gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.seq = gate.seq.wrapping_add(1);
+        gate.job = Some(JobPtr(&job as *const Job));
+        shared.work.notify_all();
+    }
+    {
+        let _active = DispatchFlag::set();
+        let _retire = RetireGuard {
+            shared: &shared,
+            job: &job,
+        };
+        piece(0);
+        // `_retire` drops here: waits for the workers, unpublishes.
+    }
+    let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Run `f(piece_index, start, end)` for every range, in parallel on the
+/// persistent pool. The calling thread runs range 0; ranges `1..` go to
+/// the pool workers. Falls back to an in-order serial loop when there is
+/// nothing to parallelize or when called from inside a parallel region
+/// (nested-parallelism policy). Piece results must depend only on the
+/// piece index for the determinism contract to hold.
+pub fn run_on_pool<F>(ranges: &[(usize, usize)], f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let npieces = ranges.len();
+    if npieces == 0 {
+        return;
+    }
+    if npieces == 1 || IS_POOL_WORKER.with(Cell::get) || DISPATCH_ACTIVE.with(Cell::get) {
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            f(i, s, e);
+        }
+        return;
+    }
+    let piece = |i: usize| {
+        let (s, e) = ranges[i];
+        f(i, s, e);
+    };
+    dispatch(npieces, &piece);
+}
+
+/// Raw-pointer wrapper that lets pieces write to disjoint regions of a
+/// caller-owned buffer from pool workers. The *user* of the pointer is
+/// responsible for disjointness.
+pub(crate) struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    pub(crate) fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+    /// Taking `&self` (not destructuring the field) keeps closures
+    /// capturing the whole wrapper, so the `Send`/`Sync` impls apply.
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Run `f(range_index, start, end)` over a partition of `0..len`.
 ///
 /// `f` must be safe to run concurrently on disjoint ranges; it receives no
 /// mutable state from here, so callers typically capture raw output slices
@@ -59,64 +423,55 @@ pub fn par_ranges<F>(len: usize, f: F)
 where
     F: Fn(usize, usize, usize) + Sync,
 {
-    let nt = num_threads();
-    let ranges = split_ranges(len, nt);
-    if ranges.len() <= 1 {
-        let (s, e) = ranges[0];
-        f(0, s, e);
-        return;
-    }
-    let parent = prof::current_id();
-    std::thread::scope(|scope| {
-        for (i, &(s, e)) in ranges.iter().enumerate().skip(1) {
-            let f = &f;
-            scope.spawn(move || {
-                let _attr = prof::adopt(parent);
-                f(i, s, e)
-            });
-        }
-        let (s, e) = ranges[0];
-        f(0, s, e);
-    });
+    let ranges = split_ranges(len, num_threads());
+    run_on_pool(&ranges, f);
 }
 
-/// Parallel map over mutable chunks: partitions `data` to the worker threads
-/// and calls `f(global_offset, chunk)` on each piece.
+/// Parallel map over mutable chunks: partitions `data` to the worker
+/// threads and calls `f(global_offset, chunk)` on each piece.
 pub fn par_chunks_mut<T: Send, F>(data: &mut [T], f: F)
 where
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let len = data.len();
-    let nt = num_threads();
-    let ranges = split_ranges(len, nt);
+    let ranges = split_ranges(data.len(), num_threads());
     if ranges.len() <= 1 {
         f(0, data);
         return;
     }
-    let parent = prof::current_id();
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0usize;
-        // Spawn workers for every range but the first; fold the first on
-        // the calling thread (same policy as `par_ranges`).
-        let mut first: Option<(usize, &mut [T])> = None;
-        for &(s, e) in &ranges {
-            let (head, tail) = rest.split_at_mut(e - s);
-            rest = tail;
-            let off = consumed;
-            consumed += head.len();
-            if s == 0 {
-                first = Some((off, head));
-                continue;
-            }
-            let f = &f;
-            scope.spawn(move || {
-                let _attr = prof::adopt(parent);
-                f(off, head)
-            });
+    let base = SendPtr::new(data.as_mut_ptr());
+    run_on_pool(&ranges, |_i, s, e| {
+        // SAFETY: `split_ranges` pieces are disjoint sub-slices of `data`,
+        // which outlives the dispatch (run_on_pool blocks until done).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+        f(s, chunk);
+    });
+}
+
+/// Parallel loop over fixed-size blocks of `data`: calls
+/// `f(block_index, block)` for every `block`-sized chunk (the last may be
+/// shorter). Blocks are distributed contiguously over the worker threads,
+/// so outputs are bitwise-independent of the thread count. Used by
+/// assembly-style loops that compute into per-block scratch.
+pub fn par_blocks_mut<T: Send, F>(data: &mut [T], block: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(block > 0);
+    let len = data.len();
+    let nblocks = len.div_ceil(block);
+    if nblocks == 0 {
+        return;
+    }
+    let ranges = split_ranges(nblocks, num_threads());
+    let base = SendPtr::new(data.as_mut_ptr());
+    run_on_pool(&ranges, |_p, bs, be| {
+        for bi in bs..be {
+            let s = bi * block;
+            let e = (s + block).min(len);
+            // SAFETY: blocks are disjoint; `data` outlives the dispatch.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+            f(bi, chunk);
         }
-        let (off, head) = first.expect("first range exists");
-        f(off, head);
     });
 }
 
@@ -124,36 +479,34 @@ where
 /// results are combined left-to-right with `combine` (deterministic order).
 pub fn par_reduce<R, F, C>(len: usize, identity: R, fold: F, combine: C) -> R
 where
-    R: Send + Clone,
+    R: Send,
     F: Fn(usize, usize) -> R + Sync,
     C: Fn(R, R) -> R,
 {
-    let nt = num_threads();
-    let ranges = split_ranges(len, nt);
+    let ranges = split_ranges(len, num_threads());
     if ranges.len() <= 1 {
         let (s, e) = ranges[0];
         return fold(s, e);
     }
-    let mut parts: Vec<Option<R>> = vec![None; ranges.len()];
-    let parent = prof::current_id();
-    std::thread::scope(|scope| {
-        let fold = &fold;
-        let (first, spawned) = parts.split_first_mut().expect("nonempty ranges");
-        for (slot, &(s, e)) in spawned.iter_mut().zip(&ranges[1..]) {
-            scope.spawn(move || {
-                let _attr = prof::adopt(parent);
-                *slot = Some(fold(s, e))
-            });
-        }
-        // Fold the first range on the calling thread instead of idling
-        // while nt workers run (same policy as `par_ranges`).
-        let (s, e) = ranges[0];
-        *first = Some(fold(s, e));
+    let mut parts: Vec<Option<R>> = (0..ranges.len()).map(|_| None).collect();
+    let base = SendPtr::new(parts.as_mut_ptr());
+    run_on_pool(&ranges, |i, s, e| {
+        // SAFETY: each piece writes only slot `i`; `parts` outlives the
+        // dispatch.
+        unsafe { *base.get().add(i) = Some(fold(s, e)) };
     });
     parts
         .into_iter()
-        .map(|p| p.expect("worker finished"))
+        .map(|p| p.expect("piece finished"))
         .fold(identity, combine)
+}
+
+/// Serialize unit tests that mutate the process-global thread count or
+/// assert on thread identity / the prof registry.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -192,6 +545,23 @@ mod tests {
     }
 
     #[test]
+    fn par_blocks_mut_visits_every_block() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let mut v = vec![0usize; 1000];
+        par_blocks_mut(&mut v, 64, |bi, chunk| {
+            assert!(chunk.len() <= 64);
+            for x in chunk.iter_mut() {
+                *x = bi + 1;
+            }
+        });
+        set_num_threads(0);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 64 + 1);
+        }
+    }
+
+    #[test]
     fn par_reduce_sums() {
         let n = 12345usize;
         let s = par_reduce(
@@ -204,7 +574,20 @@ mod tests {
     }
 
     #[test]
+    fn par_reduce_works_with_non_clone_results() {
+        // R: Send only (no Clone): boxed partials.
+        let s = par_reduce(
+            1000,
+            Box::new(0u64),
+            |a, b| Box::new((a..b).map(|i| i as u64).sum::<u64>()),
+            |x, y| Box::new(*x + *y),
+        );
+        assert_eq!(*s, 999 * 1000 / 2);
+    }
+
+    #[test]
     fn par_reduce_folds_first_range_on_calling_thread() {
+        let _g = test_guard();
         set_num_threads(4);
         let caller = std::thread::current().id();
         let ids = par_reduce(
@@ -228,7 +611,87 @@ mod tests {
     }
 
     #[test]
+    fn pool_resize_leaks_no_workers() {
+        let _g = test_guard();
+        for _ in 0..3 {
+            set_num_threads(4);
+            assert_eq!(pool_worker_count(), 3);
+            set_num_threads(2);
+            assert_eq!(pool_worker_count(), 1);
+            set_num_threads(1);
+            assert_eq!(pool_worker_count(), 0, "drained pool must join workers");
+        }
+        set_num_threads(0);
+        assert_eq!(pool_worker_count(), num_threads().saturating_sub(1));
+    }
+
+    #[test]
+    fn pool_reused_across_dispatches() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let before = pool_worker_count();
+        for _ in 0..50 {
+            let s = par_reduce(10_000, 0u64, |a, b| (b - a) as u64, |x, y| x + y);
+            assert_eq!(s, 10_000);
+        }
+        assert_eq!(
+            pool_worker_count(),
+            before,
+            "dispatch must reuse the persistent workers, not respawn"
+        );
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_par_from_worker_runs_serial() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let caller = std::thread::current().id();
+        // Outer parallel loop; inner calls must degrade to serial on
+        // whichever thread runs the piece (no deadlock, no pool re-entry).
+        par_ranges(4, |_i, s, e| {
+            let me = std::thread::current().id();
+            let inner = par_reduce(
+                100,
+                Vec::new(),
+                |is, _| vec![(is, std::thread::current().id())],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            for (_, id) in &inner {
+                assert_eq!(*id, me, "nested piece escaped its thread");
+            }
+            // Touch the range so the closure isn't optimized away.
+            assert!(s <= e);
+        });
+        set_num_threads(0);
+        let _ = caller;
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _g = test_guard();
+        set_num_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            par_ranges(4, |i, _s, _e| {
+                if i == 2 {
+                    panic!("piece 2 exploded");
+                }
+            });
+        });
+        assert!(result.is_err(), "piece panic must reach the dispatcher");
+        // The pool must still be functional afterwards.
+        let s = par_reduce(1000, 0u64, |a, b| (b - a) as u64, |x, y| x + y);
+        assert_eq!(s, 1000);
+        assert_eq!(pool_worker_count(), 3);
+        set_num_threads(0);
+    }
+
+    #[test]
     fn parallel_workers_attribute_flops_to_enclosing_event() {
+        let _g = test_guard();
         // The prof registry is process-global; run this test's scope under
         // a unique event name so parallel tests cannot collide on it.
         prof::enable();
@@ -237,13 +700,16 @@ mod tests {
         {
             let _s = prof::scope("par_attribution_test");
             par_ranges(1000, |_i, s, e| prof::log_flops((e - s) as u64));
+            // A second dispatch from the same scope: workers must adopt
+            // per dispatch, not per thread lifetime.
+            par_ranges(1000, |_i, s, e| prof::log_flops((e - s) as u64));
         }
         set_num_threads(0);
         prof::disable();
         let snap = prof::snapshot();
         let ev = snap.event("par_attribution_test").expect("event recorded");
         assert_eq!(
-            ev.flops, 1000,
+            ev.flops, 2000,
             "worker flops must land on the enclosing event"
         );
         assert_eq!(ev.calls, 1);
@@ -251,6 +717,7 @@ mod tests {
 
     #[test]
     fn thread_count_override() {
+        let _g = test_guard();
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);

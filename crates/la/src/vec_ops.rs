@@ -6,8 +6,12 @@
 
 use crate::par;
 
-/// Threshold below which kernels run serially (thread spawn not worth it).
-const PAR_MIN: usize = 1 << 15;
+/// Threshold below which kernels run serially. Originally 1 << 15, tuned
+/// for spawn-per-call dispatch (~20 µs/call); the persistent pool cut the
+/// per-dispatch overhead by roughly an order of magnitude (see the
+/// `dispatch_*` microbenches in `la_kernels` and EXPERIMENTS.md), which
+/// moves the serial/parallel crossover down accordingly.
+pub const PAR_MIN: usize = 1 << 12;
 
 /// y ← x
 pub fn copy(x: &[f64], y: &mut [f64]) {
@@ -181,6 +185,7 @@ mod tests {
 
     #[test]
     fn large_parallel_dot_deterministic() {
+        let _g = crate::par::test_guard();
         let n = 200_000;
         let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64) / 100.0).collect();
         crate::par::set_num_threads(4);

@@ -10,6 +10,7 @@ use ptatin_la::csr::Csr;
 use ptatin_la::krylov::{cg, fgmres, KrylovConfig};
 use ptatin_la::operator::{LinearOperator, Preconditioner};
 use ptatin_la::schwarz::{AdditiveSchwarz, DirectSolver};
+use ptatin_la::vec_ops;
 use ptatin_prof as prof;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -215,13 +216,12 @@ impl GeometricMg {
             let _ev = prof::scope(smooth_event(k));
             lvl.smoother.smooth_with(a, b, x, self.pre_smooth);
         }
-        // Residual.
+        // Residual: r = b - A x (axpby(1, b, -1, r) is bitwise-identical
+        // to the elementwise subtraction and runs on the worker pool).
         let n = b.len();
         let mut r = vec![0.0; n];
         a.apply(x, &mut r);
-        for i in 0..n {
-            r[i] = b[i] - r[i];
-        }
+        vec_ops::axpby(1.0, b, -1.0, &mut r);
         // Restrict through Pᵀ.
         let p = &self.prolongations[k - 1];
         let mut rc = vec![0.0; p.ncols()];
@@ -250,9 +250,7 @@ impl GeometricMg {
             let _ev = prof::scope("MGProlong");
             p.spmv(&xc, &mut corr);
         }
-        for i in 0..n {
-            x[i] += corr[i];
-        }
+        vec_ops::axpy(1.0, &corr, x);
         {
             let _ev = prof::scope(smooth_event(k));
             lvl.smoother.smooth_with(a, b, x, self.post_smooth);

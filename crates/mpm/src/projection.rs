@@ -7,11 +7,21 @@ use crate::points::MaterialPoints;
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::basis::q1_basis;
 use ptatin_fem::geometry::map_to_physical;
+use ptatin_la::par;
 use ptatin_mesh::StructuredMesh;
+
+/// Point count below which the projection scatter runs serially.
+const PAR_MIN_POINTS: usize = 1 << 12;
 
 /// Project per-point values onto the Q1 corner mesh:
 /// `f_i = Σ_p N_i(x_p) f_p / Σ_p N_i(x_p)` over the points in the support
 /// of node `i`. Nodes with no nearby points receive `fallback(i)`.
+///
+/// The scatter races on shared corners, so the parallel path accumulates
+/// into per-piece corner buffers and combines them in fixed piece order —
+/// bitwise-deterministic at a fixed thread count (piece boundaries regroup
+/// the floating-point sums relative to the serial order, like every other
+/// reduction in the solve stack).
 pub fn project_to_corners<F, G>(
     mesh: &StructuredMesh,
     points: &MaterialPoints,
@@ -19,23 +29,47 @@ pub fn project_to_corners<F, G>(
     fallback: G,
 ) -> Vec<f64>
 where
-    F: Fn(usize) -> f64,
+    F: Fn(usize) -> f64 + Sync,
     G: Fn(usize) -> f64,
 {
     let nc = mesh.num_corners();
+    let npts = points.len();
     let mut num = vec![0.0f64; nc];
     let mut den = vec![0.0f64; nc];
-    for p in 0..points.len() {
-        let e = points.element[p];
-        if e == u32::MAX {
-            continue; // unlocated point contributes nothing
+    let scatter = |range: std::ops::Range<usize>, num: &mut [f64], den: &mut [f64]| {
+        for p in range {
+            let e = points.element[p];
+            if e == u32::MAX {
+                continue; // unlocated point contributes nothing
+            }
+            let cids = mesh.element_corner_ids(e as usize);
+            let w = q1_basis(points.xi[p]);
+            let v = value(p);
+            for (k, &cid) in cids.iter().enumerate() {
+                num[cid] += w[k] * v;
+                den[cid] += w[k];
+            }
         }
-        let cids = mesh.element_corner_ids(e as usize);
-        let w = q1_basis(points.xi[p]);
-        let v = value(p);
-        for (k, &cid) in cids.iter().enumerate() {
-            num[cid] += w[k] * v;
-            den[cid] += w[k];
+    };
+    let nt = par::num_threads();
+    if nt <= 1 || npts < PAR_MIN_POINTS {
+        scatter(0..npts, &mut num, &mut den);
+    } else {
+        let ranges = par::split_ranges(npts, nt);
+        let npieces = ranges.len();
+        // Per-piece [num | den] accumulators, combined in piece order.
+        let mut parts = vec![0.0f64; npieces * 2 * nc];
+        par::par_blocks_mut(&mut parts, 2 * nc, |pi, acc| {
+            let (s, e) = ranges[pi];
+            let (pnum, pden) = acc.split_at_mut(nc);
+            scatter(s..e, pnum, pden);
+        });
+        for pi in 0..npieces {
+            let base = pi * 2 * nc;
+            for i in 0..nc {
+                num[i] += parts[base + i];
+                den[i] += parts[base + nc + i];
+            }
         }
     }
     (0..nc)

@@ -51,7 +51,9 @@ impl<'a> ColorScatter<'a> {
 }
 
 /// Run `body(element)` over all elements, colour by colour; elements within
-/// one colour run in parallel (they share no dofs).
+/// one colour run in parallel (they share no dofs). Each colour is one
+/// dispatch onto `ptatin-la::par`'s persistent worker pool, so the
+/// per-apply cost is a condvar wake rather than thread creation.
 pub fn for_each_element_colored<F>(data: &ViscousOpData, body: F)
 where
     F: Fn(usize) + Sync,

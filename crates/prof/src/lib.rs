@@ -25,17 +25,19 @@
 //! ## Worker-thread attribution
 //!
 //! Scopes are per-thread (a thread-local stack). A parallel region
-//! spawned inside an event runs on threads whose stacks are empty; to
-//! attribute *work* (flops/bytes) from those workers to the enclosing
-//! event without double-counting *time*, the spawning thread captures
-//! [`current_id`] and each worker installs it with [`adopt`]:
+//! dispatched inside an event runs on `ptatin-la::par`'s persistent pool
+//! workers, whose stacks are empty; to attribute *work* (flops/bytes)
+//! from those workers to the enclosing event without double-counting
+//! *time*, the dispatching thread captures [`current_id`] at every
+//! dispatch and each worker installs it with [`adopt`] for the duration
+//! of that job (per dispatch, *not* per worker-thread lifetime — pool
+//! workers outlive many enclosing events):
 //!
 //! ```ignore
-//! let parent = prof::current_id();          // on the calling thread
-//! scope.spawn(move || {
-//!     let _g = prof::adopt(parent);          // on the worker
-//!     // log_flops here lands on the enclosing event
-//! });
+//! let parent = prof::current_id();  // on the dispatching thread, per job
+//! // on a pool worker, before claiming the job's pieces:
+//! let _g = prof::adopt(parent);
+//! // log_flops here lands on the enclosing event
 //! ```
 
 pub mod json;

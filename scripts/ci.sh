@@ -20,8 +20,14 @@ if [[ $FAST -eq 0 ]]; then
     cargo build --release --workspace --bins --benches
 fi
 
-step "tests"
-cargo test --workspace -q
+# The suite runs twice: once pinned to a single thread and once at four,
+# so thread-count-dependent regressions in the worker pool (ptatin-la::par)
+# can't hide behind the host's core count.
+step "tests (PTATIN_TEST_THREADS=1)"
+PTATIN_TEST_THREADS=1 cargo test --workspace -q
+
+step "tests (PTATIN_TEST_THREADS=4)"
+PTATIN_TEST_THREADS=4 cargo test --workspace -q
 
 step "rustfmt"
 cargo fmt --all --check

@@ -1,0 +1,156 @@
+//! Thread-count invariance harness for the solver stack on the persistent
+//! worker pool (`ptatin-la::par`).
+//!
+//! The determinism contract (pure chunking, left-to-right combines, caller
+//! folds piece 0) promises two things, both pinned here on real Stokes
+//! solves:
+//!
+//! 1. at a *fixed* thread count, repeated runs are bitwise identical;
+//! 2. across thread counts, only the floating-point regrouping of
+//!    reductions changes — Krylov iteration counts must be identical and
+//!    residual norms / solutions must agree to tight tolerances.
+//!
+//! CI runs the whole suite at `PTATIN_TEST_THREADS=1` and `4` on top of
+//! these explicit sweeps (scripts/ci.sh).
+
+use ptatin_bench::{paper_gmg_config, sinker_setup};
+use ptatin_core::solver::{GmgConfig, KrylovOperatorChoice};
+use ptatin_la::krylov::KrylovConfig;
+use ptatin_la::par;
+use ptatin_ops::OperatorKind;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the thread count is a
+/// process-global knob.
+static NT_LOCK: Mutex<()> = Mutex::new(());
+
+struct SolveOut {
+    iterations: usize,
+    initial_residual: f64,
+    final_residual: f64,
+    x: Vec<f64>,
+}
+
+/// Sinker Stokes solve (m=4, 2 levels, Δη = 10³) at `nt` threads.
+fn solve_sinker(gmg: &GmgConfig, nt: usize) -> SolveOut {
+    par::set_num_threads(nt);
+    let (model, fields) = sinker_setup(4, gmg.levels, 1e3);
+    let solver = model.build_solver(&fields, gmg);
+    let rhs = model.rhs(&solver, &fields);
+    let mut x = vec![0.0; solver.nu + solver.np];
+    let stats = solver.solve(
+        &rhs,
+        &mut x,
+        &KrylovConfig::default().with_rtol(1e-8).with_max_it(900),
+        KrylovOperatorChoice::Picard,
+        None,
+    );
+    par::set_num_threads(0);
+    assert!(stats.converged, "nt={nt}: {stats:?}");
+    SolveOut {
+        iterations: stats.iterations,
+        initial_residual: stats.initial_residual,
+        final_residual: stats.final_residual,
+        x,
+    }
+}
+
+fn assert_thread_invariant(label: &str, runs: &[(usize, SolveOut)]) {
+    let (nt0, ref base) = runs[0];
+    let scale = base.x.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    for (nt, out) in &runs[1..] {
+        assert_eq!(
+            out.iterations, base.iterations,
+            "{label}: iteration count changed between nt={nt0} and nt={nt}"
+        );
+        // Residual norms are compared in units of the convergence band:
+        // both runs stop at ‖r‖/‖r₀‖ ≤ rtol = 1e-8, and FP regrouping may
+        // only move the final residual by a small fraction of that band.
+        let rel = (out.final_residual / out.initial_residual
+            - base.final_residual / base.initial_residual)
+            .abs();
+        assert!(
+            rel < 3e-9,
+            "{label}: relative residual moved by {rel:.2e} between nt={nt0} and nt={nt}"
+        );
+        let maxdiff = base
+            .x
+            .iter()
+            .zip(&out.x)
+            .fold(0.0f64, |a, (p, q)| a.max((p - q).abs()));
+        assert!(
+            maxdiff < 1e-6 * scale,
+            "{label}: solutions diverge by {maxdiff:.2e} (scale {scale:.2e}) \
+             between nt={nt0} and nt={nt}"
+        );
+    }
+}
+
+#[test]
+fn sinker_solve_invariant_under_thread_count() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let gmg = GmgConfig {
+        levels: 2,
+        ..paper_gmg_config(2, OperatorKind::Tensor)
+    };
+    let runs: Vec<(usize, SolveOut)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|nt| (nt, solve_sinker(&gmg, nt)))
+        .collect();
+    assert_thread_invariant("GMG-i(tensor)", &runs);
+}
+
+#[test]
+fn preconditioner_config_matrix_invariant_under_thread_count() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The Table IV configurations exercised by the preconditioner tests:
+    // all-assembled GMG and the Galerkin-intermediate variant (GMG-ii).
+    let configs: Vec<(&str, GmgConfig)> = vec![
+        (
+            "assembled",
+            GmgConfig {
+                levels: 2,
+                ..paper_gmg_config(2, OperatorKind::Assembled)
+            },
+        ),
+        (
+            "GMG-ii(galerkin)",
+            GmgConfig {
+                levels: 2,
+                galerkin_intermediate: true,
+                ..paper_gmg_config(2, OperatorKind::Assembled)
+            },
+        ),
+    ];
+    for (label, gmg) in configs {
+        let runs: Vec<(usize, SolveOut)> = [1usize, 2, 4]
+            .into_iter()
+            .map(|nt| (nt, solve_sinker(&gmg, nt)))
+            .collect();
+        assert_thread_invariant(label, &runs);
+    }
+}
+
+#[test]
+fn fixed_thread_count_is_bitwise_deterministic() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let gmg = GmgConfig {
+        levels: 2,
+        ..paper_gmg_config(2, OperatorKind::Tensor)
+    };
+    let a = solve_sinker(&gmg, 4);
+    let b = solve_sinker(&gmg, 4);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(
+        a.final_residual.to_bits(),
+        b.final_residual.to_bits(),
+        "residual norm must be bitwise reproducible at fixed nt"
+    );
+    for i in 0..a.x.len() {
+        assert_eq!(
+            a.x[i].to_bits(),
+            b.x[i].to_bits(),
+            "solution must be bitwise reproducible at fixed nt (dof {i})"
+        );
+    }
+}
