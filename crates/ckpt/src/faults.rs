@@ -1,0 +1,219 @@
+//! Deterministic fault injection for long-running simulations.
+//!
+//! Production-scale runs fail in three characteristic ways (paper §IV-A /
+//! Fig. 4): the Krylov iteration breaks down, the nonlinear iteration
+//! stalls, or the process dies outright. This module lets CI *schedule*
+//! each of those at an exact timestep so the recovery paths (dt backoff,
+//! preconditioner escalation, checkpoint restart) are exercised
+//! deterministically instead of hoped-for.
+//!
+//! A [`FaultPlan`] is a one-shot `(kind, step)` pair, set programmatically
+//! ([`set_plan`]), from the `PTATIN_FAULT` environment variable
+//! ([`install_from_env`]) or from the `--fault=` CLI flag. The timestep
+//! driver calls [`begin_step`] at the top of every step; when the plan
+//! matches, the corresponding layer hook is armed (and the plan consumed):
+//!
+//! * `breakdown@K` — arms [`ptatin_la::krylov::fault::arm_breakdown`]; the
+//!   next outer (labelled) Stokes solve reports
+//!   `SolveOutcome::Breakdown(BreakdownKind::Injected)`.
+//! * `stall@K` — arms a nonlinear stall consumed by
+//!   `ptatin_core::nonlinear::solve_nonlinear`, which then reports a
+//!   `Stall` outcome without advancing the iterate.
+//! * `crash@K` — [`begin_step`] returns [`FaultKind::Crash`]; the driver
+//!   simulates a hard crash (the CLI exits, tests stop the loop), leaving
+//!   only the periodic checkpoints behind.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The three injectable failure classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Krylov breakdown in the next outer Stokes solve.
+    KrylovBreakdown,
+    /// Nonlinear stall (no residual progress) in the next Newton solve.
+    NonlinearStall,
+    /// Simulated process crash before the step runs.
+    Crash,
+}
+
+/// A scheduled one-shot fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub kind: FaultKind,
+    /// Zero-based step index at which the fault fires.
+    pub step: u64,
+}
+
+impl FaultPlan {
+    /// Parse `"breakdown@3"`, `"stall@2"` or `"crash@5"`.
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        let (kind, step) = s.split_once('@')?;
+        let kind = match kind.trim() {
+            "breakdown" => FaultKind::KrylovBreakdown,
+            "stall" => FaultKind::NonlinearStall,
+            "crash" => FaultKind::Crash,
+            _ => return None,
+        };
+        let step = step.trim().parse().ok()?;
+        Some(FaultPlan { kind, step })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            FaultKind::KrylovBreakdown => "breakdown",
+            FaultKind::NonlinearStall => "stall",
+            FaultKind::Crash => "crash",
+        };
+        write!(f, "{kind}@{}", self.step)
+    }
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static STALL_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Install (or clear) the process-wide fault plan.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    *PLAN.lock().unwrap() = plan;
+}
+
+/// The currently scheduled (unfired) plan, if any.
+pub fn plan() -> Option<FaultPlan> {
+    *PLAN.lock().unwrap()
+}
+
+/// Parse the `PTATIN_FAULT` environment variable (e.g.
+/// `PTATIN_FAULT=breakdown@3`) without installing it.
+pub fn plan_from_env() -> Option<FaultPlan> {
+    std::env::var("PTATIN_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(FaultPlan::parse)
+}
+
+/// Install the plan from `PTATIN_FAULT`, if set and well-formed.
+pub fn install_from_env() {
+    if let Some(p) = plan_from_env() {
+        set_plan(Some(p));
+    }
+}
+
+/// Clear the plan and disarm every layer hook (test hygiene).
+pub fn reset() {
+    set_plan(None);
+    STALL_ARMED.store(false, Ordering::SeqCst);
+    ptatin_la::krylov::fault::disarm();
+}
+
+/// Called by the timestep driver at the top of step `step` (zero-based).
+/// If the plan fires here it is consumed, the matching layer hook is
+/// armed, and the kind is returned so the driver can handle
+/// [`FaultKind::Crash`] itself.
+pub fn begin_step(step: u64) -> Option<FaultKind> {
+    let mut guard = PLAN.lock().unwrap();
+    match *guard {
+        Some(p) if p.step == step => {
+            *guard = None;
+            drop(guard);
+            match p.kind {
+                FaultKind::KrylovBreakdown => ptatin_la::krylov::fault::arm_breakdown(),
+                FaultKind::NonlinearStall => STALL_ARMED.store(true, Ordering::SeqCst),
+                FaultKind::Crash => {}
+            }
+            Some(p.kind)
+        }
+        _ => None,
+    }
+}
+
+/// Consume an armed nonlinear stall (one-shot). Called by the nonlinear
+/// driver at solve entry.
+pub fn take_nonlinear_stall() -> bool {
+    STALL_ARMED.swap(false, Ordering::SeqCst)
+}
+
+/// Is a nonlinear stall currently armed?
+pub fn stall_armed() -> bool {
+    STALL_ARMED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The plan and hooks are process-global; serialize the tests that
+    /// touch them.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parse_accepts_the_three_kinds() {
+        assert_eq!(
+            FaultPlan::parse("breakdown@3"),
+            Some(FaultPlan {
+                kind: FaultKind::KrylovBreakdown,
+                step: 3
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("stall@0"),
+            Some(FaultPlan {
+                kind: FaultKind::NonlinearStall,
+                step: 0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("crash@12"),
+            Some(FaultPlan {
+                kind: FaultKind::Crash,
+                step: 12
+            })
+        );
+        assert_eq!(FaultPlan::parse("explode@1"), None);
+        assert_eq!(FaultPlan::parse("stall"), None);
+        assert_eq!(FaultPlan::parse("stall@x"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in ["breakdown@3", "stall@0", "crash@12"] {
+            let p = FaultPlan::parse(s).unwrap();
+            assert_eq!(FaultPlan::parse(&p.to_string()), Some(p));
+        }
+    }
+
+    #[test]
+    fn begin_step_fires_once_at_the_scheduled_step() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        reset();
+        set_plan(Some(FaultPlan {
+            kind: FaultKind::NonlinearStall,
+            step: 2,
+        }));
+        assert_eq!(begin_step(0), None);
+        assert_eq!(begin_step(1), None);
+        assert!(!stall_armed());
+        assert_eq!(begin_step(2), Some(FaultKind::NonlinearStall));
+        assert!(stall_armed());
+        assert!(take_nonlinear_stall());
+        assert!(!take_nonlinear_stall(), "stall hook is one-shot");
+        // Plan consumed: the same step number does not re-fire.
+        assert_eq!(begin_step(2), None);
+        reset();
+    }
+
+    #[test]
+    fn breakdown_plan_arms_the_krylov_hook() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        reset();
+        set_plan(Some(FaultPlan {
+            kind: FaultKind::KrylovBreakdown,
+            step: 1,
+        }));
+        assert_eq!(begin_step(1), Some(FaultKind::KrylovBreakdown));
+        assert!(ptatin_la::krylov::fault::armed());
+        reset();
+        assert!(!ptatin_la::krylov::fault::armed());
+    }
+}

@@ -1,0 +1,377 @@
+//! `ptatin-ckpt` — durable simulation snapshots and deterministic fault
+//! injection for long-term lithospheric dynamics runs.
+//!
+//! The paper's target regime (thousands of timesteps, nonlinear solve
+//! failures in the first steps of the rift model, Fig. 4) makes two pieces
+//! of machinery non-negotiable for production runs:
+//!
+//! * **Checkpoint/restart** — [`Checkpoint`] serializes the *full*
+//!   simulation state (deformed mesh, hierarchy depth, material-point
+//!   swarm with history variables, velocity/pressure/temperature vectors,
+//!   timestep index, last dt, PRNG state and a solver-configuration hash)
+//!   into a versioned, dependency-free binary format ([`format`]) with a
+//!   checksummed header. The roundtrip is **bitwise**: a run restarted
+//!   from a checkpoint at any step k reproduces the uninterrupted run's
+//!   trajectory exactly at a fixed thread count.
+//! * **Fault injection** — [`faults`] schedules a Krylov breakdown, a
+//!   nonlinear stall or a simulated crash at an exact timestep, so the
+//!   recovery ladder (dt backoff, preconditioner escalation, clean abort
+//!   with a final checkpoint) is exercised in CI.
+
+pub mod faults;
+pub mod format;
+
+pub use format::{fnv1a64, CkptError, Reader, Writer, FORMAT_VERSION, MAGIC};
+
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::MaterialPoints;
+use std::path::Path;
+
+/// A complete, self-contained simulation snapshot.
+///
+/// Everything a transient model needs to resume bitwise-identically:
+/// nothing in here refers to live process state, and every float is
+/// serialized via its bit pattern.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Steps completed when the snapshot was taken (the next step to run).
+    pub step_index: u64,
+    /// Accumulated simulation time.
+    pub time: f64,
+    /// dt of the last completed step (diagnostic; dt is recomputed from
+    /// the CFL condition on restart).
+    pub dt_last: f64,
+    /// PRNG state of the model's generator (population control etc.).
+    pub rng_state: u64,
+    /// Hash of the model configuration that produced this run; restart
+    /// refuses to resume under a different configuration.
+    pub config_hash: u64,
+    /// Multigrid hierarchy depth (the hierarchy itself is rebuilt from the
+    /// fine mesh deterministically).
+    pub levels: u32,
+    /// The deformed fine mesh (ALE free surface state lives here).
+    pub mesh: StructuredMesh,
+    /// Material-point swarm: positions, lithology, plastic strain, element
+    /// ownership cache and local coordinates.
+    pub points: MaterialPoints,
+    pub velocity: Vec<f64>,
+    pub pressure: Vec<f64>,
+    pub temperature: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Serialize into a framed, checksummed byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.step_index);
+        w.put_f64(self.time);
+        w.put_f64(self.dt_last);
+        w.put_u64(self.rng_state);
+        w.put_u64(self.config_hash);
+        w.put_u32(self.levels);
+        // Mesh: dims + node coordinates.
+        w.put_u64(self.mesh.mx as u64);
+        w.put_u64(self.mesh.my as u64);
+        w.put_u64(self.mesh.mz as u64);
+        w.put_vec3_slice(&self.mesh.coords);
+        // Swarm (struct-of-arrays, lengths repeated per array and
+        // cross-checked on read).
+        w.put_vec3_slice(&self.points.x);
+        w.put_u16_slice(&self.points.lithology);
+        w.put_f64_slice(&self.points.plastic_strain);
+        w.put_u32_slice(&self.points.element);
+        w.put_vec3_slice(&self.points.xi);
+        // Field vectors.
+        w.put_f64_slice(&self.velocity);
+        w.put_f64_slice(&self.pressure);
+        w.put_f64_slice(&self.temperature);
+        w.finish()
+    }
+
+    /// Parse and validate a byte vector produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = Reader::open(bytes)?;
+        let step_index = r.get_u64()?;
+        let time = r.get_f64()?;
+        let dt_last = r.get_f64()?;
+        let rng_state = r.get_u64()?;
+        let config_hash = r.get_u64()?;
+        let levels = r.get_u32()?;
+        let mx = r.get_u64()? as usize;
+        let my = r.get_u64()? as usize;
+        let mz = r.get_u64()? as usize;
+        let coords = r.get_vec3_vec()?;
+        if mx == 0 || my == 0 || mz == 0 {
+            return Err(CkptError::Corrupt("zero element count in mesh dims"));
+        }
+        let expected_nodes = (2 * mx + 1) * (2 * my + 1) * (2 * mz + 1);
+        if coords.len() != expected_nodes {
+            return Err(CkptError::Corrupt("mesh coordinate count != node grid"));
+        }
+        let mesh = StructuredMesh { mx, my, mz, coords };
+        let x = r.get_vec3_vec()?;
+        let lithology = r.get_u16_vec()?;
+        let plastic_strain = r.get_f64_vec()?;
+        let element = r.get_u32_vec()?;
+        let xi = r.get_vec3_vec()?;
+        let n = x.len();
+        if lithology.len() != n || plastic_strain.len() != n || element.len() != n || xi.len() != n
+        {
+            return Err(CkptError::Corrupt("swarm array lengths disagree"));
+        }
+        if element
+            .iter()
+            .any(|&e| e != u32::MAX && e as usize >= mesh.num_elements())
+        {
+            return Err(CkptError::Corrupt("swarm element index out of range"));
+        }
+        let points = MaterialPoints {
+            x,
+            lithology,
+            plastic_strain,
+            element,
+            xi,
+        };
+        let velocity = r.get_f64_vec()?;
+        let pressure = r.get_f64_vec()?;
+        let temperature = r.get_f64_vec()?;
+        r.finish()?;
+        Ok(Self {
+            step_index,
+            time,
+            dt_last,
+            rng_state,
+            config_hash,
+            levels,
+            mesh,
+            points,
+            velocity,
+            pressure,
+            temperature,
+        })
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, then rename over
+    /// `path`, so a crash mid-write can never leave a torn checkpoint
+    /// under the final name.
+    pub fn write_to(&self, path: &Path) -> Result<(), CkptError> {
+        let bytes = self.to_bytes();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn read_from(path: &Path) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Refuse to resume under a different model configuration.
+    pub fn verify_config(&self, expected: u64) -> Result<(), CkptError> {
+        if self.config_hash == expected {
+            Ok(())
+        } else {
+            Err(CkptError::ConfigMismatch {
+                expected,
+                found: self.config_hash,
+            })
+        }
+    }
+}
+
+/// Hash a model configuration into the stable `u64` stored in every
+/// checkpoint. Feed fields in a fixed order; floats hash by bit pattern.
+#[derive(Default)]
+pub struct ConfigHasher {
+    w: Writer,
+}
+
+impl ConfigHasher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn u64(mut self, v: u64) -> Self {
+        self.w.put_u64(v);
+        self
+    }
+    pub fn f64(mut self, v: f64) -> Self {
+        self.w.put_f64(v);
+        self
+    }
+    pub fn bool(mut self, v: bool) -> Self {
+        self.w.put_u8(v as u8);
+        self
+    }
+    pub fn finish(self) -> u64 {
+        fnv1a64(self.w.payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptatin_prng::{Rng, StdRng};
+
+    fn sample_checkpoint(seed: u64) -> Checkpoint {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        // Deform so the serialized geometry is non-trivial.
+        mesh.deform(|c| [c[0], c[1] + 0.01 * (c[0] * 9.0).sin(), c[2]]);
+        let mut points = MaterialPoints::default();
+        for i in 0..50 {
+            points.push(
+                [
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ],
+                (i % 3) as u16,
+                rng.gen_range(0.0..2.0),
+            );
+            points.element[i] = if i % 7 == 0 { u32::MAX } else { (i % 8) as u32 };
+            points.xi[i] = [
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ];
+        }
+        let nv = 3 * mesh.num_nodes();
+        Checkpoint {
+            step_index: 17,
+            time: 0.842,
+            dt_last: 0.05,
+            rng_state: rng.state(),
+            config_hash: 0xdead_beef_cafe_f00d,
+            levels: 2,
+            mesh,
+            points,
+            velocity: (0..nv).map(|i| ((i as f64) * 0.37).sin()).collect(),
+            pressure: (0..32).map(|i| -(i as f64) * 1e-3).collect(),
+            temperature: (0..27).map(|i| 1.0 - i as f64 / 26.0).collect(),
+        }
+    }
+
+    fn assert_bitwise_eq(a: &Checkpoint, b: &Checkpoint) {
+        assert_eq!(a.step_index, b.step_index);
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.dt_last.to_bits(), b.dt_last.to_bits());
+        assert_eq!(a.rng_state, b.rng_state);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(
+            (a.mesh.mx, a.mesh.my, a.mesh.mz),
+            (b.mesh.mx, b.mesh.my, b.mesh.mz)
+        );
+        let bits3 =
+            |v: &[[f64; 3]]| -> Vec<[u64; 3]> { v.iter().map(|c| c.map(f64::to_bits)).collect() };
+        let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits3(&a.mesh.coords), bits3(&b.mesh.coords));
+        assert_eq!(bits3(&a.points.x), bits3(&b.points.x));
+        assert_eq!(a.points.lithology, b.points.lithology);
+        assert_eq!(
+            bits(&a.points.plastic_strain),
+            bits(&b.points.plastic_strain)
+        );
+        assert_eq!(a.points.element, b.points.element);
+        assert_eq!(bits3(&a.points.xi), bits3(&b.points.xi));
+        assert_eq!(bits(&a.velocity), bits(&b.velocity));
+        assert_eq!(bits(&a.pressure), bits(&b.pressure));
+        assert_eq!(bits(&a.temperature), bits(&b.temperature));
+    }
+
+    #[test]
+    fn byte_roundtrip_is_bitwise() {
+        for seed in [1, 42, 20140101] {
+            let ck = sample_checkpoint(seed);
+            let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+            assert_bitwise_eq(&ck, &back);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = sample_checkpoint(9).to_bytes();
+        let b = sample_checkpoint(9).to_bytes();
+        assert_eq!(a, b, "same state must produce identical bytes");
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_write() {
+        let dir = std::env::temp_dir().join("ptatin_ckpt_test");
+        let path = dir.join("nested").join("state.ptck");
+        let ck = sample_checkpoint(5);
+        ck.write_to(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file renamed away"
+        );
+        let back = Checkpoint::read_from(&path).unwrap();
+        assert_bitwise_eq(&ck, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected() {
+        let ck = sample_checkpoint(3);
+        let mut bytes = ck.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn swarm_length_mismatch_rejected() {
+        let mut ck = sample_checkpoint(3);
+        ck.points.lithology.pop();
+        let bytes = ck.to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_element_rejected() {
+        let mut ck = sample_checkpoint(3);
+        ck.points.element[0] = 10_000; // 2×2×2 mesh has 8 elements
+        assert!(matches!(
+            Checkpoint::from_bytes(&ck.to_bytes()),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn config_hash_gates_restart() {
+        let ck = sample_checkpoint(3);
+        assert!(ck.verify_config(ck.config_hash).is_ok());
+        assert!(matches!(
+            ck.verify_config(ck.config_hash ^ 1),
+            Err(CkptError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn config_hasher_is_order_and_value_sensitive() {
+        let h = |a: f64, b: u64| ConfigHasher::new().f64(a).u64(b).bool(true).finish();
+        assert_eq!(h(1.5, 7), h(1.5, 7));
+        assert_ne!(h(1.5, 7), h(1.5, 8));
+        assert_ne!(h(1.5, 7), h(2.5, 7));
+        // -0.0 and +0.0 hash differently (bit-pattern hashing) — the hash
+        // tracks the exact configuration, not numeric equality.
+        assert_ne!(h(0.0, 7), h(-0.0, 7));
+        assert_ne!(
+            ConfigHasher::new().u64(1).u64(2).finish(),
+            ConfigHasher::new().u64(2).u64(1).finish()
+        );
+    }
+}

@@ -8,11 +8,14 @@ pub mod coupled;
 pub mod models;
 pub mod nonlinear;
 pub mod output;
+pub mod recovery;
 pub mod solver;
 pub mod timestep;
 
 pub use coefficients::{update_coefficients, CoefficientFields, StateFields};
+pub use nonlinear::{classify_outcome, NonlinearConfig, NonlinearOutcome, NonlinearStats};
 pub use ptatin_mg::CycleType;
+pub use recovery::{run_rift, RecoveryConfig, RunConfig, RunOutcome, RunReport};
 pub use solver::{
     build_stokes_solver, BlockLowerTriangularPc, CoarseKind, CoefficientRestriction, GmgConfig,
     KrylovOperatorChoice, StokesOperator, StokesSolver,

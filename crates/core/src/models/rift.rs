@@ -14,9 +14,12 @@
 //! dimensional runs.
 
 use crate::coefficients::{update_coefficients, CoefficientFields, StateFields};
-use crate::nonlinear::{solve_nonlinear, NonlinearConfig, NonlinearStats, StokesNonlinearProblem};
+use crate::nonlinear::{
+    solve_nonlinear, NonlinearConfig, NonlinearOutcome, NonlinearStats, StokesNonlinearProblem,
+};
 use crate::solver::{build_stokes_solver, CoarseKind, GmgConfig, StokesSolver};
 use crate::timestep::{accumulate_plastic_strain, advected_surface, cfl_dt, velocity_at_corners};
+use ptatin_ckpt::{fnv1a64, Checkpoint, CkptError};
 use ptatin_fem::assemble::{
     assemble_body_force, assemble_gradient, num_pressure_dofs, num_velocity_dofs, Q2QuadTables,
 };
@@ -114,6 +117,10 @@ pub struct RiftStepStats {
     pub newton_iterations: usize,
     pub total_krylov: usize,
     pub converged: bool,
+    /// Typed classification of the nonlinear solve.
+    pub outcome: NonlinearOutcome,
+    /// Solve attempts consumed by the recovery ladder (1 = first try).
+    pub attempts: usize,
     pub yielded_points: usize,
     pub points_lost: usize,
     pub points_migrated: usize,
@@ -212,7 +219,24 @@ pub struct RiftModel {
     pub pressure: Vec<f64>,
     pub time: f64,
     pub step_index: usize,
+    /// dt of the last committed step (0.0 before the first step).
+    pub last_dt: f64,
+    /// Persistent model generator (damage seeding, population control).
+    /// One stream across the whole run so its single-word state can be
+    /// checkpointed and restored bitwise.
+    rng: StdRng,
     partition: ElementPartition,
+}
+
+/// A completed nonlinear Stokes solve that has NOT been committed to the
+/// model: the recovery ladder inspects `stats.outcome` and either commits
+/// it ([`RiftModel::commit_step`]) or discards it and retries with an
+/// escalated configuration — the model state is untouched either way.
+pub struct StokesCandidate {
+    pub stats: NonlinearStats,
+    pub velocity: Vec<f64>,
+    pub pressure: Vec<f64>,
+    solve_seconds: f64,
 }
 
 impl RiftModel {
@@ -263,15 +287,75 @@ impl RiftModel {
             pressure: vec![0.0; np],
             time: 0.0,
             step_index: 0,
+            last_dt: 0.0,
+            rng,
             partition,
         }
     }
 
-    /// Advance one full time step; returns the step diagnostics.
-    pub fn step(&mut self) -> RiftStepStats {
+    /// Stable hash of the model configuration; stored in every checkpoint
+    /// so a restart under a different configuration is refused instead of
+    /// silently producing a different trajectory.
+    pub fn config_hash(&self) -> u64 {
+        rift_config_hash(&self.cfg)
+    }
+
+    /// Snapshot the full model state for checkpoint/restart.
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            step_index: self.step_index as u64,
+            time: self.time,
+            dt_last: self.last_dt,
+            rng_state: self.rng.state(),
+            config_hash: self.config_hash(),
+            levels: self.cfg.levels as u32,
+            mesh: self.mesh.clone(),
+            points: self.points.clone(),
+            velocity: self.velocity.clone(),
+            pressure: self.pressure.clone(),
+            temperature: self.temperature.clone(),
+        }
+    }
+
+    /// Rebuild a model from a checkpoint taken under the same
+    /// configuration. The restored model continues the run bitwise
+    /// identically to the uninterrupted one (at a fixed thread count).
+    pub fn from_checkpoint(cfg: RiftConfig, ck: Checkpoint) -> Result<Self, CkptError> {
+        ck.verify_config(rift_config_hash(&cfg))?;
+        let mesh = ck.mesh;
+        if mesh.mx != cfg.mx || mesh.my != cfg.my || mesh.mz != cfg.mz {
+            return Err(CkptError::Corrupt("checkpoint mesh dims != configuration"));
+        }
+        if ck.velocity.len() != num_velocity_dofs(&mesh)
+            || ck.pressure.len() != num_pressure_dofs(&mesh)
+            || ck.temperature.len() != mesh.num_corners()
+        {
+            return Err(CkptError::Corrupt("field vector sizes do not match mesh"));
+        }
+        let partition = ElementPartition::auto(&mesh, 4);
+        Ok(Self {
+            materials: rift_materials(cfg.weak_lower_crust),
+            cfg,
+            mesh,
+            points: ck.points,
+            temperature: ck.temperature,
+            velocity: ck.velocity,
+            pressure: ck.pressure,
+            time: ck.time,
+            step_index: ck.step_index as usize,
+            last_dt: ck.dt_last,
+            rng: StdRng::from_state(ck.rng_state),
+            partition,
+        })
+    }
+
+    /// Run the nonlinear Stokes solve on the current configuration
+    /// WITHOUT committing the result. The model state is unchanged, so a
+    /// failed candidate can be discarded and the solve retried with an
+    /// escalated configuration (see `crate::recovery`).
+    pub fn solve_stokes(&mut self) -> StokesCandidate {
         let t0 = std::time::Instant::now();
         let cfg = self.cfg.clone();
-        // 1. Nonlinear Stokes solve on the current configuration.
         let hier = MeshHierarchy::new(self.mesh.clone(), cfg.levels);
         let bcs: Vec<DirichletBc> = hier
             .meshes
@@ -288,9 +372,29 @@ impl RiftModel {
         let mut u = problem.model.velocity.clone();
         bcs.last().unwrap().apply_to_vector(&mut u);
         let mut p = problem.model.pressure.clone();
-        let nstats: NonlinearStats = solve_nonlinear(&mut problem, &mut u, &mut p, &cfg.nonlinear);
-        self.velocity = u;
-        self.pressure = p;
+        let stats: NonlinearStats = solve_nonlinear(&mut problem, &mut u, &mut p, &cfg.nonlinear);
+        StokesCandidate {
+            stats,
+            velocity: u,
+            pressure: p,
+            solve_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Commit an accepted Stokes candidate and advance the rest of the
+    /// time step (CFL dt, plastic strain, advection, energy, ALE free
+    /// surface, population control).
+    pub fn commit_step(&mut self, cand: StokesCandidate) -> RiftStepStats {
+        let t0 = std::time::Instant::now();
+        let cfg = self.cfg.clone();
+        let StokesCandidate {
+            stats: nstats,
+            velocity,
+            pressure,
+            solve_seconds,
+        } = cand;
+        self.velocity = velocity;
+        self.pressure = pressure;
 
         // 2. Time step from the CFL condition.
         let dt = cfl_dt(&self.mesh, &self.velocity, cfg.cfl, cfg.dt_max);
@@ -355,7 +459,10 @@ impl RiftModel {
         let locator2 = ElementLocator::new(&self.mesh);
         let _ = relocate_all(&self.mesh, &locator2, &mut self.points);
         let lost2 = cull_lost(&mut self.points);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (self.step_index as u64 + 1));
+        // Population control draws from the model's persistent stream so
+        // checkpoint/restart resumes the exact sequence (the previous
+        // per-step reseed made the stream restorable only by step index;
+        // a single stream is one checkpointable word).
         let _ = control_population(
             &self.mesh,
             &mut self.points,
@@ -364,7 +471,7 @@ impl RiftModel {
                 max_per_element: 8 * cfg.points_per_dim.pow(3),
                 inject_to: cfg.points_per_dim.pow(3).max(4),
             },
-            &mut rng,
+            &mut self.rng,
         );
 
         let max_topography = new_top
@@ -372,6 +479,7 @@ impl RiftModel {
             .fold(f64::NEG_INFINITY, |m, &h| m.max(h - 1.0));
         self.time += dt;
         self.step_index += 1;
+        self.last_dt = dt;
         RiftStepStats {
             step: self.step_index,
             time: self.time,
@@ -379,14 +487,30 @@ impl RiftModel {
             newton_iterations: nstats.iterations,
             total_krylov: nstats.total_krylov,
             converged: nstats.converged,
+            outcome: nstats.outcome,
+            attempts: 1,
             yielded_points,
             points_lost: points_lost + lost2,
             points_migrated,
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            wall_seconds: solve_seconds + t0.elapsed().as_secs_f64(),
             max_topography,
             residual_history: nstats.residual_history,
         }
     }
+
+    /// Advance one full time step (solve + commit, no recovery); returns
+    /// the step diagnostics.
+    pub fn step(&mut self) -> RiftStepStats {
+        let cand = self.solve_stokes();
+        self.commit_step(cand)
+    }
+}
+
+/// See [`RiftModel::config_hash`]. The `Debug` rendering of the full
+/// configuration (including the nonlinear and multigrid sub-configs) is
+/// the hashed canonical form: any field change alters it.
+fn rift_config_hash(cfg: &RiftConfig) -> u64 {
+    fnv1a64(format!("{cfg:?}").as_bytes())
 }
 
 /// Adapter implementing the nonlinear-driver trait over the rift state.

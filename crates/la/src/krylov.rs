@@ -69,11 +69,78 @@ impl KrylovConfig {
     }
 }
 
+/// How a Krylov iteration broke down (no further progress possible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// CG: the search direction had non-positive curvature `p·Ap ≤ 0`
+    /// (the operator is not SPD on the current subspace).
+    IndefiniteCurvature,
+    /// GMRES/FGMRES/GCR: the (preconditioned) direction is numerically in
+    /// the operator's nullspace before the tolerance was met.
+    NullDirection,
+    /// Deterministically injected by the fault harness
+    /// (`ptatin_ckpt::faults`) — exercises recovery paths in CI.
+    Injected,
+}
+
+/// Typed termination state of a Krylov solve. Replaces inspecting
+/// `converged: bool` alone, which cannot distinguish "ran out of
+/// iterations" from "broke down and silently returned a partial answer".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Tolerance met.
+    Converged,
+    /// Iteration cap hit while still making progress.
+    MaxIterations,
+    /// The iteration cannot continue; the returned `x` is the best
+    /// iterate so far, *not* a solution.
+    Breakdown(BreakdownKind),
+}
+
+impl SolveOutcome {
+    pub fn is_breakdown(&self) -> bool {
+        matches!(self, SolveOutcome::Breakdown(_))
+    }
+}
+
+/// Deterministic fault-injection hook for the Krylov layer. Armed by
+/// `ptatin_ckpt::faults`; the next *labelled* solve (outer Stokes solves
+/// carry a label, inner coarse/smoother solves do not) reports
+/// `SolveOutcome::Breakdown(BreakdownKind::Injected)` without iterating.
+pub mod fault {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static BREAKDOWN_ARMED: AtomicBool = AtomicBool::new(false);
+
+    /// Arm a one-shot injected breakdown for the next labelled solve.
+    pub fn arm_breakdown() {
+        BREAKDOWN_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm without firing (end-of-test cleanup).
+    pub fn disarm() {
+        BREAKDOWN_ARMED.store(false, Ordering::SeqCst);
+    }
+
+    /// Is a breakdown currently armed?
+    pub fn armed() -> bool {
+        BREAKDOWN_ARMED.load(Ordering::SeqCst)
+    }
+
+    /// Consume the armed flag (one-shot).
+    pub(crate) fn take_breakdown() -> bool {
+        BREAKDOWN_ARMED.swap(false, Ordering::SeqCst)
+    }
+}
+
 /// Outcome of a Krylov solve.
 #[derive(Clone, Debug)]
 pub struct SolveStats {
     pub iterations: usize,
     pub converged: bool,
+    /// Why the iteration stopped. `converged` is kept in sync
+    /// (`converged == (outcome == SolveOutcome::Converged)`).
+    pub outcome: SolveOutcome,
     pub initial_residual: f64,
     pub final_residual: f64,
     /// Unpreconditioned residual norm per iteration (if recorded).
@@ -89,6 +156,7 @@ impl SolveStats {
         Self {
             iterations: 0,
             converged: false,
+            outcome: SolveOutcome::MaxIterations,
             initial_residual: r0,
             final_residual: r0,
             history,
@@ -100,6 +168,27 @@ impl SolveStats {
         if record {
             self.history.push(rnorm);
         }
+    }
+
+    fn set_converged(&mut self) {
+        self.converged = true;
+        self.outcome = SolveOutcome::Converged;
+    }
+
+    fn set_breakdown(&mut self, kind: BreakdownKind) {
+        self.converged = false;
+        self.outcome = SolveOutcome::Breakdown(kind);
+    }
+}
+
+/// Consume an armed injected breakdown if this solve is a labelled
+/// (outer) one. Returns `true` when the fault fired.
+fn injected_breakdown(cfg: &KrylovConfig, stats: &mut SolveStats) -> bool {
+    if cfg.label.is_some() && fault::take_breakdown() {
+        stats.set_breakdown(BreakdownKind::Injected);
+        true
+    } else {
+        false
     }
 }
 
@@ -175,8 +264,11 @@ fn cg_impl(
     residual(a, b, x, &mut r);
     let r0 = v::norm2(&r);
     let mut stats = SolveStats::new(r0, cfg.record_history);
+    if injected_breakdown(cfg, &mut stats) {
+        return stats;
+    }
     if r0 <= cfg.atol {
-        stats.converged = true;
+        stats.set_converged();
         return stats;
     }
     let tol = tolerance(cfg, r0);
@@ -191,6 +283,7 @@ fn cg_impl(
         if pap <= 0.0 {
             // Indefinite or breakdown: stop with what we have.
             stats.iterations = it;
+            stats.set_breakdown(BreakdownKind::IndefiniteCurvature);
             return stats;
         }
         let alpha = rz / pap;
@@ -200,7 +293,7 @@ fn cg_impl(
         stats.push(rnorm, cfg.record_history);
         stats.iterations = it + 1;
         if rnorm <= tol {
-            stats.converged = true;
+            stats.set_converged();
             return stats;
         }
         pc_apply(pc, &r, &mut z);
@@ -261,8 +354,11 @@ fn gmres_impl(
     residual(a, b, x, &mut r);
     let r0 = v::norm2(&r);
     let mut stats = SolveStats::new(r0, cfg.record_history);
+    if injected_breakdown(cfg, &mut stats) {
+        return stats;
+    }
     if r0 <= cfg.atol {
-        stats.converged = true;
+        stats.set_converged();
         return stats;
     }
     let tol = tolerance(cfg, r0);
@@ -281,7 +377,7 @@ fn gmres_impl(
         residual(a, b, x, &mut r);
         let beta = v::norm2(&r);
         if beta <= tol {
-            stats.converged = true;
+            stats.set_converged();
             break;
         }
         vbasis.clear();
@@ -370,10 +466,16 @@ fn gmres_impl(
                     v::axpy(1.0, &zj, x);
                 }
                 if rnorm <= tol {
-                    stats.converged = true;
+                    stats.set_converged();
                     break 'outer;
                 }
-                if total_it >= cfg.max_it || hlast <= 1e-300 {
+                if hlast <= 1e-300 {
+                    // Unhappy breakdown: invariant subspace reached before
+                    // the tolerance.
+                    stats.set_breakdown(BreakdownKind::NullDirection);
+                    break 'outer;
+                }
+                if total_it >= cfg.max_it {
                     break 'outer;
                 }
                 continue 'outer; // restart
@@ -416,11 +518,14 @@ fn gcr_monitored_impl(
     residual(a, b, x, &mut r);
     let r0 = v::norm2(&r);
     let mut stats = SolveStats::new(r0, cfg.record_history);
+    if injected_breakdown(cfg, &mut stats) {
+        return stats;
+    }
     if let Some(mon) = monitor.as_mut() {
         mon(0, r0, &r);
     }
     if r0 <= cfg.atol {
-        stats.converged = true;
+        stats.set_converged();
         return stats;
     }
     let tol = tolerance(cfg, r0);
@@ -445,7 +550,9 @@ fn gcr_monitored_impl(
         }
         let anorm = v::norm2(&az);
         if anorm <= 1e-300 {
-            break; // breakdown: preconditioned direction in nullspace
+            // Breakdown: preconditioned direction in the nullspace.
+            stats.set_breakdown(BreakdownKind::NullDirection);
+            break;
         }
         v::scale(1.0 / anorm, &mut p);
         v::scale(1.0 / anorm, &mut az);
@@ -462,7 +569,7 @@ fn gcr_monitored_impl(
             mon(it, rnorm, &r);
         }
         if rnorm <= tol {
-            stats.converged = true;
+            stats.set_converged();
             break;
         }
     }
@@ -677,8 +784,113 @@ mod tests {
         for f in [cg, gmres, fgmres, gcr] {
             let stats = f(&a, &IdentityPc, &b, &mut x, &KrylovConfig::default());
             assert!(stats.converged);
+            assert_eq!(stats.outcome, SolveOutcome::Converged);
             assert_eq!(stats.iterations, 0);
         }
+    }
+
+    #[test]
+    fn outcome_reports_convergence_and_iteration_cap() {
+        let n = 60;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let ok = cg(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10),
+        );
+        assert_eq!(ok.outcome, SolveOutcome::Converged);
+        let mut x2 = vec![0.0; n];
+        let capped = cg(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x2,
+            &KrylovConfig::default().with_rtol(1e-12).with_max_it(2),
+        );
+        assert!(!capped.converged);
+        assert_eq!(capped.outcome, SolveOutcome::MaxIterations);
+    }
+
+    #[test]
+    fn cg_indefinite_operator_reports_breakdown() {
+        // Indefinite diagonal: CG hits p·Ap < 0 immediately.
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, -1.0)]);
+        let b = vec![0.0, 1.0];
+        let mut x = vec![0.0; 2];
+        let stats = cg(&a, &IdentityPc, &b, &mut x, &KrylovConfig::default());
+        assert_eq!(
+            stats.outcome,
+            SolveOutcome::Breakdown(BreakdownKind::IndefiniteCurvature)
+        );
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn singular_operator_breaks_down_as_null_direction() {
+        // Rank-deficient: one zero row/column, RHS with a component in the
+        // nullspace cannot be reduced to tolerance.
+        let a = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let b = vec![1.0, 1.0, 1.0];
+        let mut x = vec![0.0; 3];
+        let stats = gcr(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-12),
+        );
+        assert_eq!(
+            stats.outcome,
+            SolveOutcome::Breakdown(BreakdownKind::NullDirection)
+        );
+    }
+
+    #[test]
+    fn injected_fault_hits_next_labelled_solve_only() {
+        let n = 20;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        fault::arm_breakdown();
+        // Unlabelled solves must not consume the fault.
+        let mut x = vec![0.0; n];
+        let inner = cg(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KrylovConfig::default().with_rtol(1e-10),
+        );
+        assert_eq!(inner.outcome, SolveOutcome::Converged);
+        assert!(fault::armed());
+        // The next labelled solve fails without iterating…
+        let mut x2 = vec![0.0; n];
+        let outer = gcr(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x2,
+            &KrylovConfig::default().with_rtol(1e-10).with_label("test"),
+        );
+        assert_eq!(
+            outer.outcome,
+            SolveOutcome::Breakdown(BreakdownKind::Injected)
+        );
+        assert_eq!(outer.iterations, 0);
+        // …and the fault is consumed (one-shot).
+        let mut x3 = vec![0.0; n];
+        let retry = gcr(
+            &a,
+            &IdentityPc,
+            &b,
+            &mut x3,
+            &KrylovConfig::default().with_rtol(1e-10).with_label("test"),
+        );
+        assert_eq!(retry.outcome, SolveOutcome::Converged);
+        fault::disarm();
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub use chebyshev::Chebyshev;
 pub use csr::{Csr, CsrBuilder};
 pub use dense::{DenseLu, DenseMatrix};
 pub use ilu::Ilu0;
-pub use krylov::{cg, fgmres, gcr, gcr_monitored, gmres, KrylovConfig, SolveStats};
+pub use krylov::{
+    cg, fgmres, gcr, gcr_monitored, gmres, BreakdownKind, KrylovConfig, SolveOutcome, SolveStats,
+};
 pub use operator::{IdentityPc, JacobiPc, LinearOperator, Preconditioner, TimedOperator};
 pub use schwarz::{AdditiveSchwarz, DirectSolver, SubdomainSolve};

@@ -47,6 +47,19 @@ impl SplitMix64 {
     pub fn seed_from_u64(seed: u64) -> Self {
         Self { state: seed }
     }
+
+    /// The raw generator state — everything needed to resume the stream
+    /// (checkpoint/restart serializes this single word).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator mid-stream from a previously saved
+    /// [`state`](Self::state). `from_state(r.state())` continues exactly
+    /// where `r` left off.
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
 }
 
 impl Rng for SplitMix64 {
@@ -112,6 +125,18 @@ mod tests {
         }
         mean /= 10_000.0;
         assert!(mean.abs() < 0.05, "asymmetric mean {mean}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = SplitMix64::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

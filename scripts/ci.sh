@@ -22,12 +22,43 @@ fi
 
 # The suite runs twice: once pinned to a single thread and once at four,
 # so thread-count-dependent regressions in the worker pool (ptatin-la::par)
-# can't hide behind the host's core count.
+# can't hide behind the host's core count. The checkpoint-roundtrip and
+# fault-recovery suites are named explicitly so a partial test filter in a
+# future edit can't silently drop them from the gate.
 step "tests (PTATIN_TEST_THREADS=1)"
 PTATIN_TEST_THREADS=1 cargo test --workspace -q
+PTATIN_TEST_THREADS=1 cargo test -q -p ptatin-ckpt
+PTATIN_TEST_THREADS=1 cargo test -q --test checkpoint_restart
 
 step "tests (PTATIN_TEST_THREADS=4)"
 PTATIN_TEST_THREADS=4 cargo test --workspace -q
+PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-ckpt
+PTATIN_TEST_THREADS=4 cargo test -q --test checkpoint_restart
+
+# Fault-injection matrix on the release binary: every injected failure
+# class must be recovered (exit 0) or reported cleanly (crash => 42),
+# never a panic or a silent wrong answer. Crash leaves periodic
+# checkpoints behind; the restarted run must complete.
+if [[ $FAST -eq 0 ]]; then
+    step "fault-injection matrix (release binary)"
+    CKDIR=$(mktemp -d)
+    trap 'rm -rf "$CKDIR"' EXIT
+    RIFT="target/release/ptatin rift mx=6 my=2 mz=4 steps=3 out=$CKDIR"
+
+    for fault in breakdown@1 stall@1; do
+        step "  fault $fault (recover and complete)"
+        PTATIN_TEST_THREADS=2 $RIFT --fault=$fault
+    done
+
+    step "  fault crash@2 (exit 42, checkpoints survive)"
+    rc=0
+    PTATIN_TEST_THREADS=2 $RIFT --checkpoint-every=1 --fault=crash@2 || rc=$?
+    [[ $rc -eq 42 ]] || { echo "expected exit 42, got $rc"; exit 1; }
+    [[ -f "$CKDIR/ckpt_step_00002.ptck" ]] || { echo "missing periodic checkpoint"; exit 1; }
+
+    step "  restart from the surviving checkpoint"
+    PTATIN_TEST_THREADS=2 $RIFT --restart-from="$CKDIR/ckpt_step_00002.ptck"
+fi
 
 step "rustfmt"
 cargo fmt --all --check

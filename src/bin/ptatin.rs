@@ -4,10 +4,28 @@
 //! ptatin sinker [m=8] [levels=3] [delta_eta=1e4] [out=vtk_out]
 //! ptatin rift   [mx=12] [my=4] [mz=8] [steps=10] [shortening=0]
 //!               [strong-crust] [out=vtk_out]
+//!               [--checkpoint-every=N] [--checkpoint-dir=DIR]
+//!               [--restart-from=FILE] [--fault=KIND@STEP]
 //! ```
 //!
 //! Both subcommands solve the model and write ParaView-ready legacy VTK
 //! files (mesh fields + material-point cloud) into `out/`.
+//!
+//! Checkpoint/restart and fault injection (rift):
+//!
+//! * `--checkpoint-every=N` writes `ckpt_step_*.ptck` into the checkpoint
+//!   directory (default `out/`) every N committed steps.
+//! * `--restart-from=FILE` resumes a run from a checkpoint; the
+//!   configuration flags must match the original run (enforced by the
+//!   stored config hash) and the resumed trajectory is bitwise identical
+//!   to the uninterrupted one at a fixed `PTATIN_TEST_THREADS`.
+//! * `--fault=breakdown@K|stall@K|crash@K` (or `PTATIN_FAULT=...`)
+//!   deterministically injects a failure at step K. Breakdowns and stalls
+//!   are recovered by the retry ladder; a crash exits with status 42
+//!   leaving only the periodic checkpoints behind.
+//!
+//! Exit status: 0 on completion, 42 on a simulated crash, 3 when recovery
+//! was exhausted and the run aborted (after writing a final checkpoint).
 //!
 //! Profiling (any subcommand; with no subcommand `sinker` is implied):
 //!
@@ -16,11 +34,14 @@
 //! ptatin --log-json=output/prof.json # same data as JSON
 //! ```
 
+use ptatin3d::ckpt::faults::{self, FaultPlan};
+use ptatin3d::ckpt::Checkpoint;
 use ptatin3d::core::models::rift::{RiftConfig, RiftModel};
 use ptatin3d::core::models::sinker::{SinkerConfig, SinkerModel};
 use ptatin3d::core::output::{
     cell_average, corner_vector_field, write_vtk_mesh, write_vtk_points, Field,
 };
+use ptatin3d::core::recovery::{run_rift as drive_rift, RunConfig, RunOutcome};
 use ptatin3d::core::{CoarseKind, GmgConfig, KrylovOperatorChoice};
 use ptatin_la::krylov::KrylovConfig;
 use std::path::PathBuf;
@@ -66,6 +87,8 @@ fn main() {
             eprintln!("usage: ptatin <sinker|rift> [key=value ...] [--log-view] [--log-json=FILE]");
             eprintln!("  sinker: m=8 levels=3 delta_eta=1e4 out=vtk_out");
             eprintln!("  rift:   mx=12 my=4 mz=8 steps=10 shortening=0 [strong-crust] out=vtk_out");
+            eprintln!("          --checkpoint-every=N --checkpoint-dir=DIR");
+            eprintln!("          --restart-from=FILE --fault=<breakdown|stall|crash>@STEP");
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
     }
@@ -148,6 +171,28 @@ fn run_rift(args: &Args) {
     };
     let steps = args.get("steps", 10usize);
     let out: PathBuf = PathBuf::from(args.get("out", String::from("vtk_out")));
+    let checkpoint_every = args.get("--checkpoint-every", 0usize);
+    let checkpoint_dir = {
+        let d = args.get("--checkpoint-dir", String::new());
+        if d.is_empty() {
+            out.clone()
+        } else {
+            PathBuf::from(d)
+        }
+    };
+    // Fault plan: CLI flag wins over the PTATIN_FAULT environment variable.
+    let fault_arg = args.get("--fault", String::new());
+    if fault_arg.is_empty() {
+        faults::install_from_env();
+    } else {
+        match FaultPlan::parse(&fault_arg) {
+            Some(p) => faults::set_plan(Some(p)),
+            None => {
+                eprintln!("bad --fault spec {fault_arg:?}: want <breakdown|stall|crash>@STEP");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
         "rift: {}x{}x{} elements, {} steps, shortening {}, {} lower crust",
         cfg.mx,
@@ -161,19 +206,72 @@ fn run_rift(args: &Args) {
             "strong"
         }
     );
-    let mut model = RiftModel::new(cfg);
-    for _ in 0..steps {
-        let s = model.step();
+    let restart_from = args.get("--restart-from", String::new());
+    let mut model = if restart_from.is_empty() {
+        RiftModel::new(cfg)
+    } else {
+        let path = PathBuf::from(&restart_from);
+        let ck = Checkpoint::read_from(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {restart_from}: {e}");
+            std::process::exit(2);
+        });
+        let model = RiftModel::from_checkpoint(cfg, ck).unwrap_or_else(|e| {
+            eprintln!("cannot restart from {restart_from}: {e}");
+            std::process::exit(2);
+        });
         println!(
-            "step {:>4}: t={:.4} newton={} krylov={} yielded={} topo_max={:+.4}{}",
+            "restarted from {} at step {} (t={:.4})",
+            restart_from, model.step_index, model.time
+        );
+        model
+    };
+    if let Some(plan) = faults::plan() {
+        println!("fault injection armed: {plan}");
+    }
+    let run = RunConfig {
+        steps,
+        checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
+        checkpoint_dir: Some(checkpoint_dir),
+        ..RunConfig::default()
+    };
+    let report = drive_rift(&mut model, &run).unwrap_or_else(|e| {
+        eprintln!("checkpoint i/o failed: {e}");
+        std::process::exit(2);
+    });
+    for s in &report.steps {
+        println!(
+            "step {:>4}: t={:.4} newton={} krylov={} yielded={} topo_max={:+.4}{}{}",
             s.step,
             s.time,
             s.newton_iterations,
             s.total_krylov,
             s.yielded_points,
             s.max_topography,
-            if s.converged { "" } else { " (max its)" }
+            if s.converged { "" } else { " (max its)" },
+            if s.attempts > 1 {
+                format!(" [recovered, attempt {}]", s.attempts)
+            } else {
+                String::new()
+            }
         );
+    }
+    match &report.outcome {
+        RunOutcome::Completed => {}
+        RunOutcome::SimulatedCrash { step } => {
+            eprintln!("simulated crash at step {step}; restart from the last checkpoint");
+            std::process::exit(42);
+        }
+        RunOutcome::Aborted {
+            step,
+            last_outcome,
+            final_checkpoint,
+        } => {
+            eprintln!("recovery exhausted at step {step} ({last_outcome:?}); aborting");
+            if let Some(p) = final_checkpoint {
+                eprintln!("final checkpoint written to {}", p.display());
+            }
+            std::process::exit(3);
+        }
     }
     let vel = corner_vector_field(&model.mesh, &model.velocity);
     write_vtk_mesh(

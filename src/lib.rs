@@ -19,6 +19,8 @@
 //! * [`mpm`] — material points: location, projection, advection, migration,
 //! * [`rheology`] — Arrhenius creep, Drucker–Prager plasticity, Boussinesq,
 //! * [`core`] — the coupled solvers, nonlinear drivers, models (sinker, rift),
+//! * [`ckpt`] — checkpoint/restart serialization + deterministic fault
+//!   injection (see `ptatin rift --checkpoint-every=N --restart-from=F`),
 //! * [`prof`] — `-log_view`-style profiling (event timers, flop counters,
 //!   KSP histories; see `ptatin --log-view`).
 //!
@@ -26,6 +28,7 @@
 //! architecture and experiment index, and EXPERIMENTS.md for the
 //! paper-vs-measured reproduction results.
 
+pub use ptatin_ckpt as ckpt;
 pub use ptatin_core as core;
 pub use ptatin_fem as fem;
 pub use ptatin_la as la;
