@@ -1,16 +1,27 @@
-//! Micro-benchmarks of the four J_uu operator applications — the
-//! statistical companion to `--bin table1` (Table I of the paper).
+//! Micro-benchmarks of the five J_uu operator applications — the
+//! statistical companion to `--bin table1` (Table I of the paper) and the
+//! producer of the machine-readable `BENCH_kernels.json` perf record at
+//! the repository root.
 //!
 //! Plain `fn main()` timing harness (`harness = false`): run with
-//! `cargo bench --bench table1_operators`. No registry dependencies.
+//! `cargo bench -p ptatin-bench --bench table1_operators [-- smoke]`.
+//! Full mode writes `BENCH_kernels.json` at the repo root (committed, the
+//! cross-PR perf trajectory); smoke mode shrinks sizes/reps for CI and
+//! writes to `output/BENCH_kernels_smoke.json` instead so a quick run
+//! never clobbers the committed record.
 
+use ptatin_bench::kernels_json::{KernelEntry, KERNEL_BENCH_SCHEMA};
 use ptatin_bench::sinker_setup;
 use ptatin_core::models::sinker::sinker_bc;
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_la::operator::LinearOperator;
+use ptatin_la::par;
 use ptatin_ops::{
-    assembled_viscous_op, MfViscousOp, TensorCViscousOp, TensorViscousOp, ViscousOpData,
+    assembled_model, assembled_viscous_op, mf_model, tensor_batched_model, tensor_c_model,
+    tensor_model, BatchedViscousOp, MfViscousOp, OperatorModel, SimdPath, TensorCViscousOp,
+    TensorViscousOp, ViscousOpData,
 };
+use ptatin_prof::json::Value;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,30 +40,126 @@ fn time_it<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     samples[2]
 }
 
-fn main() {
-    println!("table1_operator_apply (median of 5):");
-    for m in [4usize, 8] {
-        let (model, fields) = sinker_setup(m, 2, 1e4);
-        let mesh = model.hier.finest();
-        let bc = sinker_bc(mesh);
-        let tables = Q2QuadTables::standard();
-        let asmb = assembled_viscous_op(mesh, &tables, &fields.eta_qp, &bc);
-        let data = Arc::new(ViscousOpData::new(mesh, fields.eta_qp.clone(), &bc));
-        let mf = MfViscousOp::new(data.clone());
-        let tensor = TensorViscousOp::new(data.clone());
-        let tensor_c = TensorCViscousOp::new(data);
-        let n = asmb.nrows();
-        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-        let mut y = vec![0.0; n];
-        let ops: [(&str, &dyn LinearOperator); 4] = [
-            ("asmb", &asmb),
-            ("mf", &mf),
-            ("tensor", &tensor),
-            ("tensor_c", &tensor_c),
-        ];
-        for (name, op) in ops {
-            let secs = time_it(10, || op.apply(&x, &mut y));
-            println!("{name:<10} {m}^3  {:12.3} us/apply", secs * 1e6);
+fn git_rev(root: &str) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Time every operator variant at the current thread count; returns the
+/// JSON entries plus the batched-vs-tensor element-throughput speedup.
+fn run_at_current_nt(m: usize, iters: usize) -> (Vec<KernelEntry>, f64) {
+    let (model, fields) = sinker_setup(m, 2, 1e4);
+    let mesh = model.hier.finest();
+    let bc = sinker_bc(mesh);
+    let tables = Q2QuadTables::standard();
+    let nel = mesh.num_elements();
+    let asmb = assembled_viscous_op(mesh, &tables, &fields.eta_qp, &bc);
+    let data = Arc::new(ViscousOpData::new(mesh, fields.eta_qp.clone(), &bc));
+    let mf = MfViscousOp::new(data.clone());
+    let tensor = TensorViscousOp::new(data.clone());
+    let tensor_c = TensorCViscousOp::new(data.clone());
+    let batched = BatchedViscousOp::new(data);
+    let n = asmb.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; n];
+    let ops: [(&str, &dyn LinearOperator, OperatorModel); 5] = [
+        ("assembled", &asmb, assembled_model(asmb.nnz(), nel)),
+        ("mf", &mf, mf_model()),
+        ("tensor", &tensor, tensor_model()),
+        ("tensor_c", &tensor_c, tensor_c_model()),
+        ("tensor_batched", &batched, tensor_batched_model()),
+    ];
+    let mut entries = Vec::new();
+    let mut secs_tensor = 0.0;
+    let mut secs_batched = 0.0;
+    for (name, op, mdl) in ops {
+        let secs = time_it(iters, || op.apply(&x, &mut y));
+        println!(
+            "{name:<16} {m}^3 nt={}  {:12.3} us/apply  {:8.2} Mel/s",
+            par::num_threads(),
+            secs * 1e6,
+            nel as f64 / secs / 1e6
+        );
+        if name == "tensor" {
+            secs_tensor = secs;
         }
+        if name == "tensor_batched" {
+            secs_batched = secs;
+        }
+        entries.push(KernelEntry {
+            operator: name.into(),
+            us_per_apply: secs * 1e6,
+            el_per_s: nel as f64 / secs,
+            flops_per_s: mdl.flops as f64 * nel as f64 / secs,
+            bytes_per_apply: mdl.bytes_perfect as f64 * nel as f64,
+        });
+    }
+    (entries, secs_tensor / secs_batched)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
+    let m = if smoke { 6 } else { 8 };
+    let iters = if smoke { 3 } else { 10 };
+    println!("table1_operator_apply (median of 5):");
+
+    let mut runs = Vec::new();
+    let mut speedup_nt1 = 0.0;
+    for nt in [1usize, 4] {
+        par::set_num_threads(nt);
+        let (entries, speedup) = run_at_current_nt(m, iters);
+        if nt == 1 {
+            speedup_nt1 = speedup;
+        }
+        println!("  -> tensor_batched vs tensor at nt={nt}: {speedup:.2}x");
+        runs.push(Value::obj(vec![
+            ("nt", Value::Num(nt as f64)),
+            (
+                "entries",
+                Value::Arr(entries.iter().map(KernelEntry::to_value).collect()),
+            ),
+            ("speedup_tensor_batched_vs_tensor", Value::Num(speedup)),
+        ]));
+    }
+    par::set_num_threads(0);
+
+    // cargo runs benches with CWD = the package dir; anchor paths to the
+    // workspace root, where the committed record lives.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = if smoke {
+        let dir = format!("{root}/output");
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        format!("{dir}/BENCH_kernels_smoke.json")
+    } else {
+        format!("{root}/BENCH_kernels.json")
+    };
+    let doc = Value::obj(vec![
+        ("schema", Value::Str(KERNEL_BENCH_SCHEMA.into())),
+        ("git_rev", Value::Str(git_rev(root))),
+        (
+            "simd_path",
+            Value::Str(
+                match ptatin_ops::detected_simd_path() {
+                    SimdPath::Avx2Fma => "avx2+fma",
+                    SimdPath::Portable => "portable",
+                }
+                .into(),
+            ),
+        ),
+        ("m", Value::Num(m as f64)),
+        ("nel", Value::Num((m * m * m) as f64)),
+        ("runs", Value::Arr(runs)),
+    ]);
+    ptatin_bench::kernels_json::validate(&doc).expect("self-check: generated JSON fits schema");
+    std::fs::write(&path, doc.to_json()).expect("write BENCH_kernels json");
+    println!("wrote {path}");
+    if !smoke && speedup_nt1 < 1.5 {
+        eprintln!("WARNING: batched speedup at nt=1 is only {speedup_nt1:.2}x (target >= 1.5x)");
     }
 }

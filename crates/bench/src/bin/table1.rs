@@ -8,8 +8,9 @@ use ptatin_bench::{sinker_setup, time_apply, write_csv, Args};
 use ptatin_core::models::sinker::sinker_bc;
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_ops::{
-    assembled_model, assembled_viscous_op, mf_model, paper_models, tensor_c_model, tensor_model,
-    MfViscousOp, OperatorModel, TensorCViscousOp, TensorViscousOp, ViscousOpData,
+    assembled_model, assembled_viscous_op, mf_model, paper_models, tensor_batched_model,
+    tensor_c_model, tensor_model, BatchedViscousOp, MfViscousOp, OperatorModel, TensorCViscousOp,
+    TensorViscousOp, ViscousOpData,
 };
 use std::sync::Arc;
 
@@ -37,12 +38,14 @@ fn main() {
     let t_tc = std::time::Instant::now();
     let tensor_c = TensorCViscousOp::new(data.clone());
     let tc_setup = t_tc.elapsed().as_secs_f64();
+    let batched = BatchedViscousOp::new(data.clone());
 
     let models: Vec<(OperatorModel, f64)> = vec![
         (assembled_model(asmb.nnz(), nel), time_apply(&asmb, reps)),
         (mf_model(), time_apply(&mf, reps)),
         (tensor_model(), time_apply(&tensor, reps)),
         (tensor_c_model(), time_apply(&tensor_c, reps)),
+        (tensor_batched_model(), time_apply(&batched, reps)),
     ];
 
     println!(
@@ -104,6 +107,12 @@ fn main() {
         "  tensor vs non-tensor MF speedup: {:.2}x (paper: ~3.5x flops, ~3.5x time)",
         mf_t / tens_t
     );
+    let batched_t = models[4].1;
+    println!(
+        "  batched vs scalar tensor speedup: {:.2}x (paper §III-E: 4-wide AVX, ~30% peak; path {:?})",
+        tens_t / batched_t,
+        batched.path()
+    );
     let path = write_csv(
         "table1.csv",
         "operator,flops_per_el,bytes_pessimal,bytes_perfect,time_ms,gflops",
@@ -120,6 +129,7 @@ fn main() {
         ("MatMult_MF", "Matrix-free"),
         ("MatMult_Tensor", "Tensor"),
         ("MatMult_TensorC", "Tensor C"),
+        ("MatMult_TensorBatched", "Tensor batched"),
     ] {
         if let Some(ev) = snap.event(event) {
             let per_el = ev.flops as f64 / ev.calls as f64 / nel as f64;

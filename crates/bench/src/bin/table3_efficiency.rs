@@ -9,7 +9,7 @@
 use ptatin_bench::{levels_for, paper_gmg_config, sinker_setup, time_apply, write_csv, Args};
 use ptatin_core::KrylovOperatorChoice;
 use ptatin_la::krylov::KrylovConfig;
-use ptatin_ops::{assembled_model, mf_model, tensor_model, OperatorKind};
+use ptatin_ops::{assembled_model, mf_model, tensor_batched_model, tensor_model, OperatorKind};
 
 fn main() {
     let args = Args::parse();
@@ -20,6 +20,7 @@ fn main() {
         OperatorKind::Assembled,
         OperatorKind::MatrixFree,
         OperatorKind::Tensor,
+        OperatorKind::TensorBatched,
     ];
     println!("# Table III reproduction — efficiency of MG residual & Stokes solve");
     println!(
@@ -45,6 +46,7 @@ fn main() {
                 }
                 OperatorKind::MatrixFree => mf_model().flops,
                 OperatorKind::Tensor => tensor_model().flops,
+                OperatorKind::TensorBatched => tensor_batched_model().flops,
                 OperatorKind::TensorC => unreachable!(),
             } as f64;
             let res_ecs = nel as f64 / res_s / cores as f64;

@@ -1,0 +1,37 @@
+//! CI gate for the machine-readable kernel-benchmark records: parse each
+//! file given on the command line with the in-repo JSON parser and check it
+//! against the `ptatin-kernel-bench-v1` schema (see
+//! `ptatin_bench::kernels_json`). Exits non-zero on the first violation.
+//!
+//! Run: `cargo run -p ptatin-bench --bin validate_bench -- BENCH_kernels.json ...`
+
+use ptatin_bench::kernels_json::validate;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_bench <BENCH_kernels.json> [...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match ptatin_prof::json::parse(&body) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: malformed JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = validate(&doc) {
+            eprintln!("{path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: OK");
+    }
+}

@@ -1,0 +1,208 @@
+//! Schema of `BENCH_kernels.json` — the machine-readable kernel-benchmark
+//! record written by the `table1_operators` bench at the repository root so
+//! per-operator throughput is tracked across PRs.
+//!
+//! Layout (`schema = "ptatin-kernel-bench-v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "ptatin-kernel-bench-v1",
+//!   "git_rev": "abc1234",
+//!   "m": 8, "nel": 512,
+//!   "simd_path": "avx2+fma",
+//!   "runs": [
+//!     { "nt": 1,
+//!       "entries": [ { "operator": "tensor", "us_per_apply": ...,
+//!                      "el_per_s": ..., "flops_per_s": ...,
+//!                      "bytes_per_apply": ... }, ... ],
+//!       "speedup_tensor_batched_vs_tensor": 2.1 }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! [`validate`] is the CI gate: `--bin validate_bench` applies it to both
+//! the committed root file and the smoke-mode output.
+
+use ptatin_prof::json::Value;
+
+pub const KERNEL_BENCH_SCHEMA: &str = "ptatin-kernel-bench-v1";
+
+/// One timed operator variant at a fixed thread count.
+pub struct KernelEntry {
+    pub operator: String,
+    pub us_per_apply: f64,
+    pub el_per_s: f64,
+    pub flops_per_s: f64,
+    pub bytes_per_apply: f64,
+}
+
+impl KernelEntry {
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("operator", Value::Str(self.operator.clone())),
+            ("us_per_apply", Value::Num(self.us_per_apply)),
+            ("el_per_s", Value::Num(self.el_per_s)),
+            ("flops_per_s", Value::Num(self.flops_per_s)),
+            ("bytes_per_apply", Value::Num(self.bytes_per_apply)),
+        ])
+    }
+}
+
+fn get<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match obj {
+        Value::Obj(map) => map.get(key).ok_or_else(|| format!("missing key '{key}'")),
+        _ => Err(format!("expected object while looking up '{key}'")),
+    }
+}
+
+fn num(obj: &Value, key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("key '{key}' must be a number")),
+    }
+}
+
+fn string(obj: &Value, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("key '{key}' must be a string")),
+    }
+}
+
+/// Validate a parsed `BENCH_kernels.json` document: schema tag, required
+/// fields, per-run entry fields with finite positive throughputs, and the
+/// presence of the tensor/tensor_batched pair the speedup field refers to.
+pub fn validate(doc: &Value) -> Result<(), String> {
+    let schema = string(doc, "schema")?;
+    if schema != KERNEL_BENCH_SCHEMA {
+        return Err(format!(
+            "schema '{schema}' != expected '{KERNEL_BENCH_SCHEMA}'"
+        ));
+    }
+    string(doc, "git_rev")?;
+    string(doc, "simd_path")?;
+    let m = num(doc, "m")?;
+    let nel = num(doc, "nel")?;
+    if m < 1.0 || (m * m * m - nel).abs() > 0.5 {
+        return Err(format!("inconsistent grid: m={m}, nel={nel}"));
+    }
+    let runs = match get(doc, "runs")? {
+        Value::Arr(a) if !a.is_empty() => a,
+        Value::Arr(_) => return Err("runs must be non-empty".into()),
+        _ => return Err("runs must be an array".into()),
+    };
+    for run in runs {
+        let nt = num(run, "nt")?;
+        if nt < 1.0 {
+            return Err(format!("nt must be >= 1, got {nt}"));
+        }
+        let entries = match get(run, "entries")? {
+            Value::Arr(a) if !a.is_empty() => a,
+            _ => return Err("entries must be a non-empty array".into()),
+        };
+        let mut names = Vec::new();
+        for e in entries {
+            names.push(string(e, "operator")?);
+            for key in ["us_per_apply", "el_per_s", "flops_per_s", "bytes_per_apply"] {
+                let v = num(e, key)?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "entry '{}' has bad {key}: {v}",
+                        names.last().unwrap()
+                    ));
+                }
+            }
+        }
+        for required in ["tensor", "tensor_batched"] {
+            if !names.iter().any(|n| n == required) {
+                return Err(format!("nt={nt} run is missing operator '{required}'"));
+            }
+        }
+        let speedup = num(run, "speedup_tensor_batched_vs_tensor")?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("bad speedup at nt={nt}: {speedup}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> Value {
+        KernelEntry {
+            operator: name.into(),
+            us_per_apply: 100.0,
+            el_per_s: 5e6,
+            flops_per_s: 5e9,
+            bytes_per_apply: 1e6,
+        }
+        .to_value()
+    }
+
+    fn valid_doc() -> Value {
+        Value::obj(vec![
+            ("schema", Value::Str(KERNEL_BENCH_SCHEMA.into())),
+            ("git_rev", Value::Str("deadbee".into())),
+            ("simd_path", Value::Str("avx2+fma".into())),
+            ("m", Value::Num(8.0)),
+            ("nel", Value::Num(512.0)),
+            (
+                "runs",
+                Value::Arr(vec![Value::obj(vec![
+                    ("nt", Value::Num(1.0)),
+                    (
+                        "entries",
+                        Value::Arr(vec![entry("tensor"), entry("tensor_batched")]),
+                    ),
+                    ("speedup_tensor_batched_vs_tensor", Value::Num(2.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        validate(&valid_doc()).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_through_serializer() {
+        let doc = valid_doc();
+        let parsed = ptatin_prof::json::parse(&doc.to_json()).unwrap();
+        validate(&parsed).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_schema_missing_ops_and_bad_numbers() {
+        let mut doc = valid_doc();
+        if let Value::Obj(map) = &mut doc {
+            map.insert("schema".into(), Value::Str("other".into()));
+        }
+        assert!(validate(&doc).unwrap_err().contains("schema"));
+
+        let doc = Value::obj(vec![
+            ("schema", Value::Str(KERNEL_BENCH_SCHEMA.into())),
+            ("git_rev", Value::Str("x".into())),
+            ("simd_path", Value::Str("portable".into())),
+            ("m", Value::Num(4.0)),
+            ("nel", Value::Num(64.0)),
+            (
+                "runs",
+                Value::Arr(vec![Value::obj(vec![
+                    ("nt", Value::Num(1.0)),
+                    ("entries", Value::Arr(vec![entry("tensor")])),
+                    ("speedup_tensor_batched_vs_tensor", Value::Num(2.0)),
+                ])]),
+            ),
+        ]);
+        assert!(validate(&doc).unwrap_err().contains("tensor_batched"));
+
+        let mut bad = valid_doc();
+        if let Value::Obj(map) = &mut bad {
+            map.insert("nel".into(), Value::Num(100.0));
+        }
+        assert!(validate(&bad).unwrap_err().contains("inconsistent grid"));
+    }
+}

@@ -20,6 +20,8 @@
 //! the *shape* (who wins, by what factor, where crossovers fall) is the
 //! reproduction target.
 
+pub mod kernels_json;
+
 use ptatin_core::models::sinker::{SinkerConfig, SinkerModel};
 use ptatin_core::{CoarseKind, CoefficientFields, GmgConfig};
 use ptatin_la::operator::LinearOperator;

@@ -23,8 +23,8 @@ use ptatin_mg::gmg::{
 use ptatin_mg::nullspace::rigid_body_modes;
 use ptatin_mpm::projection::{corners_to_quadrature_log, restrict_corner_field};
 use ptatin_ops::{
-    assembled_viscous_op, MfViscousOp, OperatorKind, TensorCViscousOp, TensorViscousOp,
-    ViscousOpData,
+    assembled_viscous_op, BatchedViscousOp, MfViscousOp, OperatorKind, TensorCViscousOp,
+    TensorViscousOp, ViscousOpData,
 };
 use ptatin_prof as prof;
 use std::sync::Arc;
@@ -189,6 +189,13 @@ fn build_arc_operator(
             Arc::new(TensorCViscousOp::new(Arc::new(ViscousOpData::new(
                 mesh, eta_qp, bc,
             ))))
+        }
+        OperatorKind::TensorBatched => {
+            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
+            if let Some(nd) = newton {
+                data = data.with_newton(nd);
+            }
+            Arc::new(BatchedViscousOp::new(Arc::new(data)))
         }
     }
 }

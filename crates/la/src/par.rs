@@ -118,6 +118,29 @@ pub fn split_ranges(len: usize, nt: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Like [`split_ranges`], but every range boundary is a multiple of
+/// `align` (the final end is clamped to `len`). Used to partition element
+/// lists whose unit of work is a SIMD lane of `align` consecutive
+/// elements — a lane is never split across threads, so lane-internal
+/// scatter order is independent of the thread count.
+pub fn split_ranges_aligned(len: usize, nt: usize, align: usize) -> Vec<(usize, usize)> {
+    assert!(align > 0, "alignment must be positive");
+    split_ranges(len.div_ceil(align), nt)
+        .into_iter()
+        .map(|(s, e)| (s * align, (e * align).min(len)))
+        .collect()
+}
+
+/// Parallel loop over `0..len` where each piece covers whole `align`-sized
+/// blocks (see [`split_ranges_aligned`]). The calling thread runs piece 0.
+pub fn par_ranges_aligned<F>(len: usize, align: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let ranges = split_ranges_aligned(len, num_threads(), align);
+    run_on_pool(&ranges, f);
+}
+
 // ---------------------------------------------------------------------------
 // Pool internals
 // ---------------------------------------------------------------------------
@@ -528,6 +551,47 @@ mod tests {
                 }
                 assert_eq!(covered, len);
             }
+        }
+    }
+
+    #[test]
+    fn aligned_split_covers_everything_on_block_boundaries() {
+        for len in [0usize, 1, 3, 4, 5, 16, 17, 63, 64, 1000] {
+            for nt in 1..9 {
+                for align in [1usize, 4, 8] {
+                    let r = split_ranges_aligned(len, nt, align);
+                    let mut prev_end = 0;
+                    for &(s, e) in &r {
+                        assert_eq!(s, prev_end);
+                        assert!(e >= s);
+                        assert_eq!(s % align, 0, "start must be aligned");
+                        assert!(e % align == 0 || e == len, "end aligned or final");
+                        prev_end = e;
+                    }
+                    assert_eq!(prev_end, len, "len={len} nt={nt} align={align}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_par_ranges_visits_whole_blocks() {
+        let _guard = test_guard();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        set_num_threads(3);
+        let len = 22;
+        let align = 4;
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        par_ranges_aligned(len, align, |_, s, e| {
+            assert_eq!(s % align, 0);
+            assert!(e % align == 0 || e == len);
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        set_num_threads(0);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
         }
     }
 

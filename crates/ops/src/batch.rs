@@ -1,0 +1,921 @@
+//! "Tensor batched" — the cross-element SIMD variant of the sum-factorized
+//! kernel (§III-E of the paper, the AVX operator behind Tables I–II).
+//!
+//! The staged 3×3 contractions of the tensor kernel are identical for every
+//! element, so four elements are processed at once in structure-of-arrays
+//! form: each scalar of the scalar kernel becomes an [`F64x4`] lane holding
+//! the same quantity for 4 elements, and every multiply-add becomes one
+//! 4-wide fused multiply-add. Lanes are formed *within* an element colour
+//! (elements of one colour share no nodes), so the colour-parallel scatter
+//! contract of the scalar kernels carries over unchanged. Colour tails with
+//! `nel_colour % 4 != 0` are padded with ghost slots that replicate a real
+//! element's node indices but carry zero viscosity and zero metric terms —
+//! the kernel needs no remainder branches and ghosts contribute exactly
+//! nothing (their scatter is skipped).
+//!
+//! Geometry is precomputed: the inverse Jacobian and `w·|J|` per quadrature
+//! point are stored in `[lane][qp]` order at construction (10 scalars/qp,
+//! like TensorC's trade of memory for metric flops), so the apply streams
+//! them instead of re-running `inv3` per point.
+//!
+//! Two kernels implement the identical operation sequence: a portable one
+//! built on `f64::mul_add` (correctly-rounded IEEE FMA on every platform)
+//! and an explicit AVX2+FMA path selected at runtime via
+//! `is_x86_feature_detected!`. Because both use the same fusion order
+//! (`fma(m0,i0, fma(m1,i1, m2·i2))` for every 3-term dot), their results
+//! are bitwise identical — asserted by tests. `PTATIN_NO_AVX=1` forces the
+//! portable path for newly constructed operators.
+
+use crate::data::{MaskScratch, ViscousOpData, NQP};
+use crate::kernels::{for_each_lane_colored, q1_grad_tables, qp_jacobian, ColorScatter};
+use crate::tensor::Tensor1d;
+use ptatin_fem::basis::NQ2;
+use ptatin_la::operator::LinearOperator;
+use ptatin_prof as prof;
+use std::sync::Arc;
+
+/// Elements per SIMD batch (one AVX 256-bit register of f64).
+pub const LANES: usize = 4;
+
+/// Four f64 values, one per element of a batch. 32-byte aligned so the
+/// AVX2 path can use aligned loads/stores directly on the same arrays the
+/// portable path indexes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    pub const ZERO: F64x4 = F64x4([0.0; 4]);
+
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+
+    /// Elementwise fused multiply-add `self·a + b` (single rounding per
+    /// lane — the portable mirror of `_mm256_fmadd_pd`).
+    #[inline(always)]
+    pub fn mul_add(self, a: F64x4, b: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].mul_add(a.0[0], b.0[0]),
+            self.0[1].mul_add(a.0[1], b.0[1]),
+            self.0[2].mul_add(a.0[2], b.0[2]),
+            self.0[3].mul_add(a.0[3], b.0[3]),
+        ])
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn add(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn mul(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+}
+
+/// Which lane kernel a [`BatchedViscousOp`] dispatches to. Chosen once at
+/// construction; both paths produce bitwise-identical results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdPath {
+    /// `f64::mul_add`-based kernel, correct on every target.
+    Portable,
+    /// Explicit `core::arch::x86_64` AVX2+FMA intrinsics.
+    Avx2Fma,
+}
+
+/// Hardware capability check only (ignores the env override): can this
+/// host run the AVX2+FMA kernel at all?
+pub fn avx2_fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runtime dispatch decision: AVX2+FMA when the CPU supports it, unless
+/// `PTATIN_NO_AVX` is set (non-empty, not `"0"`) to force the portable
+/// fallback — the knob CI uses to keep that path green on any host.
+pub fn detected_simd_path() -> SimdPath {
+    if std::env::var("PTATIN_NO_AVX").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return SimdPath::Portable;
+    }
+    if avx2_fma_available() {
+        SimdPath::Avx2Fma
+    } else {
+        SimdPath::Portable
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched contractions (portable path)
+// ---------------------------------------------------------------------------
+
+/// 3-term dot with the canonical fusion order `fma(i0,m0, fma(i1,m1, i2·m2))`.
+/// Both kernels use exactly this grouping for every contraction and metric
+/// product — the bitwise-agreement contract between the two paths.
+#[inline(always)]
+fn dot3(m: &[f64; 3], i0: F64x4, i1: F64x4, i2: F64x4) -> F64x4 {
+    i0.mul_add(
+        F64x4::splat(m[0]),
+        i1.mul_add(F64x4::splat(m[1]), i2 * F64x4::splat(m[2])),
+    )
+}
+
+/// Batched [`crate::tensor::contract_dim0`]: 4 elements per call.
+#[inline]
+pub fn contract_dim0_b(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+    for o in (0..27).step_by(3) {
+        let (i0, i1, i2) = (input[o], input[o + 1], input[o + 2]);
+        out[o] = dot3(&m[0], i0, i1, i2);
+        out[o + 1] = dot3(&m[1], i0, i1, i2);
+        out[o + 2] = dot3(&m[2], i0, i1, i2);
+    }
+}
+
+/// Batched [`crate::tensor::contract_dim1`].
+#[inline]
+pub fn contract_dim1_b(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+    for k in 0..3 {
+        let base = 9 * k;
+        for i in 0..3 {
+            let (i0, i1, i2) = (input[base + i], input[base + i + 3], input[base + i + 6]);
+            out[base + i] = dot3(&m[0], i0, i1, i2);
+            out[base + i + 3] = dot3(&m[1], i0, i1, i2);
+            out[base + i + 6] = dot3(&m[2], i0, i1, i2);
+        }
+    }
+}
+
+/// Batched [`crate::tensor::contract_dim2`].
+#[inline]
+pub fn contract_dim2_b(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+    for ij in 0..9 {
+        let (i0, i1, i2) = (input[ij], input[ij + 9], input[ij + 18]);
+        out[ij] = dot3(&m[0], i0, i1, i2);
+        out[ij + 9] = dot3(&m[1], i0, i1, i2);
+        out[ij + 18] = dot3(&m[2], i0, i1, i2);
+    }
+}
+
+/// Batched forward reference derivative (see [`crate::tensor::ref_derivative`]).
+#[inline]
+pub fn ref_derivative_b(t: &Tensor1d, dim: usize, input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+    let mut tmp1 = [F64x4::ZERO; 27];
+    let mut tmp2 = [F64x4::ZERO; 27];
+    let m0 = if dim == 0 { &t.d } else { &t.b };
+    let m1 = if dim == 1 { &t.d } else { &t.b };
+    let m2 = if dim == 2 { &t.d } else { &t.b };
+    contract_dim0_b(m0, input, &mut tmp1);
+    contract_dim1_b(m1, &tmp1, &mut tmp2);
+    contract_dim2_b(m2, &tmp2, out);
+}
+
+/// Batched adjoint derivative, accumulating into `out`.
+#[inline]
+pub fn ref_derivative_adjoint_add_b(
+    t: &Tensor1d,
+    dim: usize,
+    input: &[F64x4; 27],
+    out: &mut [F64x4; 27],
+) {
+    let mut tmp1 = [F64x4::ZERO; 27];
+    let mut tmp2 = [F64x4::ZERO; 27];
+    let mut tmp3 = [F64x4::ZERO; 27];
+    let m0 = if dim == 0 { &t.dt } else { &t.bt };
+    let m1 = if dim == 1 { &t.dt } else { &t.bt };
+    let m2 = if dim == 2 { &t.dt } else { &t.bt };
+    contract_dim0_b(m0, input, &mut tmp1);
+    contract_dim1_b(m1, &tmp1, &mut tmp2);
+    contract_dim2_b(m2, &tmp2, &mut tmp3);
+    for i in 0..27 {
+        out[i] = out[i] + tmp3[i];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoA batch data
+// ---------------------------------------------------------------------------
+
+/// Precomputed metric terms of one quadrature point for a 4-element lane:
+/// `jinv[d][l]` = ∂ξ_d/∂x_l and `w·|J|`, ghost slots zero.
+#[derive(Clone, Copy, Debug)]
+pub struct QpGeoLane {
+    pub jinv: [[F64x4; 3]; 3],
+    pub wdet: F64x4,
+}
+
+/// Node indices of the 4 elements of a lane. Ghost slots replicate the last
+/// real element so gathers stay branch-free; `nreal` bounds the scatter.
+struct LaneNodes {
+    nodes: [[u32; NQ2]; LANES],
+    nreal: u32,
+}
+
+/// Newton coefficient in lane form (`η′` and frozen `D₀` per qp, ghost
+/// slots zero so the rank-one term vanishes for padding).
+struct BatchNewton {
+    eta_prime: Vec<F64x4>,
+    d_sym: Vec<[F64x4; 6]>,
+}
+
+/// Cross-element batched sum-factorized viscous operator ("TensB").
+pub struct BatchedViscousOp {
+    pub data: Arc<ViscousOpData>,
+    path: SimdPath,
+    t1d: Tensor1d,
+    /// Half-open lane ranges per colour into `lanes`/`geo`/`eta`.
+    color_lane_ranges: [(usize, usize); 8],
+    lanes: Vec<LaneNodes>,
+    /// `[lane][qp]` layout: `geo[lane·27 + q]`.
+    geo: Vec<QpGeoLane>,
+    eta: Vec<F64x4>,
+    newton: Option<BatchNewton>,
+    scratch: MaskScratch,
+}
+
+impl BatchedViscousOp {
+    /// Build with the runtime-detected SIMD path.
+    pub fn new(data: Arc<ViscousOpData>) -> Self {
+        Self::with_path(data, detected_simd_path())
+    }
+
+    /// Build with an explicit path (tests compare the two bitwise).
+    pub fn with_path(data: Arc<ViscousOpData>, path: SimdPath) -> Self {
+        let tables = crate::data::standard_tables();
+        let q1g = q1_grad_tables(&tables.quad.points);
+        let nlanes: usize = data.colors.iter().map(|c| c.len().div_ceil(LANES)).sum();
+        let mut lanes = Vec::with_capacity(nlanes);
+        let mut geo = Vec::with_capacity(nlanes * NQP);
+        let mut eta = Vec::with_capacity(nlanes * NQP);
+        let mut newton = data.newton.as_ref().map(|_| BatchNewton {
+            eta_prime: Vec::with_capacity(nlanes * NQP),
+            d_sym: Vec::with_capacity(nlanes * NQP),
+        });
+        let mut color_lane_ranges = [(0usize, 0usize); 8];
+        for (color, elems) in data.colors.iter().enumerate() {
+            let start = lanes.len();
+            for chunk in elems.chunks(LANES) {
+                let mut ln = LaneNodes {
+                    nodes: [[0u32; NQ2]; LANES],
+                    nreal: chunk.len() as u32,
+                };
+                for l in 0..LANES {
+                    let e = chunk[l.min(chunk.len() - 1)] as usize;
+                    ln.nodes[l].copy_from_slice(data.element_nodes(e));
+                }
+                lanes.push(ln);
+                for q in 0..NQP {
+                    let mut gl = QpGeoLane {
+                        jinv: [[F64x4::ZERO; 3]; 3],
+                        wdet: F64x4::ZERO,
+                    };
+                    let mut el = F64x4::ZERO;
+                    let mut ep = F64x4::ZERO;
+                    let mut d0 = [F64x4::ZERO; 6];
+                    for (l, &e) in chunk.iter().enumerate() {
+                        let e = e as usize;
+                        let (jinv, wdet) =
+                            qp_jacobian(&data.corners[e], &q1g[q], tables.quad.weights[q]);
+                        for d in 0..3 {
+                            for x in 0..3 {
+                                gl.jinv[d][x].0[l] = jinv[d][x];
+                            }
+                        }
+                        gl.wdet.0[l] = wdet;
+                        el.0[l] = data.element_eta(e)[q];
+                        if let Some(nd) = data.newton.as_ref() {
+                            let idx = e * NQP + q;
+                            ep.0[l] = nd.eta_prime[idx];
+                            for s in 0..6 {
+                                d0[s].0[l] = nd.d_sym[idx][s];
+                            }
+                        }
+                    }
+                    geo.push(gl);
+                    eta.push(el);
+                    if let Some(bn) = newton.as_mut() {
+                        bn.eta_prime.push(ep);
+                        bn.d_sym.push(d0);
+                    }
+                }
+            }
+            color_lane_ranges[color] = (start, lanes.len());
+        }
+        Self {
+            data,
+            path,
+            t1d: Tensor1d::gauss3(),
+            color_lane_ranges,
+            lanes,
+            geo,
+            eta,
+            newton,
+            scratch: MaskScratch::new(),
+        }
+    }
+
+    /// The kernel path this operator dispatches to.
+    pub fn path(&self) -> SimdPath {
+        self.path
+    }
+
+    /// Total lanes including ghost-padded tails.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn apply_add(&self, x: &[f64], y: &mut [f64]) {
+        let scatter = ColorScatter::new(y);
+        for_each_lane_colored(&self.color_lane_ranges, LANES, |li| {
+            let ln = &self.lanes[li];
+            // Scalar gather into SoA lanes (4 × 81 loads).
+            let mut ue = [[F64x4::ZERO; 27]; 3];
+            for (l, nodes) in ln.nodes.iter().enumerate() {
+                for (i, &n) in nodes.iter().enumerate() {
+                    let b = 3 * n as usize;
+                    ue[0][i].0[l] = x[b];
+                    ue[1][i].0[l] = x[b + 1];
+                    ue[2][i].0[l] = x[b + 2];
+                }
+            }
+            let geo = &self.geo[li * NQP..(li + 1) * NQP];
+            let eta = &self.eta[li * NQP..(li + 1) * NQP];
+            let newton = self.newton.as_ref().map(|bn| {
+                (
+                    &bn.eta_prime[li * NQP..(li + 1) * NQP],
+                    &bn.d_sym[li * NQP..(li + 1) * NQP],
+                )
+            });
+            let mut re = [[F64x4::ZERO; 27]; 3];
+            match self.path {
+                SimdPath::Portable => {
+                    lane_kernel_portable(&self.t1d, geo, eta, newton, &ue, &mut re)
+                }
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `SimdPath::Avx2Fma` is only constructed after
+                // `is_x86_feature_detected!("avx2")`/`("fma")` (or by tests
+                // that check `avx2_fma_available()` first).
+                SimdPath::Avx2Fma => unsafe {
+                    avx::lane_kernel(&self.t1d, geo, eta, newton, &ue, &mut re)
+                },
+                #[cfg(not(target_arch = "x86_64"))]
+                SimdPath::Avx2Fma => unreachable!("AVX path constructed on non-x86_64 host"),
+            }
+            // Scatter real slots only (ghost padding contributes nothing
+            // and must not touch the duplicated element's dofs).
+            for l in 0..ln.nreal as usize {
+                for (i, &n) in ln.nodes[l].iter().enumerate() {
+                    let b = 3 * n as usize;
+                    // SAFETY: lanes are formed within one colour; elements
+                    // of a colour share no nodes, so concurrent writers
+                    // touch disjoint dofs.
+                    unsafe {
+                        scatter.add(b, re[0][i].0[l]);
+                        scatter.add(b + 1, re[1][i].0[l]);
+                        scatter.add(b + 2, re[2][i].0[l]);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Portable lane kernel: forward contractions → quadrature stress loop →
+/// adjoint contractions, all on [`F64x4`] lanes with `mul_add` fusion.
+fn lane_kernel_portable(
+    t1d: &Tensor1d,
+    geo: &[QpGeoLane],
+    eta: &[F64x4],
+    newton: Option<(&[F64x4], &[[F64x4; 6]])>,
+    ue: &[[F64x4; 27]; 3],
+    re: &mut [[F64x4; 27]; 3],
+) {
+    let mut ederiv = [[[F64x4::ZERO; 27]; 3]; 3];
+    for d in 0..3 {
+        for c in 0..3 {
+            ref_derivative_b(t1d, d, &ue[c], &mut ederiv[d][c]);
+        }
+    }
+    let mut what = [[[F64x4::ZERO; 27]; 3]; 3];
+    for q in 0..NQP {
+        let g = &geo[q];
+        let mut gradu = [[F64x4::ZERO; 3]; 3];
+        for c in 0..3 {
+            for l in 0..3 {
+                gradu[c][l] = ederiv[0][c][q].mul_add(
+                    g.jinv[0][l],
+                    ederiv[1][c][q].mul_add(g.jinv[1][l], ederiv[2][c][q] * g.jinv[2][l]),
+                );
+            }
+        }
+        let nd = newton.map(|(ep, d0)| (ep[q], &d0[q]));
+        let sigma = weighted_stress_b(&gradu, eta[q], nd, g.wdet);
+        for d in 0..3 {
+            for c in 0..3 {
+                what[d][c][q] = sigma[c][0].mul_add(
+                    g.jinv[d][0],
+                    sigma[c][1].mul_add(g.jinv[d][1], sigma[c][2] * g.jinv[d][2]),
+                );
+            }
+        }
+    }
+    for d in 0..3 {
+        for c in 0..3 {
+            ref_derivative_adjoint_add_b(t1d, d, &what[d][c], &mut re[c]);
+        }
+    }
+}
+
+/// Batched [`crate::kernels::weighted_stress`]. The Newton rank-one term is
+/// computed unconditionally (per-lane `η′` may mix zero and non-zero); with
+/// `η′ = 0` it adds exactly zero.
+#[inline(always)]
+fn weighted_stress_b(
+    gradu: &[[F64x4; 3]; 3],
+    eta: F64x4,
+    newton: Option<(F64x4, &[F64x4; 6])>,
+    wdet: F64x4,
+) -> [[F64x4; 3]; 3] {
+    let half = F64x4::splat(0.5);
+    let two = F64x4::splat(2.0);
+    let d01 = half * (gradu[0][1] + gradu[1][0]);
+    let d02 = half * (gradu[0][2] + gradu[2][0]);
+    let d12 = half * (gradu[1][2] + gradu[2][1]);
+    let d = [
+        [gradu[0][0], d01, d02],
+        [d01, gradu[1][1], d12],
+        [d02, d12, gradu[2][2]],
+    ];
+    let c = (two * eta) * wdet;
+    let mut sigma = [[F64x4::ZERO; 3]; 3];
+    for r in 0..3 {
+        for cc in 0..3 {
+            sigma[r][cc] = c * d[r][cc];
+        }
+    }
+    if let Some((ep, d0)) = newton {
+        // D₀ : D with symmetric storage [xx,yy,zz,yz,xz,xy].
+        let dd = d0[0].mul_add(d[0][0], d0[1].mul_add(d[1][1], d0[2] * d[2][2]))
+            + two * d0[3].mul_add(d[1][2], d0[4].mul_add(d[0][2], d0[5] * d[0][1]));
+        let f = ((two * ep) * dd) * wdet;
+        sigma[0][0] = f.mul_add(d0[0], sigma[0][0]);
+        sigma[1][1] = f.mul_add(d0[1], sigma[1][1]);
+        sigma[2][2] = f.mul_add(d0[2], sigma[2][2]);
+        sigma[1][2] = f.mul_add(d0[3], sigma[1][2]);
+        sigma[2][1] = f.mul_add(d0[3], sigma[2][1]);
+        sigma[0][2] = f.mul_add(d0[4], sigma[0][2]);
+        sigma[2][0] = f.mul_add(d0[4], sigma[2][0]);
+        sigma[0][1] = f.mul_add(d0[5], sigma[0][1]);
+        sigma[1][0] = f.mul_add(d0[5], sigma[1][0]);
+    }
+    sigma
+}
+
+// ---------------------------------------------------------------------------
+// Explicit AVX2+FMA path
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    //! Intrinsic mirror of the portable kernel. Every 3-term dot uses the
+    //! same fusion order as [`super::dot3`] — `fmadd(i0,m0, fmadd(i1,m1,
+    //! mul(i2,m2)))` — so the two paths are bitwise identical (glibc's
+    //! `fma()` behind `f64::mul_add` is correctly rounded, as is
+    //! `vfmadd*pd`). All helpers carry the same `target_feature` set so
+    //! they inline into one AVX-compiled kernel.
+
+    use super::{F64x4, QpGeoLane, NQP};
+    use crate::tensor::Tensor1d;
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn ld(v: &F64x4) -> __m256d {
+        // SAFETY: F64x4 is #[repr(C, align(32))].
+        unsafe { _mm256_load_pd(v.0.as_ptr()) }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn st(v: &mut F64x4, x: __m256d) {
+        // SAFETY: F64x4 is #[repr(C, align(32))].
+        unsafe { _mm256_store_pd(v.0.as_mut_ptr(), x) }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot3(m: &[f64; 3], i0: __m256d, i1: __m256d, i2: __m256d) -> __m256d {
+        _mm256_fmadd_pd(
+            i0,
+            _mm256_set1_pd(m[0]),
+            _mm256_fmadd_pd(
+                i1,
+                _mm256_set1_pd(m[1]),
+                _mm256_mul_pd(i2, _mm256_set1_pd(m[2])),
+            ),
+        )
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn contract_dim0(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        unsafe {
+            for o in (0..27).step_by(3) {
+                let (i0, i1, i2) = (ld(&input[o]), ld(&input[o + 1]), ld(&input[o + 2]));
+                st(&mut out[o], dot3(&m[0], i0, i1, i2));
+                st(&mut out[o + 1], dot3(&m[1], i0, i1, i2));
+                st(&mut out[o + 2], dot3(&m[2], i0, i1, i2));
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn contract_dim1(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        unsafe {
+            for k in 0..3 {
+                let base = 9 * k;
+                for i in 0..3 {
+                    let (i0, i1, i2) = (
+                        ld(&input[base + i]),
+                        ld(&input[base + i + 3]),
+                        ld(&input[base + i + 6]),
+                    );
+                    st(&mut out[base + i], dot3(&m[0], i0, i1, i2));
+                    st(&mut out[base + i + 3], dot3(&m[1], i0, i1, i2));
+                    st(&mut out[base + i + 6], dot3(&m[2], i0, i1, i2));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn contract_dim2(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        unsafe {
+            for ij in 0..9 {
+                let (i0, i1, i2) = (ld(&input[ij]), ld(&input[ij + 9]), ld(&input[ij + 18]));
+                st(&mut out[ij], dot3(&m[0], i0, i1, i2));
+                st(&mut out[ij + 9], dot3(&m[1], i0, i1, i2));
+                st(&mut out[ij + 18], dot3(&m[2], i0, i1, i2));
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn ref_derivative(t: &Tensor1d, dim: usize, input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        unsafe {
+            let mut tmp1 = [F64x4::ZERO; 27];
+            let mut tmp2 = [F64x4::ZERO; 27];
+            let m0 = if dim == 0 { &t.d } else { &t.b };
+            let m1 = if dim == 1 { &t.d } else { &t.b };
+            let m2 = if dim == 2 { &t.d } else { &t.b };
+            contract_dim0(m0, input, &mut tmp1);
+            contract_dim1(m1, &tmp1, &mut tmp2);
+            contract_dim2(m2, &tmp2, out);
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn ref_derivative_adjoint_add(
+        t: &Tensor1d,
+        dim: usize,
+        input: &[F64x4; 27],
+        out: &mut [F64x4; 27],
+    ) {
+        unsafe {
+            let mut tmp1 = [F64x4::ZERO; 27];
+            let mut tmp2 = [F64x4::ZERO; 27];
+            let mut tmp3 = [F64x4::ZERO; 27];
+            let m0 = if dim == 0 { &t.dt } else { &t.bt };
+            let m1 = if dim == 1 { &t.dt } else { &t.bt };
+            let m2 = if dim == 2 { &t.dt } else { &t.bt };
+            contract_dim0(m0, input, &mut tmp1);
+            contract_dim1(m1, &tmp1, &mut tmp2);
+            contract_dim2(m2, &tmp2, &mut tmp3);
+            for i in 0..27 {
+                let sum = _mm256_add_pd(ld(&out[i]), ld(&tmp3[i]));
+                st(&mut out[i], sum);
+            }
+        }
+    }
+
+    /// AVX2+FMA lane kernel, operation-for-operation identical to
+    /// [`super::lane_kernel_portable`].
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA support at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lane_kernel(
+        t1d: &Tensor1d,
+        geo: &[QpGeoLane],
+        eta: &[F64x4],
+        newton: Option<(&[F64x4], &[[F64x4; 6]])>,
+        ue: &[[F64x4; 27]; 3],
+        re: &mut [[F64x4; 27]; 3],
+    ) {
+        unsafe {
+            let mut ederiv = [[[F64x4::ZERO; 27]; 3]; 3];
+            for d in 0..3 {
+                for c in 0..3 {
+                    ref_derivative(t1d, d, &ue[c], &mut ederiv[d][c]);
+                }
+            }
+            let half = _mm256_set1_pd(0.5);
+            let two = _mm256_set1_pd(2.0);
+            let mut what = [[[F64x4::ZERO; 27]; 3]; 3];
+            for q in 0..NQP {
+                let gq = &geo[q];
+                let mut j = [[_mm256_setzero_pd(); 3]; 3];
+                for d in 0..3 {
+                    for l in 0..3 {
+                        j[d][l] = ld(&gq.jinv[d][l]);
+                    }
+                }
+                let wdet = ld(&gq.wdet);
+                let mut gradu = [[_mm256_setzero_pd(); 3]; 3];
+                for c in 0..3 {
+                    let (e0, e1, e2) = (
+                        ld(&ederiv[0][c][q]),
+                        ld(&ederiv[1][c][q]),
+                        ld(&ederiv[2][c][q]),
+                    );
+                    for l in 0..3 {
+                        gradu[c][l] = _mm256_fmadd_pd(
+                            e0,
+                            j[0][l],
+                            _mm256_fmadd_pd(e1, j[1][l], _mm256_mul_pd(e2, j[2][l])),
+                        );
+                    }
+                }
+                // Weighted stress, mirroring weighted_stress_b.
+                let d01 = _mm256_mul_pd(half, _mm256_add_pd(gradu[0][1], gradu[1][0]));
+                let d02 = _mm256_mul_pd(half, _mm256_add_pd(gradu[0][2], gradu[2][0]));
+                let d12 = _mm256_mul_pd(half, _mm256_add_pd(gradu[1][2], gradu[2][1]));
+                let d = [
+                    [gradu[0][0], d01, d02],
+                    [d01, gradu[1][1], d12],
+                    [d02, d12, gradu[2][2]],
+                ];
+                let c = _mm256_mul_pd(_mm256_mul_pd(two, ld(&eta[q])), wdet);
+                let mut sigma = [[_mm256_setzero_pd(); 3]; 3];
+                for r in 0..3 {
+                    for cc in 0..3 {
+                        sigma[r][cc] = _mm256_mul_pd(c, d[r][cc]);
+                    }
+                }
+                if let Some((ep, d0)) = newton {
+                    let d0q = &d0[q];
+                    let s = [
+                        ld(&d0q[0]),
+                        ld(&d0q[1]),
+                        ld(&d0q[2]),
+                        ld(&d0q[3]),
+                        ld(&d0q[4]),
+                        ld(&d0q[5]),
+                    ];
+                    let dd = _mm256_add_pd(
+                        _mm256_fmadd_pd(
+                            s[0],
+                            d[0][0],
+                            _mm256_fmadd_pd(s[1], d[1][1], _mm256_mul_pd(s[2], d[2][2])),
+                        ),
+                        _mm256_mul_pd(
+                            two,
+                            _mm256_fmadd_pd(
+                                s[3],
+                                d[1][2],
+                                _mm256_fmadd_pd(s[4], d[0][2], _mm256_mul_pd(s[5], d[0][1])),
+                            ),
+                        ),
+                    );
+                    let f = _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(two, ld(&ep[q])), dd), wdet);
+                    sigma[0][0] = _mm256_fmadd_pd(f, s[0], sigma[0][0]);
+                    sigma[1][1] = _mm256_fmadd_pd(f, s[1], sigma[1][1]);
+                    sigma[2][2] = _mm256_fmadd_pd(f, s[2], sigma[2][2]);
+                    sigma[1][2] = _mm256_fmadd_pd(f, s[3], sigma[1][2]);
+                    sigma[2][1] = _mm256_fmadd_pd(f, s[3], sigma[2][1]);
+                    sigma[0][2] = _mm256_fmadd_pd(f, s[4], sigma[0][2]);
+                    sigma[2][0] = _mm256_fmadd_pd(f, s[4], sigma[2][0]);
+                    sigma[0][1] = _mm256_fmadd_pd(f, s[5], sigma[0][1]);
+                    sigma[1][0] = _mm256_fmadd_pd(f, s[5], sigma[1][0]);
+                }
+                for dd in 0..3 {
+                    for cc in 0..3 {
+                        st(
+                            &mut what[dd][cc][q],
+                            _mm256_fmadd_pd(
+                                sigma[cc][0],
+                                j[dd][0],
+                                _mm256_fmadd_pd(
+                                    sigma[cc][1],
+                                    j[dd][1],
+                                    _mm256_mul_pd(sigma[cc][2], j[dd][2]),
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+            for d in 0..3 {
+                for c in 0..3 {
+                    ref_derivative_adjoint_add(t1d, d, &what[d][c], &mut re[c]);
+                }
+            }
+        }
+    }
+}
+
+impl LinearOperator for BatchedViscousOp {
+    fn nrows(&self) -> usize {
+        self.data.ndof
+    }
+    fn ncols(&self) -> usize {
+        self.data.ndof
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let _ev = prof::scope("MatMult_TensorBatched");
+        let model = crate::counts::tensor_batched_model();
+        prof::log_flops(model.flops * self.data.nel as u64);
+        prof::log_bytes(model.bytes_perfect * self.data.nel as u64);
+        y.fill(0.0);
+        if self.data.mask.is_empty() {
+            self.apply_add(x, y);
+        } else {
+            self.scratch
+                .with_masked(&self.data, x, |xm| self.apply_add(xm, y));
+            self.data.finish_masked(x, y);
+        }
+    }
+    fn diagonal(&self) -> Option<Vec<f64>> {
+        Some(crate::diag::viscous_diagonal(&self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{contract_dim0, contract_dim1, contract_dim2, TensorViscousOp};
+    use ptatin_fem::bc::DirichletBc;
+    use ptatin_mesh::StructuredMesh;
+
+    fn lane_input() -> ([F64x4; 27], [[f64; 27]; 4]) {
+        let mut scalar = [[0.0f64; 27]; 4];
+        let mut lanes = [F64x4::ZERO; 27];
+        for l in 0..4 {
+            for i in 0..27 {
+                let v = ((i * 7 + l * 13) % 23) as f64 / 5.0 - 2.0;
+                scalar[l][i] = v;
+                lanes[i].0[l] = v;
+            }
+        }
+        (lanes, scalar)
+    }
+
+    #[test]
+    fn batched_contractions_match_scalar() {
+        let t = Tensor1d::gauss3();
+        let (lanes, scalar) = lane_input();
+        for (dim, f_b, f_s) in [
+            (
+                0usize,
+                contract_dim0_b as fn(_, _, &mut _),
+                contract_dim0 as fn(_, _, &mut _),
+            ),
+            (1, contract_dim1_b, contract_dim1),
+            (2, contract_dim2_b, contract_dim2),
+        ] {
+            let mut out_b = [F64x4::ZERO; 27];
+            f_b(&t.d, &lanes, &mut out_b);
+            for l in 0..4 {
+                let mut out_s = [0.0f64; 27];
+                f_s(&t.d, &scalar[l], &mut out_s);
+                for i in 0..27 {
+                    assert!(
+                        (out_b[i].0[l] - out_s[i]).abs() < 1e-13,
+                        "dim {dim} lane {l} entry {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_padding_has_zero_metrics() {
+        // 5 elements: colour 0 holds a single element on a 2×2×2-ish mesh?
+        // Use a 5×1×1 mesh: colours 0 and 1 hold 3 and 2 elements → both
+        // tails are padded.
+        let mesh = StructuredMesh::new_box(5, 1, 1, [0.0, 5.0], [0.0, 1.0], [0.0, 1.0]);
+        let eta = vec![1.0; mesh.num_elements() * NQP];
+        let data = Arc::new(ViscousOpData::new(&mesh, eta, &DirichletBc::new()));
+        let op = BatchedViscousOp::with_path(data.clone(), SimdPath::Portable);
+        assert_eq!(op.num_lanes(), 2);
+        for (li, ln) in op.lanes.iter().enumerate() {
+            for l in ln.nreal as usize..LANES {
+                for q in 0..NQP {
+                    let g = &op.geo[li * NQP + q];
+                    assert_eq!(g.wdet.0[l], 0.0, "ghost wdet must be zero");
+                    assert_eq!(op.eta[li * NQP + q].0[l], 0.0, "ghost eta must be zero");
+                    for d in 0..3 {
+                        for x in 0..3 {
+                            assert_eq!(g.jinv[d][x].0[l], 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_tensor_on_remainder_mesh() {
+        // 3×1×2 = 6 elements: every colour has ≤ 2 elements, all lanes
+        // are ghost-padded tails.
+        let mut mesh = StructuredMesh::new_box(3, 1, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        mesh.deform(|c| [c[0] + 0.03 * c[1] * c[2], c[1] - 0.02 * c[0], c[2]]);
+        let eta: Vec<f64> = (0..mesh.num_elements() * NQP)
+            .map(|i| 0.5 + ((i * 19) % 13) as f64)
+            .collect();
+        let data = Arc::new(ViscousOpData::new(&mesh, eta, &DirichletBc::new()));
+        let tensor = TensorViscousOp::new(data.clone());
+        let batched = BatchedViscousOp::new(data);
+        let n = tensor.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        tensor.apply(&x, &mut y1);
+        batched.apply(&x, &mut y2);
+        let scale = 1.0 + y1.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-12 * scale,
+                "dof {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_bitwise_when_available() {
+        if !avx2_fma_available() {
+            return; // nothing to compare on this host
+        }
+        let mesh = StructuredMesh::new_box(3, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let eta: Vec<f64> = (0..mesh.num_elements() * NQP)
+            .map(|i| 1.0 + ((i * 31) % 7) as f64)
+            .collect();
+        let data = Arc::new(ViscousOpData::new(&mesh, eta, &DirichletBc::new()));
+        let port = BatchedViscousOp::with_path(data.clone(), SimdPath::Portable);
+        let avx = BatchedViscousOp::with_path(data, SimdPath::Avx2Fma);
+        let n = port.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        port.apply(&x, &mut y1);
+        avx.apply(&x, &mut y2);
+        for i in 0..n {
+            assert_eq!(
+                y1[i].to_bits(),
+                y2[i].to_bits(),
+                "paths differ at dof {i}: {} vs {}",
+                y1[i],
+                y2[i]
+            );
+        }
+    }
+
+    #[test]
+    fn env_override_forces_portable() {
+        // detected_simd_path reads the env at call time; we can't set the
+        // process env safely in a threaded test run, so only check the
+        // pure-hardware predicate is consistent with the dispatch result.
+        let p = detected_simd_path();
+        if !avx2_fma_available() {
+            assert_eq!(p, SimdPath::Portable);
+        }
+    }
+}

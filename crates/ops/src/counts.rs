@@ -119,6 +119,26 @@ pub fn tensor_c_model() -> OperatorModel {
     }
 }
 
+/// Cost model of the cross-element batched tensor kernel ("TensB"): same
+/// 18 staged contractions as Tensor (8748 flops) but geometry precomputed —
+/// the quadrature stage is two metric mappings (27 × 54 each) plus the
+/// stress update (27 × 36) streaming 10 stored scalars per point (Jinv 9 +
+/// w|J| 1) instead of recomputing the Jacobian. Counted per element; SIMD
+/// lanes change throughput, not the flop count.
+pub fn tensor_batched_model() -> OperatorModel {
+    let state_perfect = 2 * 8 * 3 * 8u64;
+    let state_pessimal = 2 * 27 * 3 * 8u64;
+    let geo = 27 * 10 * 8u64;
+    let coeff = 27 * 8u64;
+    let enodes = 27 * 4u64;
+    OperatorModel {
+        name: "Tensor batched (this impl)",
+        flops: 8748 + 27 * (54 + 36 + 54),
+        bytes_pessimal: state_pessimal + geo + coeff + enodes,
+        bytes_perfect: state_perfect + geo + coeff + enodes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +183,14 @@ mod tests {
             "TensorC trades bytes for flops"
         );
         assert!(tc.flops < t.flops);
+        let tb = tensor_batched_model();
+        assert!(
+            tb.flops < t.flops,
+            "batched kernel skips the per-qp Jacobian recompute"
+        );
+        assert!(
+            tb.bytes_perfect > t.bytes_perfect && tb.bytes_perfect < tc.bytes_perfect,
+            "stored metrics (10/qp) sit between Tensor (0) and TensorC (16)"
+        );
     }
 }

@@ -131,6 +131,50 @@ impl ViscousOpData {
     }
 }
 
+/// Reusable masked-input scratch shared by the matrix-free operators.
+///
+/// The Krylov hot path applies the operator thousands of times; allocating
+/// the masked copy of `x` on every apply costs an allocator round-trip per
+/// MatMult. A `Mutex` keeps the owning operator `Sync`; the (rare) case of
+/// two concurrent applies on one operator falls back to a fresh allocation
+/// instead of serializing them.
+pub struct MaskScratch(std::sync::Mutex<Vec<f64>>);
+
+impl MaskScratch {
+    pub fn new() -> Self {
+        Self(std::sync::Mutex::new(Vec::new()))
+    }
+
+    /// Run `f` on a masked copy of `x` (Dirichlet dofs zeroed), reusing the
+    /// cached buffer when it is uncontended.
+    pub fn with_masked<R>(
+        &self,
+        data: &ViscousOpData,
+        x: &[f64],
+        f: impl FnOnce(&[f64]) -> R,
+    ) -> R {
+        match self.0.try_lock() {
+            Ok(mut buf) => {
+                buf.clear();
+                buf.extend_from_slice(x);
+                data.mask_vector(&mut buf);
+                f(&buf)
+            }
+            Err(_) => {
+                let mut xm = x.to_vec();
+                data.mask_vector(&mut xm);
+                f(&xm)
+            }
+        }
+    }
+}
+
+impl Default for MaskScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Strain-rate invariants from symmetric storage `[xx,yy,zz,yz,xz,xy]`.
 #[inline]
 pub fn second_invariant(d: &[f64; 6]) -> f64 {
@@ -187,6 +231,31 @@ mod tests {
         assert_eq!(y[0], 2.0);
         assert_eq!(y[4], 2.0);
         assert_eq!(y[1], 7.0);
+    }
+
+    #[test]
+    fn mask_scratch_reuses_buffer_and_masks() {
+        let mesh = StructuredMesh::new_box(1, 1, 1, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let eta = vec![1.0; NQP];
+        let mut bc = DirichletBc::new();
+        bc.set(2, 0.0);
+        let data = ViscousOpData::new(&mesh, eta, &bc);
+        let scratch = MaskScratch::new();
+        let x = vec![3.0; data.ndof];
+        for _ in 0..2 {
+            scratch.with_masked(&data, &x, |xm| {
+                assert_eq!(xm.len(), x.len());
+                assert_eq!(xm[2], 0.0);
+                assert_eq!(xm[1], 3.0);
+            });
+        }
+        // Re-entrant use (contended lock) still sees a correct mask.
+        scratch.with_masked(&data, &x, |outer| {
+            scratch.with_masked(&data, &x, |inner| {
+                assert_eq!(inner[2], 0.0);
+                assert_eq!(outer[2], 0.0);
+            });
+        });
     }
 
     #[test]

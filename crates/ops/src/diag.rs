@@ -54,6 +54,15 @@ pub fn matrix_free_diagonal(
     diag
 }
 
+/// Convenience wrapper over [`matrix_free_diagonal`] that builds the
+/// standard quadrature/geometry tables itself — for operators (TensorC,
+/// TensorBatched) that precompute metric terms and keep no tables around.
+pub fn viscous_diagonal(data: &ViscousOpData) -> Vec<f64> {
+    let tables = Q2QuadTables::standard();
+    let q1g = crate::kernels::q1_grad_tables(&tables.quad.points);
+    matrix_free_diagonal(data, &tables, &q1g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,6 +67,29 @@ where
     }
 }
 
+/// Lane-granular colour schedule for the batched kernel: for each colour,
+/// partition that colour's padded element count over the worker pool with
+/// `lane_width`-aligned boundaries (a SIMD lane is never split across
+/// threads — see [`ptatin_la::par::split_ranges_aligned`]) and call
+/// `body(global_lane_index)` for every lane. `color_lane_ranges` holds
+/// half-open lane ranges per colour into the caller's lane arrays.
+pub fn for_each_lane_colored<F>(color_lane_ranges: &[(usize, usize); 8], lane_width: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    for &(ls, le) in color_lane_ranges {
+        let padded_elems = (le - ls) * lane_width;
+        if padded_elems == 0 {
+            continue;
+        }
+        par::par_ranges_aligned(padded_elems, lane_width, |_, s, e| {
+            for lane in (s / lane_width)..e.div_ceil(lane_width) {
+                body(ls + lane);
+            }
+        });
+    }
+}
+
 /// Geometry at one quadrature point computed from the 8 corner coordinates:
 /// returns (`Jinv` with `Jinv[d][l] = ∂ξ_d/∂x_l`, `w·det J`).
 #[inline]
@@ -196,6 +219,29 @@ mod tests {
                 let expect = if d == l { 2.0 } else { 0.0 };
                 assert!((jinv[d][l] - expect).abs() < 1e-13);
             }
+        }
+    }
+
+    #[test]
+    fn lane_schedule_visits_every_lane_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Ranges mimic an 8-colour layout with uneven lane counts.
+        let ranges = [
+            (0, 3),
+            (3, 3),
+            (3, 7),
+            (7, 8),
+            (8, 8),
+            (8, 13),
+            (13, 14),
+            (14, 14),
+        ];
+        let visits: Vec<AtomicUsize> = (0..14).map(|_| AtomicUsize::new(0)).collect();
+        for_each_lane_colored(&ranges, 4, |li| {
+            visits[li].fetch_add(1, Ordering::Relaxed);
+        });
+        for (li, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "lane {li}");
         }
     }
 

@@ -8,9 +8,12 @@
 //! * [`tensor`] — **Tensor**: the sum-factorized kernel exploiting the
 //!   `D̃⊗B̃⊗B̃` structure of the Q2 reference gradient (~15k flops/element),
 //! * [`tensor_c`] — **Tensor C**: stores the geometry–coefficient product
-//!   at quadrature points, trading memory for metric-term flops.
+//!   at quadrature points, trading memory for metric-term flops,
+//! * [`batch`] — **TensB**: the cross-element SIMD variant (§III-E) that
+//!   applies the sum-factorized kernel to lanes of 4 elements at once
+//!   (AVX2+FMA with a bitwise-identical portable fallback).
 //!
-//! All four implement [`ptatin_la::LinearOperator`], are interchangeable in
+//! All five implement [`ptatin_la::LinearOperator`], are interchangeable in
 //! every solver, and agree to machine precision (enforced by tests). The
 //! matrix-free variants handle Dirichlet constraints by masking, matching
 //! symmetric assembled elimination; [`diag`] provides the operator diagonal
@@ -20,6 +23,7 @@
 //! §III-A.
 
 pub mod asmb;
+pub mod batch;
 pub mod counts;
 pub mod data;
 pub mod diag;
@@ -29,11 +33,13 @@ pub mod tensor;
 pub mod tensor_c;
 
 pub use asmb::assembled_viscous_op;
+pub use batch::{avx2_fma_available, detected_simd_path, BatchedViscousOp, SimdPath};
 pub use counts::{
-    assembled_model, mf_model, paper_models, tensor_c_model, tensor_model, OperatorModel,
+    assembled_model, mf_model, paper_models, tensor_batched_model, tensor_c_model, tensor_model,
+    OperatorModel,
 };
-pub use data::{NewtonData, ViscousOpData, NQP};
-pub use diag::matrix_free_diagonal;
+pub use data::{MaskScratch, NewtonData, ViscousOpData, NQP};
+pub use diag::{matrix_free_diagonal, viscous_diagonal};
 pub use mf::MfViscousOp;
 pub use tensor::TensorViscousOp;
 pub use tensor_c::TensorCViscousOp;
@@ -46,6 +52,8 @@ pub enum OperatorKind {
     MatrixFree,
     Tensor,
     TensorC,
+    /// Cross-element SIMD batching of the tensor kernel (§III-E).
+    TensorBatched,
 }
 
 impl OperatorKind {
@@ -55,6 +63,7 @@ impl OperatorKind {
             OperatorKind::MatrixFree => "MF",
             OperatorKind::Tensor => "Tens",
             OperatorKind::TensorC => "TensC",
+            OperatorKind::TensorBatched => "TensB",
         }
     }
 }
@@ -90,6 +99,10 @@ pub fn build_viscous_operator(
             let data = Arc::new(ViscousOpData::new(mesh, eta, bc));
             Box::new(TensorCViscousOp::new(data))
         }
+        OperatorKind::TensorBatched => {
+            let data = Arc::new(ViscousOpData::new(mesh, eta, bc));
+            Box::new(BatchedViscousOp::new(data))
+        }
     }
 }
 
@@ -109,6 +122,7 @@ mod tests {
             OperatorKind::MatrixFree,
             OperatorKind::Tensor,
             OperatorKind::TensorC,
+            OperatorKind::TensorBatched,
         ];
         let ops: Vec<_> = kinds
             .iter()

@@ -8,7 +8,7 @@
 //! tensor-product version (≈54k vs ≈15k flops/element) while streaming the
 //! same ~1 kB of element data.
 
-use crate::data::{ViscousOpData, NQP};
+use crate::data::{MaskScratch, ViscousOpData, NQP};
 use crate::kernels::{
     for_each_element_colored, q1_grad_tables, qp_jacobian, weighted_stress, ColorScatter,
 };
@@ -23,13 +23,19 @@ pub struct MfViscousOp {
     pub data: Arc<ViscousOpData>,
     tables: Q2QuadTables,
     q1g: Vec<[[f64; 3]; 8]>,
+    scratch: MaskScratch,
 }
 
 impl MfViscousOp {
     pub fn new(data: Arc<ViscousOpData>) -> Self {
         let tables = Q2QuadTables::standard();
         let q1g = q1_grad_tables(&tables.quad.points);
-        Self { data, tables, q1g }
+        Self {
+            data,
+            tables,
+            q1g,
+            scratch: MaskScratch::new(),
+        }
     }
 
     /// Unmasked application `y += A x` over all elements (no BC handling).
@@ -105,9 +111,8 @@ impl LinearOperator for MfViscousOp {
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
         } else {
-            let mut xm = x.to_vec();
-            self.data.mask_vector(&mut xm);
-            self.apply_add(&xm, y);
+            self.scratch
+                .with_masked(&self.data, x, |xm| self.apply_add(xm, y));
             self.data.finish_masked(x, y);
         }
     }

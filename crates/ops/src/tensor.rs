@@ -7,7 +7,7 @@
 //! contractions (`2·3⁷ = 4374` flops for all three directions) instead of a
 //! dense 81×27 product. Metric terms are folded into the quadrature loop.
 
-use crate::data::{ViscousOpData, NQP};
+use crate::data::{MaskScratch, ViscousOpData, NQP};
 use crate::kernels::{
     for_each_element_colored, q1_grad_tables, qp_jacobian, weighted_stress, ColorScatter,
 };
@@ -130,6 +130,7 @@ pub struct TensorViscousOp {
     tables: Q2QuadTables,
     t1d: Tensor1d,
     q1g: Vec<[[f64; 3]; 8]>,
+    scratch: MaskScratch,
 }
 
 impl TensorViscousOp {
@@ -141,6 +142,7 @@ impl TensorViscousOp {
             tables,
             t1d: Tensor1d::gauss3(),
             q1g,
+            scratch: MaskScratch::new(),
         }
     }
 
@@ -223,9 +225,8 @@ impl LinearOperator for TensorViscousOp {
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
         } else {
-            let mut xm = x.to_vec();
-            self.data.mask_vector(&mut xm);
-            self.apply_add(&xm, y);
+            self.scratch
+                .with_masked(&self.data, x, |xm| self.apply_add(xm, y));
             self.data.finish_masked(x, y);
         }
     }

@@ -11,7 +11,7 @@
 //! paper this variant is "little benefit for the present [isotropic]
 //! problem"; it is included to reproduce Table I.
 
-use crate::data::{ViscousOpData, NQP};
+use crate::data::{MaskScratch, ViscousOpData, NQP};
 use crate::kernels::{for_each_element_colored, q1_grad_tables, qp_jacobian, ColorScatter};
 use crate::tensor::{ref_derivative, ref_derivative_adjoint_add, Tensor1d};
 use ptatin_fem::assemble::Q2QuadTables;
@@ -37,6 +37,7 @@ pub struct TensorCViscousOp {
     tables: Q2QuadTables,
     t1d: Tensor1d,
     coeffs: Vec<QpCoeff>,
+    scratch: MaskScratch,
 }
 
 impl TensorCViscousOp {
@@ -79,6 +80,7 @@ impl TensorCViscousOp {
             tables,
             t1d: Tensor1d::gauss3(),
             coeffs,
+            scratch: MaskScratch::new(),
         }
     }
 
@@ -171,9 +173,8 @@ impl LinearOperator for TensorCViscousOp {
         if self.data.mask.is_empty() {
             self.apply_add(x, y);
         } else {
-            let mut xm = x.to_vec();
-            self.data.mask_vector(&mut xm);
-            self.apply_add(&xm, y);
+            self.scratch
+                .with_masked(&self.data, x, |xm| self.apply_add(xm, y));
             self.data.finish_masked(x, y);
         }
     }

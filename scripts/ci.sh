@@ -35,6 +35,12 @@ PTATIN_TEST_THREADS=4 cargo test --workspace -q
 PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=4 cargo test -q --test checkpoint_restart
 
+# Operator-equivalence suite with the AVX path force-disabled: the
+# portable mul_add fallback of the batched operator must satisfy the
+# same 1e-12 contract as the hardware path (DESIGN.md §9).
+step "operator equivalence with AVX disabled (PTATIN_NO_AVX=1)"
+PTATIN_NO_AVX=1 PTATIN_TEST_THREADS=2 cargo test -q --test operator_equivalence
+
 # Fault-injection matrix on the release binary: every injected failure
 # class must be recovered (exit 0) or reported cleanly (crash => 42),
 # never a panic or a silent wrong answer. Crash leaves periodic
@@ -58,6 +64,15 @@ if [[ $FAST -eq 0 ]]; then
 
     step "  restart from the surviving checkpoint"
     PTATIN_TEST_THREADS=2 $RIFT --restart-from="$CKDIR/ckpt_step_00002.ptck"
+
+    # Kernel-benchmark smoke run: exercises all five operator variants and
+    # writes a machine-readable record, then validates it (plus the
+    # committed full-size record) against the ptatin-kernel-bench-v1
+    # schema with the in-repo JSON parser.
+    step "kernel benchmark smoke + BENCH_kernels.json schema validation"
+    cargo bench -p ptatin-bench --bench table1_operators -- smoke
+    cargo run --release -p ptatin-bench --bin validate_bench -- \
+        output/BENCH_kernels_smoke.json BENCH_kernels.json
 fi
 
 step "rustfmt"

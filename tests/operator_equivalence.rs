@@ -1,6 +1,6 @@
-//! Cross-crate integration: the four operator applications of §III-D must
-//! be bit-for-bit interchangeable inside the solver stack — same action,
-//! same diagonal, same Krylov trajectory on the same problem.
+//! Cross-crate integration: the five operator applications of §III-D/E
+//! must be bit-for-bit interchangeable inside the solver stack — same
+//! action, same diagonal, same Krylov trajectory on the same problem.
 
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::{DirichletBc, VelocityBcBuilder};
@@ -8,7 +8,12 @@ use ptatin_la::krylov::{cg, KrylovConfig};
 use ptatin_la::operator::LinearOperator;
 use ptatin_la::JacobiPc;
 use ptatin_mesh::StructuredMesh;
-use ptatin_ops::{build_viscous_operator, OperatorKind, NQP};
+use ptatin_ops::{
+    avx2_fma_available, build_viscous_operator, BatchedViscousOp, NewtonData, OperatorKind,
+    SimdPath, TensorViscousOp, ViscousOpData, NQP,
+};
+use ptatin_prng::{Rng, SplitMix64};
+use std::sync::Arc;
 
 fn deformed_mesh() -> StructuredMesh {
     let mut mesh = StructuredMesh::new_box(3, 2, 3, [0.0, 1.5], [0.0, 1.0], [0.0, 1.2]);
@@ -36,11 +41,12 @@ fn bc(mesh: &StructuredMesh) -> DirichletBc {
         .build()
 }
 
-const KINDS: [OperatorKind; 4] = [
+const KINDS: [OperatorKind; 5] = [
     OperatorKind::Assembled,
     OperatorKind::MatrixFree,
     OperatorKind::Tensor,
     OperatorKind::TensorC,
+    OperatorKind::TensorBatched,
 ];
 
 #[test]
@@ -133,6 +139,116 @@ fn krylov_iteration_counts_identical_across_kinds() {
         counts.windows(2).all(|w| w[0].abs_diff(w[1]) <= 1),
         "iteration counts diverge: {counts:?}"
     );
+}
+
+/// Build a randomly deformed mesh with the given element dims and a
+/// viscosity field spanning several decades, both driven by `rng`.
+fn random_setup(
+    rng: &mut SplitMix64,
+    dims: (usize, usize, usize),
+) -> (StructuredMesh, Vec<f64>, DirichletBc) {
+    let (mx, my, mz) = dims;
+    let mut mesh = StructuredMesh::new_box(mx, my, mz, [0.0, 1.3], [0.0, 0.9], [0.0, 1.1]);
+    let (a, b, c) = (
+        rng.gen_range(0.01..0.06),
+        rng.gen_range(0.01..0.06),
+        rng.gen_range(0.01..0.06),
+    );
+    let (wa, wb) = (rng.gen_range(1.5..4.0), rng.gen_range(1.5..4.0));
+    mesh.deform(|p| {
+        [
+            p[0] + a * (wa * p[1]).sin() * p[2],
+            p[1] + b * (wb * p[2]).cos() * p[0],
+            p[2] - c * p[0] * p[1],
+        ]
+    });
+    let eta: Vec<f64> = (0..mesh.num_elements() * NQP)
+        .map(|_| 10f64.powf(rng.gen_range(-4.0..4.0)))
+        .collect();
+    let bc = bc(&mesh);
+    (mesh, eta, bc)
+}
+
+fn random_vector(rng: &mut SplitMix64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn tensor_batched_matches_tensor_tightly() {
+    // §III-E acceptance: the batched SoA operator must agree with the
+    // scalar tensor operator to 1e-12 *relative* on randomized meshes,
+    // including element counts that are not multiples of the lane width
+    // (ghost-padded tail lanes), mixed Dirichlet masks, and the Newton
+    // linearization path.
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_bead);
+    // nel = 18, 6, 15, 16: three remainder cases + one lane-aligned case.
+    for dims in [(3, 2, 3), (2, 3, 1), (5, 1, 3), (4, 2, 2)] {
+        for with_newton in [false, true] {
+            let (mesh, eta, bc) = random_setup(&mut rng, dims);
+            let nel = mesh.num_elements();
+            let mut data = ViscousOpData::new(&mesh, eta, &bc);
+            if with_newton {
+                let newton = NewtonData {
+                    eta_prime: (0..nel * NQP).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+                    d_sym: (0..nel * NQP)
+                        .map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..1.0)))
+                        .collect(),
+                };
+                data = data.with_newton(newton);
+            }
+            let data = Arc::new(data);
+            let tensor = TensorViscousOp::new(data.clone());
+            let batched = BatchedViscousOp::new(data.clone());
+            let n = tensor.nrows();
+            let x = random_vector(&mut rng, n);
+            let mut yt = vec![0.0; n];
+            let mut yb = vec![0.0; n];
+            tensor.apply(&x, &mut yt);
+            batched.apply(&x, &mut yb);
+            let scale = 1.0 + yt.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for i in 0..n {
+                assert!(
+                    (yb[i] - yt[i]).abs() < 1e-12 * scale,
+                    "dims {dims:?} newton={with_newton} dof {i}: batched {} vs tensor {}",
+                    yb[i],
+                    yt[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_avx_and_portable_paths_agree_bitwise() {
+    // The portable path is written with `f64::mul_add` in exactly the
+    // fusion order of the AVX2+FMA path, so on hardware that has both the
+    // two must produce bit-identical output.
+    if !avx2_fma_available() {
+        eprintln!("skipping: host lacks AVX2+FMA");
+        return;
+    }
+    let mut rng = SplitMix64::seed_from_u64(0xb17_b17);
+    for dims in [(3, 2, 3), (5, 1, 3)] {
+        let (mesh, eta, bc) = random_setup(&mut rng, dims);
+        let data = Arc::new(ViscousOpData::new(&mesh, eta, &bc));
+        let portable = BatchedViscousOp::with_path(data.clone(), SimdPath::Portable);
+        let avx = BatchedViscousOp::with_path(data.clone(), SimdPath::Avx2Fma);
+        let n = portable.nrows();
+        let x = random_vector(&mut rng, n);
+        let mut yp = vec![0.0; n];
+        let mut ya = vec![0.0; n];
+        portable.apply(&x, &mut yp);
+        avx.apply(&x, &mut ya);
+        for i in 0..n {
+            assert_eq!(
+                yp[i].to_bits(),
+                ya[i].to_bits(),
+                "dims {dims:?} dof {i}: portable {} vs avx {}",
+                yp[i],
+                ya[i]
+            );
+        }
+    }
 }
 
 #[test]

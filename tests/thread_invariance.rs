@@ -132,6 +132,40 @@ fn preconditioner_config_matrix_invariant_under_thread_count() {
 }
 
 #[test]
+fn batched_operator_invariant_and_bitwise() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The SIMD-batched fine-level operator keeps both determinism
+    // promises: lane formation is thread-count independent (lanes are
+    // built once per color, and `par_ranges_aligned` never splits one
+    // across threads), so only reduction regrouping may change across nt.
+    let gmg = GmgConfig {
+        levels: 2,
+        ..paper_gmg_config(2, OperatorKind::TensorBatched)
+    };
+    let runs: Vec<(usize, SolveOut)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|nt| (nt, solve_sinker(&gmg, nt)))
+        .collect();
+    assert_thread_invariant("GMG-i(tensor-batched)", &runs);
+    // And at a fixed thread count the solve is bitwise reproducible.
+    let a = solve_sinker(&gmg, 4);
+    let b = solve_sinker(&gmg, 4);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(
+        a.final_residual.to_bits(),
+        b.final_residual.to_bits(),
+        "batched: residual norm must be bitwise reproducible at fixed nt"
+    );
+    for i in 0..a.x.len() {
+        assert_eq!(
+            a.x[i].to_bits(),
+            b.x[i].to_bits(),
+            "batched: solution must be bitwise reproducible at fixed nt (dof {i})"
+        );
+    }
+}
+
+#[test]
 fn fixed_thread_count_is_bitwise_deterministic() {
     let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let gmg = GmgConfig {
