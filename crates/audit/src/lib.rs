@@ -1,0 +1,337 @@
+//! `ptatin-audit`: the workspace invariant checker (DESIGN.md §10).
+//!
+//! PRs 2 and 4 concentrated this repo's risk into two hand-rolled
+//! unsafe layers — the condvar-parked worker pool (`ptatin-la::par`)
+//! and the SoA/AVX2 batched kernel (`ptatin-ops::batch`) — whose
+//! correctness arguments (disjoint ranges, lane alignment, fixed
+//! float-fusion order, no allocation per apply) previously lived in
+//! comments and reviewer folklore. PETSc encodes the same class of
+//! contract as `--with-debugging` asserts and nightly lint harnesses;
+//! this crate is the Rust equivalent: an in-repo static-analysis pass
+//! (token scanner, no `syn`, no dependencies) that turns each invariant
+//! into a machine-checkable rule with an explicit allowlist grammar,
+//! plus an `unsafe` inventory emitted to `output/audit.json`.
+//!
+//! The runtime half of the story is the `pool-sanitizer` cargo feature
+//! in `ptatin-la`, which executes the pool's safety argument as
+//! assertions on every dispatch.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod lex;
+pub mod rules;
+
+pub use rules::{analyze, classify, FileReport, Finding, Rule, UnsafeSite};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier for the unsafe-inventory document.
+pub const SCHEMA: &str = "audit-v1";
+
+/// Relative path of the inventory file under the workspace root.
+pub const INVENTORY_PATH: &str = "output/audit.json";
+
+#[derive(Debug)]
+pub enum Error {
+    Io(PathBuf, std::io::Error),
+    /// Inventory file malformed or out of date (message, details).
+    Inventory(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            Error::Inventory(m) => write!(f, "inventory: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Aggregated result of scanning a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings grouped by rule id, for the summary table.
+    pub fn counts_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule.id()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Scan every Rust source tree the rules apply to: `src/` of each
+/// workspace crate plus the root package's `src/`. Test directories,
+/// benches, and fixtures are *walked* (the unsafe rules still apply to
+/// `src/bin`) but excluded paths never reach path-scoped rules — see
+/// [`rules::classify`]. `target/`, `output/`, and fixture corpora are
+/// skipped entirely.
+pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries = std::fs::read_dir(&crates).map_err(|e| Error::Io(crates.clone(), e))?;
+        let mut members: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut rep = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path).map_err(|e| Error::Io(path.clone(), e))?;
+        let fr = rules::analyze(&rel, &src);
+        rep.findings.extend(fr.findings);
+        rep.unsafe_sites.extend(fr.unsafe_sites);
+        rep.files_scanned += 1;
+    }
+    rep.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    rep.unsafe_sites
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(rep)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().map(|n| n.to_string_lossy().to_string());
+        if p.is_dir() {
+            if matches!(name.as_deref(), Some("target" | "output" | "fixtures")) {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Render the unsafe inventory as the canonical `audit-v1` JSON
+/// document. Content is a pure function of the scan (no timestamps, no
+/// host data, sorted keys and sites), so regeneration is idempotent.
+pub fn render_inventory(rep: &Report) -> String {
+    use json::Value;
+    let sites: Vec<Value> = rep
+        .unsafe_sites
+        .iter()
+        .map(|s| {
+            Value::obj(vec![
+                ("file", Value::Str(s.file.clone())),
+                ("line", Value::Num(s.line as f64)),
+                ("kind", Value::Str(s.kind.to_string())),
+                ("justification", Value::Str(s.justification.clone())),
+            ])
+        })
+        .collect();
+    let by_kind: BTreeMap<&str, usize> =
+        rep.unsafe_sites.iter().fold(BTreeMap::new(), |mut m, s| {
+            *m.entry(s.kind).or_insert(0) += 1;
+            m
+        });
+    let counts = Value::Obj(
+        by_kind
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
+            .collect(),
+    );
+    Value::obj(vec![
+        ("schema", Value::Str(SCHEMA.to_string())),
+        ("generated_by", Value::Str("ptatin-audit".to_string())),
+        (
+            "confined_to",
+            Value::Arr(
+                rules::UNSAFE_CRATES
+                    .iter()
+                    .map(|c| Value::Str(c.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("unsafe_total", Value::Num(rep.unsafe_sites.len() as f64)),
+        ("unsafe_by_kind", counts),
+        ("unsafe_sites", Value::Arr(sites)),
+    ])
+    .render()
+}
+
+/// Validate a parsed inventory document against the `audit-v1` schema.
+/// Returns the list of violations (empty means valid).
+pub fn validate_inventory(doc: &json::Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => errs.push(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        None => errs.push("missing string field `schema`".to_string()),
+    }
+    let total = doc.get("unsafe_total").and_then(|v| v.as_f64());
+    if total.is_none() {
+        errs.push("missing numeric field `unsafe_total`".to_string());
+    }
+    let Some(sites) = doc.get("unsafe_sites").and_then(|v| v.as_arr()) else {
+        errs.push("missing array field `unsafe_sites`".to_string());
+        return errs;
+    };
+    if let Some(t) = total {
+        if t as usize != sites.len() {
+            errs.push(format!(
+                "unsafe_total {t} does not match {} listed sites",
+                sites.len()
+            ));
+        }
+    }
+    for (i, s) in sites.iter().enumerate() {
+        let file = s.get("file").and_then(|v| v.as_str());
+        match file {
+            None => errs.push(format!("site {i}: missing string field `file`")),
+            Some(f) => {
+                let cls = rules::classify(f);
+                if !cls
+                    .crate_name
+                    .as_deref()
+                    .is_some_and(|c| rules::UNSAFE_CRATES.contains(&c))
+                {
+                    errs.push(format!(
+                        "site {i}: {f} lies outside the unsafe-confined crates {:?}",
+                        rules::UNSAFE_CRATES
+                    ));
+                }
+            }
+        }
+        if s.get("line")
+            .and_then(|v| v.as_f64())
+            .is_none_or(|l| l < 1.0)
+        {
+            errs.push(format!("site {i}: missing or non-positive `line`"));
+        }
+        match s.get("kind").and_then(|v| v.as_str()) {
+            Some("block" | "fn" | "impl" | "trait") => {}
+            other => errs.push(format!("site {i}: bad `kind` {other:?}")),
+        }
+        match s.get("justification").and_then(|v| v.as_str()) {
+            Some(j) if j.trim().len() >= 3 => {}
+            _ => errs.push(format!(
+                "site {i}: empty `justification` (every unsafe site needs a SAFETY comment)"
+            )),
+        }
+    }
+    errs
+}
+
+/// Compare the on-disk inventory with a freshly rendered one. `Ok(())`
+/// means the file exists, parses, validates against the schema, and is
+/// byte-identical to regeneration.
+pub fn check_inventory(root: &Path, rep: &Report) -> Result<(), Error> {
+    let path = root.join(INVENTORY_PATH);
+    let text = std::fs::read_to_string(&path).map_err(|e| Error::Io(path.clone(), e))?;
+    let doc = json::parse(&text)
+        .map_err(|e| Error::Inventory(format!("{} does not parse: {e}", path.display())))?;
+    let schema_errs = validate_inventory(&doc);
+    if !schema_errs.is_empty() {
+        return Err(Error::Inventory(format!(
+            "{} fails {SCHEMA} validation:\n  {}",
+            path.display(),
+            schema_errs.join("\n  ")
+        )));
+    }
+    let fresh = render_inventory(rep);
+    if text != fresh {
+        return Err(Error::Inventory(format!(
+            "{} is stale; run `cargo run -p ptatin-audit -- --fix-inventory`",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Write the inventory to `output/audit.json` under `root`.
+pub fn write_inventory(root: &Path, rep: &Report) -> Result<(), Error> {
+    let dir = root.join("output");
+    std::fs::create_dir_all(&dir).map_err(|e| Error::Io(dir.clone(), e))?;
+    let path = root.join(INVENTORY_PATH);
+    std::fs::write(&path, render_inventory(rep)).map_err(|e| Error::Io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_renders_and_validates() {
+        let rep = Report {
+            findings: Vec::new(),
+            unsafe_sites: vec![UnsafeSite {
+                file: "crates/la/src/par.rs".to_string(),
+                line: 10,
+                kind: "block",
+                justification: "ranges are disjoint".to_string(),
+            }],
+            files_scanned: 1,
+        };
+        let text = render_inventory(&rep);
+        let doc = json::parse(&text).expect("inventory parses");
+        assert!(validate_inventory(&doc).is_empty());
+        // Idempotent: rendering is a pure function of the report.
+        assert_eq!(text, render_inventory(&rep));
+    }
+
+    #[test]
+    fn validation_rejects_bad_documents() {
+        let bad = json::parse(r#"{"schema": "audit-v0"}"#).expect("parses");
+        let errs = validate_inventory(&bad);
+        assert!(errs.iter().any(|e| e.contains("audit-v0")));
+        assert!(errs.iter().any(|e| e.contains("unsafe_sites")));
+
+        let escaped = json::parse(
+            r#"{"schema": "audit-v1", "unsafe_total": 1, "unsafe_sites": [
+                {"file": "crates/mg/src/gmg.rs", "line": 5, "kind": "block",
+                 "justification": "should not be here"}]}"#,
+        )
+        .expect("parses");
+        let errs = validate_inventory(&escaped);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("outside the unsafe-confined")),
+            "{errs:?}"
+        );
+
+        let empty_just = json::parse(
+            r#"{"schema": "audit-v1", "unsafe_total": 1, "unsafe_sites": [
+                {"file": "crates/la/src/par.rs", "line": 5, "kind": "block",
+                 "justification": ""}]}"#,
+        )
+        .expect("parses");
+        assert!(validate_inventory(&empty_just)
+            .iter()
+            .any(|e| e.contains("justification")));
+    }
+}

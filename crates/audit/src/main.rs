@@ -1,0 +1,120 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p ptatin-audit                    # report findings (exit 1 if any)
+//! cargo run -p ptatin-audit -- --check         # findings + inventory freshness gate
+//! cargo run -p ptatin-audit -- --fix-inventory # (re)write output/audit.json
+//! cargo run -p ptatin-audit -- --root DIR ...  # audit another tree (fixtures)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or stale/invalid inventory, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ptatin-audit [--check | --fix-inventory] [--root DIR] [--quiet]\n\
+         \n  (no flag)        scan and print findings; exit 1 if any\
+         \n  --check          scan, print findings, and verify output/audit.json is\
+         \n                   fresh and valid against the audit-v1 schema; exit 1 on\
+         \n                   any finding or a stale/invalid inventory\
+         \n  --fix-inventory  scan and (re)write output/audit.json\
+         \n  --root DIR       audit DIR instead of this workspace\
+         \n  --quiet          suppress the per-finding listing"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut fix = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--fix-inventory" => fix = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if check && fix {
+        return usage();
+    }
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p ptatin-audit` audits the repo regardless of cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            // PANIC-OK: the compiled-in manifest dir exists whenever the
+            // binary runs from its own build tree; --root covers the rest.
+            .expect("workspace root resolves")
+    });
+
+    let rep = match ptatin_audit::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ptatin-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix {
+        if let Err(e) = ptatin_audit::write_inventory(&root, &rep) {
+            eprintln!("ptatin-audit: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} unsafe sites)",
+            ptatin_audit::INVENTORY_PATH,
+            rep.unsafe_sites.len()
+        );
+    }
+
+    if !quiet {
+        for f in &rep.findings {
+            println!("{f}");
+        }
+    }
+    let mut failed = !rep.findings.is_empty();
+    let counts = rep.counts_by_rule();
+    let summary: Vec<String> = counts.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+    eprintln!(
+        "ptatin-audit: {} files, {} unsafe sites, {} findings{}",
+        rep.files_scanned,
+        rep.unsafe_sites.len(),
+        rep.findings.len(),
+        if summary.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", summary.join(", "))
+        }
+    );
+
+    if check {
+        match ptatin_audit::check_inventory(&root, &rep) {
+            Ok(()) => eprintln!(
+                "ptatin-audit: {} is fresh and valid",
+                ptatin_audit::INVENTORY_PATH
+            ),
+            Err(e) => {
+                eprintln!("ptatin-audit: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

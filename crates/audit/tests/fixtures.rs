@@ -1,0 +1,230 @@
+//! End-to-end tests over the fixture corpus: one mini-workspace per
+//! violation class, exercised through both the library API (exact finding
+//! counts and `file:line` anchors) and the compiled binary (exit codes,
+//! `--fix-inventory` idempotency, `--check` schema gating).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan(name: &str) -> ptatin_audit::Report {
+    ptatin_audit::scan_workspace(&fixture(name)).expect("fixture scans")
+}
+
+/// `(rule_id, file, line)` triples, the shape every assertion pins.
+fn anchors(rep: &ptatin_audit::Report) -> Vec<(String, String, u32)> {
+    rep.findings
+        .iter()
+        .map(|f| (f.rule.id().to_string(), f.file.clone(), f.line))
+        .collect()
+}
+
+fn audit_bin(root: &Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ptatin-audit"))
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("audit binary runs")
+}
+
+#[test]
+fn clean_fixture_passes_and_inventories_unsafe() {
+    let rep = scan("clean");
+    assert_eq!(anchors(&rep), Vec::<(String, String, u32)>::new());
+    // Both unsafe sites (fn + inner block) are inventoried with their
+    // SAFETY text attached.
+    assert_eq!(rep.unsafe_sites.len(), 2);
+    assert_eq!(rep.unsafe_sites[0].file, "crates/la/src/lib.rs");
+    assert_eq!(rep.unsafe_sites[0].line, 5);
+    assert_eq!(rep.unsafe_sites[0].kind, "fn");
+    assert!(rep.unsafe_sites[0].justification.contains("valid for"));
+    assert_eq!(rep.unsafe_sites[1].line, 8);
+    assert_eq!(rep.unsafe_sites[1].kind, "block");
+    assert!(audit_bin(&fixture("clean"), &["--quiet"]).status.success());
+}
+
+#[test]
+fn missing_safety_is_one_unsafe_audit_finding() {
+    let rep = scan("missing-safety");
+    assert_eq!(
+        anchors(&rep),
+        vec![(
+            "unsafe-audit".to_string(),
+            "crates/la/src/lib.rs".to_string(),
+            4
+        )]
+    );
+    // The site still enters the inventory, with an empty justification.
+    assert_eq!(rep.unsafe_sites.len(), 1);
+    assert!(rep.unsafe_sites[0].justification.is_empty());
+    let out = audit_bin(&fixture("missing-safety"), &["--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn documented_unsafe_outside_la_ops_is_confinement_finding() {
+    let rep = scan("unsafe-outside");
+    assert_eq!(
+        anchors(&rep),
+        vec![(
+            "unsafe-confined".to_string(),
+            "crates/mesh/src/lib.rs".to_string(),
+            5
+        )]
+    );
+    assert_eq!(
+        audit_bin(&fixture("unsafe-outside"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+#[test]
+fn determinism_fixture_flags_all_four_patterns() {
+    let rep = scan("determinism");
+    let file = "crates/mg/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("determinism".to_string(), file.clone(), 4), // Instant
+            ("determinism".to_string(), file.clone(), 5), // HashMap
+            ("determinism".to_string(), file.clone(), 7), // bare .sum()
+            ("determinism".to_string(), file, 16),        // += in par loop
+        ]
+    );
+    assert_eq!(
+        audit_bin(&fixture("determinism"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+#[test]
+fn hot_alloc_fixture_flags_both_allocations() {
+    let rep = scan("hot-alloc");
+    let file = "crates/ops/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("hot-alloc".to_string(), file.clone(), 7), // vec!
+            ("hot-alloc".to_string(), file, 8),         // .to_vec()
+        ]
+    );
+    assert_eq!(
+        audit_bin(&fixture("hot-alloc"), &["--quiet"]).status.code(),
+        Some(1)
+    );
+}
+
+#[test]
+fn panic_surface_fixture_flags_all_three_sources() {
+    let rep = scan("panic-surface");
+    let file = "crates/core/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("panic-surface".to_string(), file.clone(), 4), // unwrap
+            ("panic-surface".to_string(), file.clone(), 8), // expect
+            ("panic-surface".to_string(), file, 13),        // panic!
+        ]
+    );
+    assert_eq!(
+        audit_bin(&fixture("panic-surface"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+#[test]
+fn unused_annotations_are_stale_findings() {
+    let rep = scan("stale-annotation");
+    let file = "crates/la/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("stale-annotation".to_string(), file.clone(), 4),
+            ("stale-annotation".to_string(), file, 12),
+        ]
+    );
+    assert_eq!(
+        audit_bin(&fixture("stale-annotation"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+/// `--fix-inventory` must be idempotent (byte-identical on rerun), after
+/// which `--check` passes; corrupting the file makes `--check` fail.
+#[test]
+fn fix_inventory_is_idempotent_and_check_gates_on_it() {
+    // Work on a throwaway copy so the fixture tree stays pristine.
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("audit-clean-fixture");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let src_dir = tmp.join("crates/la/src");
+    std::fs::create_dir_all(&src_dir).expect("tmp tree");
+    std::fs::copy(
+        fixture("clean").join("crates/la/src/lib.rs"),
+        src_dir.join("lib.rs"),
+    )
+    .expect("copy fixture source");
+
+    let inv = tmp.join("output/audit.json");
+    assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
+        .status
+        .success());
+    let first = std::fs::read_to_string(&inv).expect("inventory written");
+    assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
+        .status
+        .success());
+    let second = std::fs::read_to_string(&inv).expect("inventory rewritten");
+    assert_eq!(first, second, "--fix-inventory must be byte-idempotent");
+
+    assert!(audit_bin(&tmp, &["--check", "--quiet"]).status.success());
+
+    // A schema violation (justification stripped) must fail --check.
+    std::fs::write(&inv, first.replace("valid for", "")).expect("corrupt inventory");
+    let out = audit_bin(&tmp, &["--check", "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // A stale-but-valid inventory (extra whitespace) must also fail.
+    assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
+        .status
+        .success());
+    let fresh = std::fs::read_to_string(&inv).expect("inventory restored");
+    std::fs::write(&inv, format!("{fresh}\n")).expect("staleify inventory");
+    assert_eq!(
+        audit_bin(&tmp, &["--check", "--quiet"]).status.code(),
+        Some(1)
+    );
+}
+
+/// The flag combination rules: `--check --fix-inventory` and unknown
+/// flags are usage errors (exit 2), as is a missing `--root` operand.
+#[test]
+fn usage_errors_exit_two() {
+    let both = Command::new(env!("CARGO_BIN_EXE_ptatin-audit"))
+        .args(["--check", "--fix-inventory"])
+        .output()
+        .expect("runs");
+    assert_eq!(both.status.code(), Some(2));
+    let unknown = Command::new(env!("CARGO_BIN_EXE_ptatin-audit"))
+        .arg("--frobnicate")
+        .output()
+        .expect("runs");
+    assert_eq!(unknown.status.code(), Some(2));
+    let dangling = Command::new(env!("CARGO_BIN_EXE_ptatin-audit"))
+        .arg("--root")
+        .output()
+        .expect("runs");
+    assert_eq!(dangling.status.code(), Some(2));
+}

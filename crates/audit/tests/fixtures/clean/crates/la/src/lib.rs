@@ -1,0 +1,23 @@
+//! Clean fixture: every rule satisfied.
+
+/// Doubles the first `n` entries behind `p`.
+// SAFETY: caller guarantees `p` is valid for `n` reads and writes.
+pub unsafe fn double_in_place(p: *mut f64, n: usize) {
+    for i in 0..n {
+        // SAFETY: `i < n`, so the offset stays in the caller's allocation.
+        unsafe { *p.add(i) *= 2.0 };
+    }
+}
+
+pub fn total(v: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for x in v {
+        s += x;
+    }
+    s
+}
+
+pub fn head(v: &[f64]) -> f64 {
+    // PANIC-OK: fixture contract — callers always pass non-empty slices.
+    *v.first().unwrap()
+}

@@ -1,0 +1,20 @@
+//! Fixture: determinism violations in a numeric crate.
+
+pub fn tally(v: &[f64]) -> f64 {
+    let t = std::time::Instant::now();
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+    let s: f64 = v.iter().sum();
+    let _ = (t, m);
+    s
+}
+
+pub fn accumulate(v: &[f64]) {
+    par_ranges(v.len(), |_i, s, e| {
+        let mut acc = 0.0;
+        for k in s..e {
+            acc += v[k];
+        }
+        std::hint::black_box(acc);
+    });
+}

@@ -1,0 +1,11 @@
+//! Fixture: allocations inside hot operator code.
+
+pub struct Op;
+
+impl Op {
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let tmp = vec![0.0; x.len()];
+        let copy = x.to_vec();
+        y[0] = tmp[0] + copy[0];
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: unguarded panic paths in a library crate.
+
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[f64]) -> f64 {
+    *v.get(1).expect("needs two entries")
+}
+
+pub fn must_be_positive(x: f64) -> f64 {
+    if x <= 0.0 {
+        panic!("non-positive input");
+    }
+    x
+}

@@ -1,0 +1,13 @@
+//! Fixture: annotations that justify nothing.
+
+pub fn plain(v: &[f64]) -> f64 {
+    // DETERMINISM-OK: nothing on the next line needs blessing.
+    let mut s = 0.0;
+    for x in v {
+        s += x;
+    }
+    s
+}
+
+// PANIC-OK: dangling justification with no panic source in reach.
+pub const ANSWER: usize = 42;

@@ -1,0 +1,6 @@
+//! Fixture: documented unsafe, but in a crate where unsafe is banned.
+
+pub fn read_first(v: &[f64]) -> f64 {
+    // SAFETY: fixture pretends the slice is never empty.
+    unsafe { *v.as_ptr() }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-bench` — the harness that regenerates every table and figure of
 //! the paper's evaluation (see DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results).

@@ -76,12 +76,12 @@ static STALL_ARMED: AtomicBool = AtomicBool::new(false);
 
 /// Install (or clear) the process-wide fault plan.
 pub fn set_plan(plan: Option<FaultPlan>) {
-    *PLAN.lock().unwrap() = plan;
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
 }
 
 /// The currently scheduled (unfired) plan, if any.
 pub fn plan() -> Option<FaultPlan> {
-    *PLAN.lock().unwrap()
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Parse the `PTATIN_FAULT` environment variable (e.g.
@@ -112,7 +112,7 @@ pub fn reset() {
 /// armed, and the kind is returned so the driver can handle
 /// [`FaultKind::Crash`] itself.
 pub fn begin_step(step: u64) -> Option<FaultKind> {
-    let mut guard = PLAN.lock().unwrap();
+    let mut guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
     match *guard {
         Some(p) if p.step == step => {
             *guard = None;

@@ -196,15 +196,19 @@ impl<'a> Reader<'a> {
         }
         // Header checksum before the version check: a flipped version byte
         // with a stale checksum is corruption, not a genuine old format.
+        // PANIC-OK: an 8-byte slice always converts to [u8; 8].
         let header_ck = u64::from_le_bytes(bytes[28..36].try_into().unwrap());
         if fnv1a64(&bytes[..28]) != header_ck {
             return Err(CkptError::Corrupt("header checksum mismatch"));
         }
+        // PANIC-OK: a 4-byte slice always converts to [u8; 4].
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
         if version != FORMAT_VERSION {
             return Err(CkptError::UnsupportedVersion(version));
         }
+        // PANIC-OK: an 8-byte slice always converts to [u8; 8].
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        // PANIC-OK: an 8-byte slice always converts to [u8; 8].
         let payload_ck = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
         let available = bytes.len() - HEADER_LEN;
         if available < payload_len {
@@ -240,14 +244,17 @@ impl<'a> Reader<'a> {
     }
 
     pub fn get_u16(&mut self) -> Result<u16, CkptError> {
+        // PANIC-OK: `take(2)` returned exactly two bytes.
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        // PANIC-OK: `take(4)` returned exactly four bytes.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        // PANIC-OK: `take(8)` returned exactly eight bytes.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-ckpt` — durable simulation snapshots and deterministic fault
 //! injection for long-term lithospheric dynamics runs.
 //!

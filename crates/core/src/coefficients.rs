@@ -193,6 +193,8 @@ pub fn update_coefficients(
     let newton = if compute_newton {
         let v = state
             .velocity
+            // PANIC-OK: caller contract — `compute_newton` is only set by
+            // drivers that pass the current velocity iterate in `state`.
             .expect("Newton coefficient requires a velocity state");
         let eta_prime_corner = project_to_corners(mesh, points, |p| eta_prime[p], |_| 0.0);
         let mut eta_prime_qp = corners_to_quadrature(mesh, tables, &eta_prime_corner);

@@ -143,7 +143,12 @@ impl VankaSmoother {
                             },
                         );
                     }
-                    DenseLu::factor(&dense).expect("regularized Vanka patch factors")
+                    // The saddle-point-signed shift handles the common
+                    // singular patches; a still-degenerate patch falls back
+                    // to the diagonally-dominant regularization, which
+                    // cannot fail (an over-regularized patch solve only
+                    // costs convergence rate, never correctness).
+                    ptatin_la::schwarz::factor_regularized(dense, 1e-8 * avg_diag)
                 }
             };
             patches.push(dofs);
@@ -330,6 +335,7 @@ impl CoupledVankaMg {
     }
 
     pub fn fine_operator(&self) -> &Csr {
+        // PANIC-OK: the constructor builds at least one level.
         self.ops.last().unwrap()
     }
 

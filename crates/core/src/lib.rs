@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-core` — the pTatin3D application layer: coupled Stokes solves
 //! with hybrid multigrid preconditioning, material-point coefficient
 //! pipelines, nonlinear (Picard/Newton) drivers, time stepping with ALE

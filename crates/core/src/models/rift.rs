@@ -370,6 +370,7 @@ impl RiftModel {
             fields: None,
         };
         let mut u = problem.model.velocity.clone();
+        // PANIC-OK: one bc set per hierarchy level and levels >= 1.
         bcs.last().unwrap().apply_to_vector(&mut u);
         let mut p = problem.model.pressure.clone();
         let stats: NonlinearStats = solve_nonlinear(&mut problem, &mut u, &mut p, &cfg.nonlinear);
@@ -529,6 +530,7 @@ impl StokesNonlinearProblem for RiftProblem<'_> {
     }
 
     fn bc(&self) -> &DirichletBc {
+        // PANIC-OK: one bc set per hierarchy level and levels >= 1.
         self.bcs.last().unwrap()
     }
 
@@ -565,6 +567,8 @@ impl StokesNonlinearProblem for RiftProblem<'_> {
     }
 
     fn build_solver(&mut self, newton: bool) -> StokesSolver {
+        // PANIC-OK: the nonlinear driver calls update_state before every
+        // build_solver; `fields` is cached there.
         let fields = self.fields.as_ref().expect("update_state called first");
         let newton_data = if newton { fields.newton.clone() } else { None };
         build_stokes_solver(

@@ -272,6 +272,8 @@ pub fn solve_nonlinear<P: StokesNonlinearProblem>(
             }
             alpha *= 0.5;
         }
+        // PANIC-OK: the backtracking loop runs at least once and the first
+        // trial always seeds `best`.
         let (ut, pt, rt, rt_norm) = best.expect("at least one trial");
         *u = ut;
         *p = pt;

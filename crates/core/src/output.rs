@@ -76,6 +76,8 @@ pub fn write_vtk_mesh(
                             writeln!(s, "{} {} {}", data[3 * c], data[3 * c + 1], data[3 * c + 2]);
                     }
                 }
+                // PANIC-OK: this loop iterates the point-field partition
+                // only; cell fields were filtered into their own list.
                 Field::CellScalar(..) => unreachable!(),
             }
         }

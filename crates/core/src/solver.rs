@@ -288,6 +288,8 @@ pub fn build_stokes_solver(
                 &bcs[levels - 1],
             ));
             for l in (0..levels - 1).rev() {
+                // PANIC-OK: the finest level was assembled just above and
+                // the loop runs top-down, so level l+1 is always filled.
                 let above = assembled[l + 1].as_ref().unwrap();
                 assembled[l] = Some(galerkin_coarse(above, &transfers[l], &masks[l]));
             }
@@ -308,6 +310,8 @@ pub fn build_stokes_solver(
                         assembled_viscous_op(fine_mesh, &tables, &eta_qp[1], &bcs[1])
                     })
                 } else {
+                    // PANIC-OK: levels > 2 here, so the rediscretization
+                    // loop above filled every intermediate level incl. 1.
                     assembled[1].as_ref().unwrap()
                 };
                 galerkin_coarse(above, &transfers[0], &masks[0])
@@ -325,6 +329,7 @@ pub fn build_stokes_solver(
     }
 
     // Coarse solver from the coarsest assembled matrix.
+    // PANIC-OK: every branch above assigns assembled[0].
     let a0 = assembled[0].take().expect("coarsest matrix built");
     let mut coarse_setup_seconds = 0.0;
     let coarse = match &cfg.coarse {
@@ -391,6 +396,8 @@ pub fn build_stokes_solver(
                 ),
             }
         } else {
+            // PANIC-OK: the assembled-intermediates path above filled
+            // every level this branch visits.
             Arc::new(assembled[l].take().expect("intermediate assembled"))
         };
         let timed = Arc::new(TimedOperator::new(op));
@@ -415,6 +422,7 @@ pub fn build_stokes_solver(
         cfg.post_smooth,
     )
     .with_cycle(cfg.cycle);
+    // PANIC-OK: MeshHierarchy::build asserts levels >= 2.
     let a_fine = mg.levels.last().expect("at least two levels").op.clone();
 
     // Newton action (matrix-free only). When η′ ≡ 0 the Newton action

@@ -62,6 +62,7 @@ pub fn surface_heights(mesh: &StructuredMesh, axis: usize) -> Vec<f64> {
         0 => (1, 2),
         1 => (0, 2),
         2 => (0, 1),
+        // PANIC-OK: documented caller contract (axis is 0, 1 or 2).
         _ => panic!("axis out of range"),
     };
     let top = dims[axis] - 1;
@@ -89,6 +90,7 @@ pub fn advected_surface(mesh: &StructuredMesh, velocity: &[f64], axis: usize, dt
         0 => (1, 2),
         1 => (0, 2),
         2 => (0, 1),
+        // PANIC-OK: documented caller contract (axis is 0, 1 or 2).
         _ => panic!("axis out of range"),
     };
     let top = dims[axis] - 1;

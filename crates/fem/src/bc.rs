@@ -78,8 +78,11 @@ impl DirichletBc {
         }
         let n = a.nrows();
         // rhs -= A * u_bc (only columns of constrained dofs contribute).
+        // ALLOC-OK: runs once per assembly, not per solver iteration; the
+        // `apply_` prefix is elimination terminology, not an operator apply.
         let mut ubc = vec![0.0; n];
         self.apply_to_vector(&mut ubc);
+        // ALLOC-OK: same as above — assembly-time, not iteration-time.
         let mut au = vec![0.0; n];
         a.spmv(&ubc, &mut au);
         for i in 0..n {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-fem` — the mixed Q2–P1disc finite element discretization of the
 //! variable-viscosity Stokes problem (§II-B of the paper), plus the Q1 SUPG
 //! energy equation (§V).

@@ -86,6 +86,9 @@ impl Chebyshev {
     ) -> Self {
         let diag = a
             .diagonal()
+            // PANIC-OK: construction-time contract — every smoothable
+            // operator in this workspace provides a diagonal; a missing one
+            // is a programming error, not a data-dependent failure.
             .expect("Chebyshev smoother requires an operator diagonal");
         let inv_diag: Vec<f64> = diag
             .iter()

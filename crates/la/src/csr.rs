@@ -37,6 +37,7 @@ impl Csr {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1);
         assert_eq!(indptr[0], 0);
+        // PANIC-OK: indptr.len() == nrows + 1 >= 1 is asserted just above.
         assert_eq!(*indptr.last().unwrap(), indices.len());
         assert_eq!(indices.len(), values.len());
         for i in 0..nrows {
@@ -196,6 +197,8 @@ impl Csr {
                 let i = off + li;
                 let mut s = 0.0;
                 for k in indptr[i]..indptr[i + 1] {
+                    // DETERMINISM-OK: row-local scalar accumulator; each row
+                    // is summed in index order entirely within one piece.
                     s += values[k] * x[indices[k] as usize];
                 }
                 *yi = s;
@@ -229,6 +232,9 @@ impl Csr {
             return;
         }
         // Per-piece column accumulators (piece-major).
+        // ALLOC-OK: accumulator shape depends on the runtime piece count, so
+        // it cannot be hoisted to construction; gated behind PAR_MIN_NNZ the
+        // allocation amortizes over >= 2^14 multiply-adds.
         let mut parts = vec![0.0f64; npieces * self.ncols];
         {
             let indptr = &self.indptr;
@@ -243,6 +249,8 @@ impl Csr {
                         continue;
                     }
                     for k in indptr[i]..indptr[i + 1] {
+                        // DETERMINISM-OK: scatter into this piece's private
+                        // accumulator block; rows are visited in fixed order.
                         acc[indices[k] as usize] += values[k] * xi;
                     }
                 }
@@ -256,6 +264,8 @@ impl Csr {
                 let j = off + lj;
                 let mut s = 0.0;
                 for p in 0..npieces {
+                    // DETERMINISM-OK: column-local scalar; pieces are combined
+                    // in fixed ascending order regardless of thread count.
                     s += parts[p * ncols + j];
                 }
                 *yj = s;
@@ -507,18 +517,16 @@ impl Csr {
     /// row/column indices; entries outside the set are dropped. Used by
     /// block-Jacobi / additive-Schwarz subdomain solvers.
     pub fn extract_principal_submatrix(&self, dofs: &[usize]) -> Csr {
-        let mut glob_to_loc = std::collections::HashMap::with_capacity(dofs.len());
-        for (l, &g) in dofs.iter().enumerate() {
-            glob_to_loc.insert(g as u32, l as u32);
-        }
         let n = dofs.len();
         let mut indptr = vec![0usize; n + 1];
         let mut indices = Vec::new();
         let mut values = Vec::new();
         for (l, &g) in dofs.iter().enumerate() {
             for k in self.indptr[g]..self.indptr[g + 1] {
-                if let Some(&lc) = glob_to_loc.get(&self.indices[k]) {
-                    indices.push(lc);
+                // `dofs` is sorted and unique, so a binary search maps the
+                // global column back to its local index.
+                if let Ok(lc) = dofs.binary_search(&(self.indices[k] as usize)) {
+                    indices.push(lc as u32);
                     values.push(self.values[k]);
                 }
             }

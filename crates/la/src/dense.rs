@@ -205,6 +205,7 @@ pub fn thin_qr(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
             v[i] = r.get(i, k);
         }
         v[k] -= alpha;
+        // DETERMINISM-OK: serial iterator fold, fixed left-to-right order.
         let vnorm2: f64 = v.iter().map(|x| x * x).sum();
         if vnorm2 == 0.0 {
             vs.push(v);
@@ -238,6 +239,7 @@ pub fn thin_qr(a: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
     }
     for k in (0..n).rev() {
         let v = &vs[k];
+        // DETERMINISM-OK: serial iterator fold, fixed left-to-right order.
         let vnorm2: f64 = v.iter().map(|x| x * x).sum();
         if vnorm2 == 0.0 {
             continue;

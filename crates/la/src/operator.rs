@@ -109,6 +109,9 @@ impl JacobiPc {
     pub fn from_operator(a: &dyn LinearOperator) -> Self {
         let d = a
             .diagonal()
+            // PANIC-OK: construction-time contract — callers build JacobiPc
+            // only for operators that expose a diagonal; a missing one is a
+            // programming error, not a data-dependent failure.
             .expect("operator must provide a diagonal for JacobiPc");
         Self::new(&d)
     }
@@ -199,6 +202,8 @@ impl<A: LinearOperator> LinearOperator for TimedOperator<A> {
         self.inner.ncols()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // DETERMINISM-OK: TimedOperator is an instrumentation decorator; the
+        // clock feeds counters only and never influences numeric results.
         let t0 = std::time::Instant::now();
         self.inner.apply(x, y);
         self.nanos.fetch_add(

@@ -46,6 +46,86 @@ thread_local! {
     static DISPATCH_ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Verify that `ranges` is an ordered, disjoint, covering partition of
+/// `0..len` with every boundary a multiple of `align` (the final end may
+/// be clamped to `len`). Panics with a description of the violated
+/// invariant. Called from every `split_*` under the `pool-sanitizer`
+/// feature; public so tests can feed hand-built partitions.
+#[cfg(any(feature = "pool-sanitizer", test))]
+pub fn sanitize_partition(len: usize, align: usize, ranges: &[(usize, usize)]) {
+    assert!(align > 0, "pool-sanitizer: alignment must be positive");
+    assert!(
+        !ranges.is_empty(),
+        "pool-sanitizer: empty partition of {len} items"
+    );
+    let mut prev_end = 0usize;
+    for (k, &(s, e)) in ranges.iter().enumerate() {
+        assert!(s <= e, "pool-sanitizer: piece {k} is reversed ({s}, {e})");
+        assert_eq!(
+            s, prev_end,
+            "pool-sanitizer: piece {k} starts at {s}, expected {prev_end} (gap or overlap)"
+        );
+        assert_eq!(
+            s % align,
+            0,
+            "pool-sanitizer: piece {k} start {s} not a multiple of {align}"
+        );
+        assert!(
+            e % align == 0 || e == len,
+            "pool-sanitizer: piece {k} end {e} neither a multiple of {align} nor the final end"
+        );
+        prev_end = e;
+    }
+    assert_eq!(
+        prev_end, len,
+        "pool-sanitizer: partition covers {prev_end} of {len} items"
+    );
+}
+
+/// Pool-invariant counters, compiled in only with the sanitizer.
+#[cfg(feature = "pool-sanitizer")]
+mod sanitizer {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Worker threads currently executing `worker_loop` (any generation).
+    pub static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+    /// Dispatches currently between publish and retire; the registry lock
+    /// makes >1 a protocol violation.
+    pub static ACTIVE_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+    /// RAII increment/decrement of [`LIVE_WORKERS`].
+    pub struct WorkerAlive;
+    impl WorkerAlive {
+        pub fn enter() -> Self {
+            LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+            WorkerAlive
+        }
+    }
+    impl Drop for WorkerAlive {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// RAII guard asserting at most one in-flight dispatch.
+    pub struct DispatchDepth;
+    impl DispatchDepth {
+        pub fn enter() -> Self {
+            let prev = ACTIVE_DISPATCHES.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(
+                prev, 0,
+                "pool-sanitizer: concurrent dispatches must serialize on the pool lock"
+            );
+            DispatchDepth
+        }
+    }
+    impl Drop for DispatchDepth {
+        fn drop(&mut self) {
+            ACTIVE_DISPATCHES.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// `PTATIN_TEST_THREADS` (read once): default thread count for the whole
 /// process so CI can run the test suite at several counts. `0`/unset defer
 /// to `available_parallelism`.
@@ -115,6 +195,8 @@ pub fn split_ranges(len: usize, nt: usize) -> Vec<(usize, usize)> {
     if out.is_empty() {
         out.push((0, 0));
     }
+    #[cfg(feature = "pool-sanitizer")]
+    sanitize_partition(len, 1, &out);
     out
 }
 
@@ -125,10 +207,13 @@ pub fn split_ranges(len: usize, nt: usize) -> Vec<(usize, usize)> {
 /// scatter order is independent of the thread count.
 pub fn split_ranges_aligned(len: usize, nt: usize, align: usize) -> Vec<(usize, usize)> {
     assert!(align > 0, "alignment must be positive");
-    split_ranges(len.div_ceil(align), nt)
+    let out: Vec<(usize, usize)> = split_ranges(len.div_ceil(align), nt)
         .into_iter()
         .map(|(s, e)| (s * align, (e * align).min(len)))
-        .collect()
+        .collect();
+    #[cfg(feature = "pool-sanitizer")]
+    sanitize_partition(len, align, &out);
+    out
 }
 
 /// Parallel loop over `0..len` where each piece covers whole `align`-sized
@@ -149,6 +234,8 @@ where
 /// stack; validity is guaranteed by the attach/retire protocol below).
 #[derive(Clone, Copy)]
 struct JobPtr(*const Job);
+// SAFETY: the pointer is only dereferenced by workers between publish and
+// retire; `RetireGuard` keeps the pointee alive until every worker detaches.
 unsafe impl Send for JobPtr {}
 
 /// One dispatched parallel region. `func` is the type-erased piece
@@ -168,7 +255,12 @@ struct Job {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
+// SAFETY: all mutable state in `Job` is behind atomics or a `Mutex`; the
+// raw `func` pointer is only shared while the dispatcher blocks in
+// `RetireGuard`, so the erased borrow outlives every access (see `Job`).
 unsafe impl Send for Job {}
+// SAFETY: as above — interior mutability is synchronized, `func` is
+// immutable once published.
 unsafe impl Sync for Job {}
 
 struct Gate {
@@ -216,6 +308,14 @@ fn ensure_pool(slot: &mut Option<Pool>, target: usize) {
         for h in pool.handles {
             let _ = h.join();
         }
+        // Every worker of the retired generation has been joined; a nonzero
+        // live count means a worker thread escaped its generation.
+        #[cfg(feature = "pool-sanitizer")]
+        assert_eq!(
+            sanitizer::LIVE_WORKERS.load(Ordering::SeqCst),
+            0,
+            "pool-sanitizer: worker outlived its pool generation"
+        );
     }
     if target == 0 {
         return;
@@ -237,6 +337,8 @@ fn ensure_pool(slot: &mut Option<Pool>, target: usize) {
             std::thread::Builder::new()
                 .name(format!("ptatin-par-{k}"))
                 .spawn(move || worker_loop(sh))
+                // PANIC-OK: thread-spawn failure is resource exhaustion at
+                // pool (re)build time; no caller could make progress anyway.
                 .expect("spawn pool worker"),
         );
     }
@@ -244,6 +346,8 @@ fn ensure_pool(slot: &mut Option<Pool>, target: usize) {
 }
 
 fn worker_loop(shared: Arc<Shared>) {
+    #[cfg(feature = "pool-sanitizer")]
+    let _alive = sanitizer::WorkerAlive::enter();
     IS_POOL_WORKER.with(|c| c.set(true));
     let mut seen = 0u64;
     let mut gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
@@ -335,6 +439,14 @@ impl Drop for RetireGuard<'_> {
 /// completed. Requires `npieces >= 2`; callers handle the serial cases.
 fn dispatch(npieces: usize, piece: &(dyn Fn(usize) + Sync)) {
     debug_assert!(npieces >= 2);
+    // Nested dispatch must have been diverted to the serial fallback in
+    // run_on_pool; reaching here from a worker or an active piece-0 frame
+    // would deadlock on the pool.
+    #[cfg(feature = "pool-sanitizer")]
+    assert!(
+        !IS_POOL_WORKER.with(Cell::get) && !DISPATCH_ACTIVE.with(Cell::get),
+        "pool-sanitizer: nested dispatch reached the pool instead of serializing"
+    );
     // Hold the registry lock for the whole dispatch: concurrent top-level
     // dispatchers serialize here (they never fall back to serial, which
     // keeps "piece 0 on the caller, the rest on workers" an invariant that
@@ -358,6 +470,8 @@ fn dispatch(npieces: usize, piece: &(dyn Fn(usize) + Sync)) {
     let func: &'static (dyn Fn(usize) + Sync) = unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(piece)
     };
+    #[cfg(feature = "pool-sanitizer")]
+    let _depth = sanitizer::DispatchDepth::enter();
     let job = Job {
         func: func as *const (dyn Fn(usize) + Sync),
         npieces,
@@ -434,7 +548,11 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: `SendPtr` is a plain pointer wrapper; each user writes only a
+// piece-private disjoint region (that contract is documented on every
+// construction site and executed by the `pool-sanitizer` feature).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — concurrent pieces never alias the same region.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Run `f(range_index, start, end)` over a partition of `0..len`.
@@ -520,6 +638,8 @@ where
     });
     parts
         .into_iter()
+        // PANIC-OK: `run_on_pool` returns only after every piece ran, and
+        // piece `i` wrote slot `i`; a `None` here is a pool logic bug.
         .map(|p| p.expect("piece finished"))
         .fold(identity, combine)
 }
@@ -777,6 +897,77 @@ mod tests {
             "worker flops must land on the enclosing event"
         );
         assert_eq!(ev.calls, 1);
+    }
+
+    #[test]
+    fn sanitizer_accepts_every_split_ranges_output() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for nt in 1..9 {
+                sanitize_partition(len, 1, &split_ranges(len, nt));
+                for align in [1usize, 4, 8] {
+                    sanitize_partition(len, align, &split_ranges_aligned(len, nt, align));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sanitizer_fires_on_bad_partitions() {
+        let fails = |len, align, ranges: &[(usize, usize)]| {
+            let r = ranges.to_vec();
+            std::panic::catch_unwind(move || sanitize_partition(len, align, &r)).is_err()
+        };
+        assert!(fails(10, 1, &[(0, 6), (4, 10)]), "overlap must panic");
+        assert!(fails(10, 1, &[(0, 4), (6, 10)]), "gap must panic");
+        assert!(fails(10, 1, &[(0, 8)]), "short coverage must panic");
+        assert!(fails(10, 1, &[(0, 4), (4, 12)]), "overrun must panic");
+        assert!(
+            fails(10, 4, &[(0, 6), (6, 10)]),
+            "misaligned boundary must panic"
+        );
+        assert!(
+            fails(10, 1, &[(6, 4), (4, 10)]),
+            "reversed piece must panic"
+        );
+        assert!(fails(10, 1, &[]), "empty partition must panic");
+        // The happy path: aligned boundaries with a clamped final end.
+        sanitize_partition(10, 4, &[(0, 8), (8, 10)]);
+        sanitize_partition(0, 1, &[(0, 0)]);
+    }
+
+    #[cfg(feature = "pool-sanitizer")]
+    #[test]
+    fn sanitizer_pool_lifecycle_counters_balance() {
+        let _g = test_guard();
+        use super::sanitizer::{ACTIVE_DISPATCHES, LIVE_WORKERS};
+        // Freshly spawned workers bump the counter from their own thread,
+        // so give them a moment to start; the zero after a drain is exact
+        // (ensure_pool joins every retired worker before returning).
+        let settles_to = |want: usize| {
+            for _ in 0..1000 {
+                if LIVE_WORKERS.load(Ordering::SeqCst) == want {
+                    return true;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            false
+        };
+        // Repeated resizes: every retired generation must be fully joined.
+        for _ in 0..3 {
+            set_num_threads(4);
+            assert!(settles_to(3), "3 workers alive after resize to nt=4");
+            set_num_threads(1);
+            assert_eq!(
+                LIVE_WORKERS.load(Ordering::SeqCst),
+                0,
+                "drain must join every worker of the retired generation"
+            );
+        }
+        set_num_threads(4);
+        let s = par_reduce(10_000, 0u64, |a, b| (b - a) as u64, |x, y| x + y);
+        assert_eq!(s, 10_000);
+        assert_eq!(ACTIVE_DISPATCHES.load(Ordering::SeqCst), 0);
+        set_num_threads(0);
     }
 
     #[test]

@@ -25,24 +25,54 @@ enum BlockFactor {
     Ilu(Ilu0),
 }
 
+/// Factor `d`, escalating a diagonal shift until the factorization
+/// succeeds. If the caller's `base_shift` is not enough, the last resort
+/// shifts every row to strict diagonal dominance, which guarantees a
+/// nonsingular matrix — so this function cannot fail.
+pub fn factor_regularized(mut d: crate::dense::DenseMatrix, base_shift: f64) -> DenseLu {
+    if let Some(lu) = DenseLu::factor(&d) {
+        return lu;
+    }
+    // Singular input (e.g. all-Dirichlet rows already eliminated):
+    // regularize with the caller's mild diagonal shift first.
+    for i in 0..d.nrows {
+        d.add(i, i, base_shift);
+    }
+    if let Some(lu) = DenseLu::factor(&d) {
+        return lu;
+    }
+    // Last resort: force strict diagonal dominance row by row.
+    for i in 0..d.nrows {
+        let mut off = 0.0;
+        for j in 0..d.ncols {
+            if j != i {
+                off += d.get(i, j).abs();
+            }
+        }
+        let diag = d.get(i, i);
+        let need = off + 1.0;
+        if diag.abs() < need {
+            d.add(
+                i,
+                i,
+                if diag >= 0.0 {
+                    need - diag
+                } else {
+                    -(need + diag)
+                },
+            );
+        }
+    }
+    DenseLu::factor(&d)
+        // PANIC-OK: a strictly diagonally dominant matrix is nonsingular,
+        // so partial-pivoted LU cannot hit a zero pivot here.
+        .expect("diagonally dominant matrix factors")
+}
+
 impl BlockFactor {
     fn build(sub: &Csr, kind: SubdomainSolve) -> Self {
         match kind {
-            SubdomainSolve::Lu => {
-                let dense = sub.to_dense();
-                match DenseLu::factor(&dense) {
-                    Some(lu) => BlockFactor::Lu(lu),
-                    // Singular subdomain (e.g. all-Dirichlet rows already
-                    // eliminated): regularize with a unit diagonal shift.
-                    None => {
-                        let mut d = dense;
-                        for i in 0..d.nrows {
-                            d.add(i, i, 1.0);
-                        }
-                        BlockFactor::Lu(DenseLu::factor(&d).expect("shifted block factors"))
-                    }
-                }
-            }
+            SubdomainSolve::Lu => BlockFactor::Lu(factor_regularized(sub.to_dense(), 1.0)),
             SubdomainSolve::Ilu0 => BlockFactor::Ilu(Ilu0::factor(sub)),
         }
     }
@@ -63,14 +93,9 @@ pub struct DirectSolver {
 
 impl DirectSolver {
     pub fn new(a: &Csr) -> Self {
-        let lu = DenseLu::factor(&a.to_dense()).unwrap_or_else(|| {
-            let mut d = a.to_dense();
-            for i in 0..d.nrows {
-                d.add(i, i, 1e-12);
-            }
-            DenseLu::factor(&d).expect("shifted coarse matrix factors")
-        });
-        Self { lu }
+        Self {
+            lu: factor_regularized(a.to_dense(), 1e-12),
+        }
     }
 }
 
@@ -94,6 +119,9 @@ struct Subdomain {
 pub struct AdditiveSchwarz {
     n: usize,
     subs: Vec<Subdomain>,
+    /// Reused local residual/solution buffers for `apply` (the PR-4
+    /// MaskScratch pattern: take when uncontended, allocate otherwise).
+    scratch: std::sync::Mutex<(Vec<f64>, Vec<f64>)>,
 }
 
 impl AdditiveSchwarz {
@@ -111,7 +139,11 @@ impl AdditiveSchwarz {
                 Subdomain { dofs, factor }
             })
             .collect();
-        Self { n: a.nrows(), subs }
+        Self {
+            n: a.nrows(),
+            subs,
+            scratch: std::sync::Mutex::new((Vec::new(), Vec::new())),
+        }
     }
 
     /// Convenience: non-overlapping block-Jacobi over `nblocks` contiguous
@@ -129,21 +161,38 @@ impl AdditiveSchwarz {
     }
 }
 
+impl AdditiveSchwarz {
+    fn apply_with(&self, r: &[f64], z: &mut [f64], rl: &mut Vec<f64>, zl: &mut Vec<f64>) {
+        z.fill(0.0);
+        for sub in &self.subs {
+            let m = sub.dofs.len();
+            rl.resize(m, 0.0);
+            zl.resize(m, 0.0);
+            for (l, &g) in sub.dofs.iter().enumerate() {
+                rl[l] = r[g];
+            }
+            sub.factor.solve(rl, zl);
+            for (l, &g) in sub.dofs.iter().enumerate() {
+                z[g] += zl[l];
+            }
+        }
+    }
+}
+
 impl Preconditioner for AdditiveSchwarz {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), self.n);
         assert_eq!(z.len(), self.n);
-        z.fill(0.0);
-        for sub in &self.subs {
-            let m = sub.dofs.len();
-            let mut rl = vec![0.0; m];
-            for (l, &g) in sub.dofs.iter().enumerate() {
-                rl[l] = r[g];
+        match self.scratch.try_lock() {
+            Ok(mut guard) => {
+                let (rl, zl) = &mut *guard;
+                self.apply_with(r, z, rl, zl);
             }
-            let mut zl = vec![0.0; m];
-            sub.factor.solve(&rl, &mut zl);
-            for (l, &g) in sub.dofs.iter().enumerate() {
-                z[g] += zl[l];
+            Err(_) => {
+                // ALLOC-OK: fallback only when a concurrent apply holds the
+                // cached scratch; the common path reuses the buffers above.
+                let (mut rl, mut zl) = (Vec::new(), Vec::new());
+                self.apply_with(r, z, &mut rl, &mut zl);
             }
         }
     }

@@ -48,6 +48,8 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     } else {
         par::par_chunks_mut(y, |off, c| {
             for (i, yi) in c.iter_mut().enumerate() {
+                // DETERMINISM-OK: elementwise update of this piece's own
+                // chunk entry, not a cross-piece reduction.
                 *yi += alpha * x[off + i];
             }
         });
@@ -108,6 +110,7 @@ pub fn pointwise_mult(d: &[f64], x: &[f64], y: &mut [f64]) {
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
     if x.len() < PAR_MIN {
+        // DETERMINISM-OK: serial iterator fold, fixed left-to-right order.
         return x.iter().zip(y).map(|(a, b)| a * b).sum();
     }
     par::par_reduce(
@@ -145,6 +148,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 /// Sum of entries.
 pub fn sum(x: &[f64]) -> f64 {
     if x.len() < PAR_MIN {
+        // DETERMINISM-OK: serial iterator fold, fixed left-to-right order.
         return x.iter().sum();
     }
     par::par_reduce(

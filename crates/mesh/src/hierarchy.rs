@@ -35,6 +35,7 @@ impl MeshHierarchy {
         );
         let mut meshes = vec![fine];
         for _ in 1..levels {
+            // PANIC-OK: `meshes` starts as vec![fine] and only grows.
             let c = meshes.last().unwrap().coarsen();
             meshes.push(c);
         }
@@ -55,6 +56,8 @@ impl MeshHierarchy {
 
     /// The finest mesh.
     pub fn finest(&self) -> &StructuredMesh {
+        // PANIC-OK: the constructor seeds `meshes` with the fine mesh, so
+        // the vector is never empty.
         self.meshes.last().unwrap()
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-mesh` — structured, deformable hexahedral meshes.
 //!
 //! The paper partitions Ω "using a mesh of structured but deformed
@@ -305,6 +307,8 @@ impl StructuredMesh {
             0 => (1, 2),
             1 => (0, 2),
             2 => (0, 1),
+            // PANIC-OK: documented caller contract (axis is 0, 1 or 2);
+            // an out-of-range axis is a programming error.
             _ => panic!("axis out of range"),
         };
         assert_eq!(new_top.len(), dims[a1] * dims[a2]);

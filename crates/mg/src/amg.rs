@@ -250,8 +250,11 @@ fn strength_graph(a: &Csr, bs: usize, theta: f64) -> Vec<Vec<u32>> {
     let nnodes = a.nrows() / bs;
     // Condensed block norms.
     let mut diag = vec![0.0f64; nnodes];
-    let mut adj: Vec<std::collections::HashMap<u32, f64>> =
-        vec![std::collections::HashMap::new(); nnodes];
+    // BTreeMap keeps neighbour iteration in ascending column order, so the
+    // strength graph (and everything aggregation builds on it) is
+    // reproducible without a post-sort.
+    let mut adj: Vec<std::collections::BTreeMap<u32, f64>> =
+        vec![std::collections::BTreeMap::new(); nnodes];
     for i in 0..a.nrows() {
         let bi = (i / bs) as u32;
         for (col, val) in a.row_indices(i).iter().zip(a.row_values(i)) {
@@ -273,7 +276,7 @@ fn strength_graph(a: &Csr, bs: usize, theta: f64) -> Vec<Vec<u32>> {
                 strong[i].push(j);
             }
         }
-        strong[i].sort_unstable();
+        debug_assert!(strong[i].windows(2).all(|w| w[0] < w[1]));
     }
     strong
 }
@@ -351,6 +354,8 @@ fn tentative_prolongator(
 /// Build a smoothed-aggregation hierarchy for `a` with near-nullspace `b`.
 pub fn build_sa_amg(a: Csr, b: &DenseMatrix, cfg: &AmgConfig) -> AmgHierarchy {
     let _ev = prof::scope("PCSetUp_AMG");
+    // DETERMINISM-OK: setup wall-clock feeds the reported statistics only
+    // and never influences the hierarchy that is built.
     let start = std::time::Instant::now();
     let k = b.ncols;
     let mut levels: Vec<AmgLevel> = Vec::new();
@@ -424,6 +429,7 @@ impl AmgHierarchy {
 
     /// Total stored nonzeros across the hierarchy (operator complexity).
     pub fn total_nnz(&self) -> usize {
+        // DETERMINISM-OK: integer sum, order-independent.
         self.levels.iter().map(|l| l.a.nnz()).sum()
     }
 
@@ -436,6 +442,8 @@ impl AmgHierarchy {
         let sm = lvl
             .smoother
             .as_ref()
+            // PANIC-OK: build_sa_amg attaches a smoother to every level but
+            // the coarsest, and the coarsest returned above.
             .expect("non-coarse level has smoother");
         // Pre-smooth.
         sm.smooth(&lvl.a, b, x);
@@ -449,6 +457,8 @@ impl AmgHierarchy {
         let p = self.levels[level + 1]
             .p
             .as_ref()
+            // PANIC-OK: build_sa_amg stores a prolongator on every level
+            // except the finest, and `level + 1` is never the finest here.
             .expect("inner level has prolongation");
         let nc = p.ncols();
         let mut rc = vec![0.0; nc];

@@ -203,6 +203,8 @@ impl GeometricMg {
     fn vcycle(&self, k: usize, b: &[f64], x: &mut [f64]) {
         if k == 0 {
             let _ev = prof::scope("MGCoarseSolve");
+            // DETERMINISM-OK: coarse-solve wall-clock feeds counters only
+            // and never influences numeric results.
             let t0 = std::time::Instant::now();
             self.coarse.solve(b, x);
             self.coarse_nanos

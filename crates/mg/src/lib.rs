@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-mg` — multigrid preconditioners (§III-C of the paper).
 //!
 //! * [`gmg`] — the geometric hierarchy: Chebyshev(Jacobi) smoothing,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-mpm` — the material-point method of §II-C/§II-D of the paper:
 //! Lagrangian tracking of rock lithology and history variables, projection
 //! of point properties to FEM coefficient fields, advection through the

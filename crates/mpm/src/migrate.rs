@@ -40,16 +40,20 @@ impl SubdomainSwarms {
                 continue;
             }
             let s = partition.subdomain_of_element(e as usize);
-            let sw = &mut swarms[s];
-            sw.push(points.x[p], points.lithology[p], points.plastic_strain[p]);
-            *sw.element.last_mut().unwrap() = e;
-            *sw.xi.last_mut().unwrap() = points.xi[p];
+            swarms[s].push_located(
+                points.x[p],
+                points.lithology[p],
+                points.plastic_strain[p],
+                e,
+                points.xi[p],
+            );
         }
         Self { swarms }
     }
 
     /// Total point count across subdomains.
     pub fn total(&self) -> usize {
+        // DETERMINISM-OK: integer sum, order-independent.
         self.swarms.iter().map(|s| s.len()).sum()
     }
 
@@ -58,9 +62,13 @@ impl SubdomainSwarms {
         let mut out = MaterialPoints::default();
         for sw in self.swarms {
             for p in 0..sw.len() {
-                out.push(sw.x[p], sw.lithology[p], sw.plastic_strain[p]);
-                *out.element.last_mut().unwrap() = sw.element[p];
-                *out.xi.last_mut().unwrap() = sw.xi[p];
+                out.push_located(
+                    sw.x[p],
+                    sw.lithology[p],
+                    sw.plastic_strain[p],
+                    sw.element[p],
+                    sw.xi[p],
+                );
             }
         }
         out
@@ -117,10 +125,7 @@ impl SubdomainSwarms {
                         // step); the paper restricts to neighbours because
                         // MPI messages are only posted there — with a
                         // CFL-limited step the two sets coincide.
-                        let sw = &mut self.swarms[owner];
-                        sw.insert(ps);
-                        *sw.element.last_mut().unwrap() = e as u32;
-                        *sw.xi.last_mut().unwrap() = xi;
+                        self.swarms[owner].insert_located(ps, e as u32, xi);
                         stats.received += 1;
                         claimed = true;
                     }

@@ -41,6 +41,23 @@ impl MaterialPoints {
         self.xi.push([0.0; 3]);
     }
 
+    /// Push a point whose owning element and local coordinates are already
+    /// known (seeding, migration), skipping the located-later sentinel.
+    pub fn push_located(
+        &mut self,
+        x: [f64; 3],
+        lithology: u16,
+        plastic_strain: f64,
+        element: u32,
+        xi: [f64; 3],
+    ) {
+        self.x.push(x);
+        self.lithology.push(lithology);
+        self.plastic_strain.push(plastic_strain);
+        self.element.push(element);
+        self.xi.push(xi);
+    }
+
     /// Remove a point by swapping with the last one (O(1), order not
     /// preserved).
     pub fn swap_remove(&mut self, i: usize) {
@@ -62,6 +79,12 @@ impl MaterialPoints {
 
     pub fn insert(&mut self, p: PointState) {
         self.push(p.x, p.lithology, p.plastic_strain);
+    }
+
+    /// [`insert`](Self::insert) with a known owner element and local
+    /// coordinates.
+    pub fn insert_located(&mut self, p: PointState, element: u32, xi: [f64; 3]) {
+        self.push_located(p.x, p.lithology, p.plastic_strain, element, xi);
     }
 }
 
@@ -104,9 +127,7 @@ pub fn seed_regular<R: Rng, F: Fn([f64; 3]) -> u16>(
                     }
                     let x = ptatin_fem::geometry::map_to_physical(&corners, xi);
                     let lith = classify(x);
-                    pts.push(x, lith, 0.0);
-                    *pts.element.last_mut().unwrap() = e as u32;
-                    *pts.xi.last_mut().unwrap() = xi;
+                    pts.push_located(x, lith, 0.0, e as u32, xi);
                 }
             }
         }

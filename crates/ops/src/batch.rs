@@ -265,6 +265,7 @@ impl BatchedViscousOp {
     pub fn with_path(data: Arc<ViscousOpData>, path: SimdPath) -> Self {
         let tables = crate::data::standard_tables();
         let q1g = q1_grad_tables(&tables.quad.points);
+        // DETERMINISM-OK: integer lane count, order-independent.
         let nlanes: usize = data.colors.iter().map(|c| c.len().div_ceil(LANES)).sum();
         let mut lanes = Vec::with_capacity(nlanes);
         let mut geo = Vec::with_capacity(nlanes * NQP);
@@ -381,6 +382,8 @@ impl BatchedViscousOp {
                     avx::lane_kernel(&self.t1d, geo, eta, newton, &ue, &mut re)
                 },
                 #[cfg(not(target_arch = "x86_64"))]
+                // PANIC-OK: `detected_simd_path` never yields Avx2Fma off
+                // x86_64, and `with_path` is the only other constructor.
                 SimdPath::Avx2Fma => unreachable!("AVX path constructed on non-x86_64 host"),
             }
             // Scatter real slots only (ghost padding contributes nothing
@@ -510,6 +513,8 @@ mod avx {
     use crate::tensor::Tensor1d;
     use core::arch::x86_64::*;
 
+    // SAFETY: callable only with AVX2+FMA enabled (checked by the caller
+    // of `lane_kernel`); the load itself is safe for any `&F64x4`.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn ld(v: &F64x4) -> __m256d {
@@ -517,6 +522,8 @@ mod avx {
         unsafe { _mm256_load_pd(v.0.as_ptr()) }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; the store is safe for
+    // any `&mut F64x4`.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn st(v: &mut F64x4, x: __m256d) {
@@ -524,6 +531,7 @@ mod avx {
         unsafe { _mm256_store_pd(v.0.as_mut_ptr(), x) }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; pure register math.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dot3(m: &[f64; 3], i0: __m256d, i1: __m256d, i2: __m256d) -> __m256d {
@@ -538,9 +546,12 @@ mod avx {
         )
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; all indexing is over
+    // the static 27-entry basis arrays.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn contract_dim0(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             for o in (0..27).step_by(3) {
                 let (i0, i1, i2) = (ld(&input[o]), ld(&input[o + 1]), ld(&input[o + 2]));
@@ -551,9 +562,12 @@ mod avx {
         }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; all indexing is over
+    // the static 27-entry basis arrays.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn contract_dim1(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             for k in 0..3 {
                 let base = 9 * k;
@@ -571,9 +585,12 @@ mod avx {
         }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; all indexing is over
+    // the static 27-entry basis arrays.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn contract_dim2(m: &[[f64; 3]; 3], input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             for ij in 0..9 {
                 let (i0, i1, i2) = (ld(&input[ij]), ld(&input[ij + 9]), ld(&input[ij + 18]));
@@ -584,9 +601,12 @@ mod avx {
         }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; composes the
+    // `contract_dim*` helpers under the same feature set.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn ref_derivative(t: &Tensor1d, dim: usize, input: &[F64x4; 27], out: &mut [F64x4; 27]) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             let mut tmp1 = [F64x4::ZERO; 27];
             let mut tmp2 = [F64x4::ZERO; 27];
@@ -599,6 +619,8 @@ mod avx {
         }
     }
 
+    // SAFETY: callable only with AVX2+FMA enabled; composes the
+    // `contract_dim*` helpers under the same feature set.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn ref_derivative_adjoint_add(
@@ -607,6 +629,7 @@ mod avx {
         input: &[F64x4; 27],
         out: &mut [F64x4; 27],
     ) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             let mut tmp1 = [F64x4::ZERO; 27];
             let mut tmp2 = [F64x4::ZERO; 27];
@@ -629,6 +652,8 @@ mod avx {
     ///
     /// # Safety
     /// Caller must have verified AVX2 and FMA support at runtime.
+    // SAFETY: caller verified AVX2+FMA at runtime (see `SimdPath` and the
+    // doc contract above); every helper shares the same feature set.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn lane_kernel(
         t1d: &Tensor1d,
@@ -638,6 +663,7 @@ mod avx {
         ue: &[[F64x4; 27]; 3],
         re: &mut [[F64x4; 27]; 3],
     ) {
+        // SAFETY: same preconditions as this fn (AVX2+FMA verified).
         unsafe {
             let mut ederiv = [[[F64x4::ZERO; 27]; 3]; 3];
             for d in 0..3 {

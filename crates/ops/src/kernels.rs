@@ -24,7 +24,11 @@ pub struct ColorScatter<'a> {
     _marker: std::marker::PhantomData<&'a mut [f64]>,
 }
 
+// SAFETY: ColorScatter is a raw view of a caller-owned slice; the colour
+// schedule guarantees concurrent `add` calls target disjoint indices (see
+// the struct-level safety contract).
 unsafe impl Sync for ColorScatter<'_> {}
+// SAFETY: as above — the wrapped pointer outlives the borrow it came from.
 unsafe impl Send for ColorScatter<'_> {}
 
 impl<'a> ColorScatter<'a> {
@@ -41,9 +45,13 @@ impl<'a> ColorScatter<'a> {
     /// # Safety
     /// `i < len` and no concurrent writer may target the same `i`
     /// (guaranteed by the colour schedule).
+    // SAFETY: the caller upholds `i < len` and colour-disjoint writers
+    // (documented above); the pointer derives from a live `&mut [f64]`.
     #[inline]
     pub unsafe fn add(&self, i: usize, v: f64) {
         debug_assert!(i < self.len);
+        // SAFETY: `i < len` checked by the caller contract; disjointness
+        // rules out data races.
         unsafe {
             *self.ptr.add(i) += v;
         }
@@ -250,6 +258,7 @@ mod tests {
         let mut v = vec![0.0; 4];
         {
             let s = ColorScatter::new(&mut v);
+            // SAFETY: single-threaded test; indices are in bounds.
             unsafe {
                 s.add(0, 1.0);
                 s.add(0, 2.0);

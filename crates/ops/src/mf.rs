@@ -85,6 +85,9 @@ impl MfViscousOp {
             // Scatter (colour-disjoint).
             for (i, &n) in nodes.iter().enumerate() {
                 let b = 3 * n as usize;
+                // SAFETY: node indices are in-bounds by construction and
+                // elements of one colour share no nodes, so concurrent
+                // pieces write disjoint dofs (ColorScatter's contract).
                 unsafe {
                     scatter.add(b, re[i][0]);
                     scatter.add(b + 1, re[i][1]);

@@ -199,6 +199,9 @@ impl TensorViscousOp {
             }
             for (i, &n) in nodes.iter().enumerate() {
                 let b = 3 * n as usize;
+                // SAFETY: node indices are in-bounds by construction and
+                // elements of one colour share no nodes, so concurrent
+                // pieces write disjoint dofs (ColorScatter's contract).
                 unsafe {
                     scatter.add(b, re[0][i]);
                     scatter.add(b + 1, re[1][i]);

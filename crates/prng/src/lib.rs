@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-prng` — a tiny, dependency-free deterministic PRNG.
 //!
 //! The reproduction needs randomness only for *setup* (material-point

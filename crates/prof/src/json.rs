@@ -158,7 +158,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -190,7 +190,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -201,7 +201,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             map.insert(key, self.value()?);
             self.skip_ws();
@@ -217,7 +217,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -240,7 +240,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -287,6 +287,8 @@ impl<'a> Parser<'a> {
                         .next()
                         .map(|c| c.len_utf8())
                         .unwrap_or(1);
+                    // PANIC-OK: `rest[..ch_len]` is a whole scalar of the
+                    // UTF-8 text validated two lines above.
                     out.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
                     self.pos += ch_len;
                 }
@@ -306,6 +308,8 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
+            // PANIC-OK: the scanned range contains only ASCII digit/sign
+            // bytes, which are valid UTF-8.
             .unwrap()
             .parse::<f64>()
             .map(Value::Num)

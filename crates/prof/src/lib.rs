@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-prof` — a PETSc `-log_view`-style profiling subsystem.
 //!
 //! A process-global, thread-aware event registry with:
@@ -144,7 +146,7 @@ pub fn enabled() -> bool {
 /// is left as-is). Intended for tests and for bench binaries that want
 /// per-phase reports.
 pub fn reset() {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     reg.names.clear();
     reg.events.clear();
     reg.edges.clear();
@@ -200,7 +202,7 @@ impl Drop for ScopeGuard {
             Some(t) => t,
             None => return,
         };
-        let mut reg = registry().lock().unwrap();
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         let agg = &mut reg.events[event];
         agg.calls += 1;
         agg.incl_ns += elapsed_ns;
@@ -279,7 +281,7 @@ pub fn log_flops(n: u64) {
         return;
     }
     if let Some(event) = STACK.with(|s| s.borrow().last().map(|f| f.event)) {
-        registry().lock().unwrap().events[event].flops += n;
+        registry().lock().unwrap_or_else(|e| e.into_inner()).events[event].flops += n;
     }
 }
 
@@ -291,7 +293,7 @@ pub fn log_bytes(n: u64) {
         return;
     }
     if let Some(event) = STACK.with(|s| s.borrow().last().map(|f| f.event)) {
-        registry().lock().unwrap().events[event].bytes += n;
+        registry().lock().unwrap_or_else(|e| e.into_inner()).events[event].bytes += n;
     }
 }
 
@@ -300,11 +302,15 @@ pub fn record_ksp(rec: KspRecord) {
     if !enabled() {
         return;
     }
-    registry().lock().unwrap().ksp.push(rec);
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .ksp
+        .push(rec);
 }
 
 fn intern(name: &'static str) -> usize {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(&i) = reg.names.get(name) {
         return i;
     }
@@ -365,7 +371,7 @@ impl Snapshot {
 /// Take a consistent snapshot of all recorded data. Available even when
 /// profiling is disabled (returns whatever was recorded before).
 pub fn snapshot() -> Snapshot {
-    let reg = registry().lock().unwrap();
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     let events = reg
         .events
         .iter()

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ptatin-rheology` — effective viscosity and density laws (§II-A, §V of
 //! the paper): per-lithology flow laws combining Arrhenius-type
 //! temperature/strain-rate-dependent creep with a Drucker–Prager stress

@@ -20,6 +20,12 @@ if [[ $FAST -eq 0 ]]; then
     cargo build --release --workspace --bins --benches
 fi
 
+# Workspace invariants: zero audit findings (unsafe documentation,
+# determinism, hot-path allocation, panic surface) and a fresh, schema-valid
+# unsafe inventory in output/audit.json (DESIGN.md §10).
+step "ptatin-audit --check"
+cargo run -q -p ptatin-audit -- --check
+
 # The suite runs twice: once pinned to a single thread and once at four,
 # so thread-count-dependent regressions in the worker pool (ptatin-la::par)
 # can't hide behind the host's core count. The checkpoint-roundtrip and
@@ -34,6 +40,18 @@ step "tests (PTATIN_TEST_THREADS=4)"
 PTATIN_TEST_THREADS=4 cargo test --workspace -q
 PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=4 cargo test -q --test checkpoint_restart
+
+# The same suite under the pool sanitizer: every split_ranges partition,
+# pool resize, and dispatch is checked against the worker-pool invariants
+# at runtime (disjoint/covering/aligned ranges, no worker outliving its
+# generation, nested dispatch serialized) — at both thread counts.
+step "tests with --features pool-sanitizer (PTATIN_TEST_THREADS=1)"
+PTATIN_TEST_THREADS=1 cargo test --workspace -q --features pool-sanitizer
+
+step "tests with --features pool-sanitizer (PTATIN_TEST_THREADS=4)"
+PTATIN_TEST_THREADS=4 cargo test --workspace -q --features pool-sanitizer
+PTATIN_TEST_THREADS=4 cargo test -q --features pool-sanitizer --test thread_invariance
+PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-la --features pool-sanitizer par::
 
 # Operator-equivalence suite with the AVX path force-disabled: the
 # portable mul_add fallback of the batched operator must satisfy the
