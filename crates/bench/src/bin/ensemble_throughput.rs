@@ -1,0 +1,96 @@
+//! Ensemble scheduler throughput benchmark: a sweep of tiny rifting jobs
+//! with preemptive time slicing and injected faults, run at nt=1 and
+//! nt=4, recorded as `BENCH_ensemble.json` (schema
+//! `ptatin-ensemble-bench-v1`) at the repository root so jobs/hour, tail
+//! latency and preemption overhead are tracked across PRs.
+//!
+//! Run: `cargo run --release -p ptatin-bench --bin ensemble_throughput`
+//! Smoke: append `smoke` — a smaller sweep written to
+//! `output/BENCH_ensemble_smoke.json` (CI sanity, numbers meaningless).
+
+use ptatin_ckpt::faults::{self, FaultKind, FaultPlan};
+use ptatin_ensemble::{
+    bench_doc, run_sweep, summary_table, EnsembleConfig, EventSink, SweepSpec, ThroughputStats,
+};
+use ptatin_la::par;
+use std::path::PathBuf;
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn sweep_text(jobs: usize, steps: usize) -> String {
+    format!(
+        "scenario = rift\n\
+         mx = 4\n\
+         my = 2\n\
+         mz = 4\n\
+         levels = 2\n\
+         steps = {steps}\n\
+         max_it = 2\n\
+         linear_max_it = 150\n\
+         coarse = direct\n\
+         sweep seed = 0..{jobs}\n"
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let (jobs, steps) = if smoke { (16, 1) } else { (64, 2) };
+    let slice_steps = 1;
+    ptatin_prof::enable();
+
+    let mut runs = Vec::new();
+    for nt in [1usize, 4] {
+        par::set_num_threads(nt);
+        let job_list = SweepSpec::parse(&sweep_text(jobs, steps))
+            .expect("sweep text parses")
+            .expand()
+            .expect("sweep expands");
+        // Deterministic faults: one job loses power mid-run (costs a
+        // retry), one job's first solve stalls (recovery ladder absorbs
+        // it) — the bench measures the scheduler including its failure
+        // handling, not a fair-weather path.
+        faults::reset();
+        faults::set_plans(vec![
+            FaultPlan {
+                kind: FaultKind::Crash,
+                step: steps.saturating_sub(1) as u64,
+                job: Some(3),
+            },
+            FaultPlan {
+                kind: FaultKind::NonlinearStall,
+                step: 0,
+                job: Some(11 % jobs as u64),
+            },
+        ]);
+        let cfg = EnsembleConfig {
+            ckpt_root: PathBuf::from(format!("output/ensemble_bench_nt{nt}")),
+            slice_steps,
+            ..EnsembleConfig::default()
+        };
+        let mut sink = EventSink::null();
+        let summary = run_sweep(job_list, &cfg, &mut sink).expect("checkpoint io");
+        faults::reset();
+        eprintln!("nt={nt}\n{}", summary_table(&summary));
+        runs.push(ThroughputStats::from_summary(&summary).to_value(nt));
+        std::fs::remove_dir_all(cfg.ckpt_root).ok();
+    }
+    par::set_num_threads(0);
+
+    let doc = bench_doc(&git_rev(), jobs, slice_steps, runs);
+    let path = if smoke {
+        std::fs::create_dir_all("output").expect("create output dir");
+        PathBuf::from("output/BENCH_ensemble_smoke.json")
+    } else {
+        PathBuf::from("BENCH_ensemble.json")
+    };
+    std::fs::write(&path, doc.to_json() + "\n").expect("write bench json");
+    println!("wrote {}", path.display());
+}

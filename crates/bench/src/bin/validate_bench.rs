@@ -1,16 +1,18 @@
-//! CI gate for the machine-readable kernel-benchmark records: parse each
-//! file given on the command line with the in-repo JSON parser and check it
-//! against the `ptatin-kernel-bench-v1` schema (see
-//! `ptatin_bench::kernels_json`). Exits non-zero on the first violation.
+//! CI gate for the machine-readable benchmark records: parse each file
+//! given on the command line with the in-repo JSON parser, dispatch on its
+//! `schema` tag and check it against the matching validator
+//! (`ptatin-kernel-bench-v1` → `ptatin_bench::kernels_json`,
+//! `ptatin-ensemble-bench-v1` → `ptatin_bench::ensemble_json`). Exits
+//! non-zero on the first violation or unknown schema.
 //!
-//! Run: `cargo run -p ptatin-bench --bin validate_bench -- BENCH_kernels.json ...`
+//! Run: `cargo run -p ptatin-bench --bin validate_bench -- BENCH_kernels.json BENCH_ensemble.json ...`
 
-use ptatin_bench::kernels_json::validate;
+use ptatin_bench::{ensemble_json, kernels_json};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: validate_bench <BENCH_kernels.json> [...]");
+        eprintln!("usage: validate_bench <BENCH_*.json> [...]");
         std::process::exit(2);
     }
     for path in &paths {
@@ -28,10 +30,20 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if let Err(e) = validate(&doc) {
+        let schema = doc
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .unwrap_or("")
+            .to_string();
+        let checked = match schema.as_str() {
+            kernels_json::KERNEL_BENCH_SCHEMA => kernels_json::validate(&doc),
+            ensemble_json::ENSEMBLE_BENCH_SCHEMA => ensemble_json::validate(&doc),
+            other => Err(format!("unknown schema tag '{other}'")),
+        };
+        if let Err(e) = checked {
             eprintln!("{path}: schema violation: {e}");
             std::process::exit(1);
         }
-        println!("{path}: OK");
+        println!("{path}: OK [{schema}]");
     }
 }

@@ -1,0 +1,225 @@
+//! Schema of `BENCH_ensemble.json` — the machine-readable ensemble
+//! throughput record written by the `ensemble_throughput` bin at the
+//! repository root so sweep scheduling performance is tracked across PRs.
+//!
+//! Layout (`schema = "ptatin-ensemble-bench-v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "ptatin-ensemble-bench-v1",
+//!   "git_rev": "abc1234",
+//!   "jobs": 64, "slice_steps": 1,
+//!   "runs": [
+//!     { "nt": 1, "completed": 62, "failed": 2, "retried": 2,
+//!       "preemptions": 60, "jobs_per_hour": 9000.0,
+//!       "p50_job_seconds": 3.1, "p99_job_seconds": 12.0,
+//!       "preemption_overhead_frac": 0.04, "wall_seconds": 25.0 }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! The document itself is assembled by `ptatin_ensemble::report`; this
+//! module is the CI-side check (`--bin validate_bench`).
+
+use ptatin_prof::json::Value;
+
+pub use ptatin_ensemble::ENSEMBLE_BENCH_SCHEMA;
+
+fn get<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match obj {
+        Value::Obj(map) => map.get(key).ok_or_else(|| format!("missing key '{key}'")),
+        _ => Err(format!("expected object while looking up '{key}'")),
+    }
+}
+
+fn num(obj: &Value, key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("key '{key}' must be a number")),
+    }
+}
+
+fn string(obj: &Value, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("key '{key}' must be a string")),
+    }
+}
+
+/// Validate a parsed `BENCH_ensemble.json` document: schema tag, job
+/// counts that add up, finite positive throughput, ordered latency
+/// percentiles and a preemption overhead fraction in `[0, 1)`.
+pub fn validate(doc: &Value) -> Result<(), String> {
+    let schema = string(doc, "schema")?;
+    if schema != ENSEMBLE_BENCH_SCHEMA {
+        return Err(format!(
+            "schema '{schema}' != expected '{ENSEMBLE_BENCH_SCHEMA}'"
+        ));
+    }
+    string(doc, "git_rev")?;
+    let jobs = num(doc, "jobs")?;
+    if jobs < 1.0 {
+        return Err(format!("jobs must be >= 1, got {jobs}"));
+    }
+    let slice_steps = num(doc, "slice_steps")?;
+    if slice_steps < 0.0 {
+        return Err(format!("bad slice_steps: {slice_steps}"));
+    }
+    let runs = match get(doc, "runs")? {
+        Value::Arr(a) if !a.is_empty() => a,
+        Value::Arr(_) => return Err("runs must be non-empty".into()),
+        _ => return Err("runs must be an array".into()),
+    };
+    for run in runs {
+        let nt = num(run, "nt")?;
+        if nt < 1.0 {
+            return Err(format!("nt must be >= 1, got {nt}"));
+        }
+        let completed = num(run, "completed")?;
+        let failed = num(run, "failed")?;
+        num(run, "retried")?;
+        num(run, "preemptions")?;
+        if completed < 0.0 || failed < 0.0 || completed + failed > jobs + 0.5 {
+            return Err(format!(
+                "nt={nt}: completed {completed} + failed {failed} exceeds jobs {jobs}"
+            ));
+        }
+        let jph = num(run, "jobs_per_hour")?;
+        if !jph.is_finite() || jph <= 0.0 {
+            return Err(format!("nt={nt}: bad jobs_per_hour {jph}"));
+        }
+        let p50 = num(run, "p50_job_seconds")?;
+        let p99 = num(run, "p99_job_seconds")?;
+        if !p50.is_finite() || !p99.is_finite() || p50 < 0.0 || p99 + 1e-12 < p50 {
+            return Err(format!(
+                "nt={nt}: bad latency percentiles p50={p50} p99={p99}"
+            ));
+        }
+        let overhead = num(run, "preemption_overhead_frac")?;
+        if !overhead.is_finite() || !(0.0..1.0).contains(&overhead) {
+            return Err(format!("nt={nt}: bad preemption_overhead_frac {overhead}"));
+        }
+        let wall = num(run, "wall_seconds")?;
+        if !wall.is_finite() || wall <= 0.0 {
+            return Err(format!("nt={nt}: bad wall_seconds {wall}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nt: f64) -> Value {
+        Value::obj(vec![
+            ("nt", Value::Num(nt)),
+            ("completed", Value::Num(62.0)),
+            ("failed", Value::Num(2.0)),
+            ("retried", Value::Num(2.0)),
+            ("preemptions", Value::Num(60.0)),
+            ("jobs_per_hour", Value::Num(9000.0)),
+            ("p50_job_seconds", Value::Num(3.0)),
+            ("p99_job_seconds", Value::Num(12.0)),
+            ("preemption_overhead_frac", Value::Num(0.04)),
+            ("wall_seconds", Value::Num(25.0)),
+        ])
+    }
+
+    fn valid_doc() -> Value {
+        Value::obj(vec![
+            ("schema", Value::Str(ENSEMBLE_BENCH_SCHEMA.into())),
+            ("git_rev", Value::Str("deadbee".into())),
+            ("jobs", Value::Num(64.0)),
+            ("slice_steps", Value::Num(1.0)),
+            ("runs", Value::Arr(vec![run(1.0), run(4.0)])),
+        ])
+    }
+
+    fn patch(doc: &Value, key: &str, v: Value) -> Value {
+        let mut d = doc.clone();
+        if let Value::Obj(map) = &mut d {
+            map.insert(key.into(), v);
+        }
+        d
+    }
+
+    fn patch_run(doc: &Value, key: &str, v: Value) -> Value {
+        let mut d = doc.clone();
+        if let Value::Obj(map) = &mut d {
+            if let Some(Value::Arr(runs)) = map.get_mut("runs") {
+                if let Some(Value::Obj(r)) = runs.first_mut() {
+                    r.insert(key.into(), v);
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn valid_document_passes_and_roundtrips() {
+        let doc = valid_doc();
+        validate(&doc).unwrap();
+        let parsed = ptatin_prof::json::parse(&doc.to_json()).unwrap();
+        validate(&parsed).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        let e = validate(&patch(&valid_doc(), "schema", Value::Str("other".into())));
+        assert!(e.unwrap_err().contains("schema"));
+
+        let e = validate(&patch(&valid_doc(), "runs", Value::Arr(vec![])));
+        assert!(e.unwrap_err().contains("non-empty"));
+
+        // completed + failed can't exceed the job count.
+        let e = validate(&patch_run(&valid_doc(), "completed", Value::Num(80.0)));
+        assert!(e.unwrap_err().contains("exceeds jobs"));
+
+        // p99 below p50 is a corrupted percentile pair.
+        let e = validate(&patch_run(&valid_doc(), "p99_job_seconds", Value::Num(1.0)));
+        assert!(e.unwrap_err().contains("percentiles"));
+
+        let e = validate(&patch_run(
+            &valid_doc(),
+            "preemption_overhead_frac",
+            Value::Num(1.5),
+        ));
+        assert!(e.unwrap_err().contains("overhead"));
+
+        let e = validate(&patch_run(&valid_doc(), "jobs_per_hour", Value::Num(0.0)));
+        assert!(e.unwrap_err().contains("jobs_per_hour"));
+    }
+
+    #[test]
+    fn real_report_builder_output_validates() {
+        use ptatin_ensemble::scheduler::{JobOutcome, JobResult, SweepSummary};
+        use ptatin_ensemble::ThroughputStats;
+        let s = SweepSummary {
+            results: vec![JobResult {
+                id: 0,
+                name: "j0".into(),
+                outcome: JobOutcome::Completed,
+                steps_done: 2,
+                slices: 2,
+                preemptions: 1,
+                retries: 0,
+                service_seconds: 1.0,
+                latency_seconds: 1.5,
+                flops: 1000,
+                final_state_hash: Some(42),
+            }],
+            wall_seconds: 2.0,
+            preempt_seconds: 0.1,
+            total_preemptions: 1,
+            total_slices: 2,
+        };
+        let doc = ptatin_ensemble::bench_doc(
+            "abc1234",
+            1,
+            1,
+            vec![ThroughputStats::from_summary(&s).to_value(2)],
+        );
+        validate(&doc).unwrap();
+    }
+}

@@ -22,6 +22,7 @@
 //! the *shape* (who wins, by what factor, where crossovers fall) is the
 //! reproduction target.
 
+pub mod ensemble_json;
 pub mod kernels_json;
 
 use ptatin_core::models::sinker::{SinkerConfig, SinkerModel};

@@ -1,0 +1,199 @@
+//! Job-scoped checkpoint directories for ensemble runs.
+//!
+//! A sweep schedules thousands of jobs over one process; every suspend
+//! writes a checkpoint and every resume reads one back. Two things must
+//! never happen: (a) two jobs clobbering each other's `tmp+rename` writes
+//! because they share a directory, and (b) a resume picking up a torn or
+//! stale file after a crash mid-write. [`JobDir`] provides both
+//! guarantees:
+//!
+//! * **Per-job subdirectories** — job `k` owns `<root>/job_<k:06>/`; all
+//!   of its checkpoints and its temp files live there, so no cross-job
+//!   path collision is possible no matter how many jobs are in flight.
+//! * **Atomic latest pointer** — after a checkpoint lands (itself written
+//!   `tmp+rename` by [`Checkpoint::write_to`]), the file name is recorded
+//!   in a `LATEST` pointer file, also written `tmp+rename`. A crash
+//!   between the two renames leaves `LATEST` pointing at the *previous*
+//!   complete checkpoint — resume never sees a half-written state. The
+//!   pointer stores a bare file name (not a path), so a checkpoint root
+//!   can be relocated wholesale.
+
+use crate::{Checkpoint, CkptError};
+use std::path::{Path, PathBuf};
+
+/// Name of the per-job atomic latest-checkpoint pointer file.
+pub const LATEST_POINTER: &str = "LATEST";
+
+/// Handle to one job's private checkpoint directory under a sweep root.
+#[derive(Clone, Debug)]
+pub struct JobDir {
+    dir: PathBuf,
+    job: u64,
+}
+
+impl JobDir {
+    /// Handle for job `job` under `root` (nothing is created on disk yet).
+    pub fn new(root: &Path, job: u64) -> Self {
+        Self {
+            dir: root.join(format!("job_{job:06}")),
+            job,
+        }
+    }
+
+    /// The job's private directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The job id this directory belongs to.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// Path of the checkpoint taken after `step` committed steps.
+    pub fn step_path(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("ckpt_step_{step:06}.ptck"))
+    }
+
+    /// Write `ck` as this job's checkpoint for its step, then atomically
+    /// repoint `LATEST` at it. Returns the checkpoint path.
+    pub fn write(&self, ck: &Checkpoint) -> Result<PathBuf, CkptError> {
+        let path = self.step_path(ck.step_index);
+        ck.write_to(&path)?;
+        // PANIC-OK: step_path always produces a file name component.
+        let name = path.file_name().expect("checkpoint path has a file name");
+        let tmp = self.dir.join(format!("{LATEST_POINTER}.tmp"));
+        std::fs::write(&tmp, name.to_string_lossy().as_bytes())?;
+        std::fs::rename(&tmp, self.dir.join(LATEST_POINTER))?;
+        Ok(path)
+    }
+
+    /// Path of the checkpoint `LATEST` currently points at, or `None`
+    /// when the job has never been suspended (no pointer file).
+    pub fn latest_path(&self) -> Result<Option<PathBuf>, CkptError> {
+        let pointer = self.dir.join(LATEST_POINTER);
+        let name = match std::fs::read_to_string(&pointer) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains('/') || name.contains('\\') {
+            return Err(CkptError::Corrupt("latest pointer is not a file name"));
+        }
+        Ok(Some(self.dir.join(name)))
+    }
+
+    /// Read the checkpoint `LATEST` points at, or `None` when the job has
+    /// never been suspended.
+    pub fn read_latest(&self) -> Result<Option<Checkpoint>, CkptError> {
+        match self.latest_path()? {
+            Some(p) => Checkpoint::read_from(&p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Remove the job's directory and everything in it (completed jobs
+    /// whose checkpoints are no longer wanted). Missing directory is fine.
+    pub fn clear(&self) -> Result<(), CkptError> {
+        match std::fs::remove_dir_all(&self.dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptatin_mesh::StructuredMesh;
+    use ptatin_mpm::points::MaterialPoints;
+
+    fn sample(step: u64) -> Checkpoint {
+        let mesh = StructuredMesh::new_box(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+        let nv = 3 * mesh.num_nodes();
+        Checkpoint {
+            step_index: step,
+            time: step as f64 * 0.1,
+            dt_last: 0.1,
+            rng_state: 42,
+            config_hash: 7,
+            levels: 1,
+            mesh,
+            points: MaterialPoints::default(),
+            velocity: vec![0.0; nv],
+            pressure: vec![0.0; 32],
+            temperature: vec![0.0; 27],
+        }
+    }
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("ptatin_jobdir_{name}"));
+        std::fs::remove_dir_all(&root).ok();
+        root
+    }
+
+    #[test]
+    fn jobs_get_disjoint_directories() {
+        let root = tmp_root("disjoint");
+        let a = JobDir::new(&root, 1);
+        let b = JobDir::new(&root, 2);
+        assert_ne!(a.dir(), b.dir());
+        // Same step index in both jobs: distinct files, no clobbering.
+        a.write(&sample(3)).unwrap();
+        b.write(&sample(3)).unwrap();
+        assert_ne!(a.latest_path().unwrap(), b.latest_path().unwrap());
+        let ca = a.read_latest().unwrap().unwrap();
+        let cb = b.read_latest().unwrap().unwrap();
+        assert_eq!(ca.step_index, 3);
+        assert_eq!(cb.step_index, 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn latest_pointer_tracks_the_newest_checkpoint() {
+        let root = tmp_root("latest");
+        let jd = JobDir::new(&root, 17);
+        assert!(jd.read_latest().unwrap().is_none(), "fresh job: no pointer");
+        jd.write(&sample(1)).unwrap();
+        jd.write(&sample(4)).unwrap();
+        assert_eq!(
+            jd.latest_path().unwrap().unwrap(),
+            jd.step_path(4),
+            "pointer follows the newest write"
+        );
+        assert_eq!(jd.read_latest().unwrap().unwrap().step_index, 4);
+        // No stray tmp files after the renames.
+        for entry in std::fs::read_dir(jd.dir()).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "leftover tmp file {name:?}"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_pointer_is_rejected_not_followed() {
+        let root = tmp_root("corrupt");
+        let jd = JobDir::new(&root, 2);
+        jd.write(&sample(1)).unwrap();
+        std::fs::write(jd.dir().join(LATEST_POINTER), "../../etc/passwd").unwrap();
+        assert!(matches!(jd.latest_path(), Err(CkptError::Corrupt(_))));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clear_removes_the_job_directory() {
+        let root = tmp_root("clear");
+        let jd = JobDir::new(&root, 5);
+        jd.write(&sample(2)).unwrap();
+        assert!(jd.dir().exists());
+        jd.clear().unwrap();
+        assert!(!jd.dir().exists());
+        jd.clear().unwrap(); // idempotent
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

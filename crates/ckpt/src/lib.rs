@@ -20,10 +20,18 @@
 //!   recovery ladder (dt backoff, preconditioner escalation, clean abort
 //!   with a final checkpoint) is exercised in CI.
 
+//! * **Job-scoped checkpoint directories** — [`jobdir::JobDir`] gives
+//!   every job of an ensemble sweep a private subdirectory plus an atomic
+//!   `LATEST` pointer, so thousands of concurrently scheduled jobs never
+//!   clobber each other's `tmp+rename` writes and a resume always finds a
+//!   complete checkpoint.
+
 pub mod faults;
 pub mod format;
+pub mod jobdir;
 
 pub use format::{fnv1a64, CkptError, Reader, Writer, FORMAT_VERSION, MAGIC};
+pub use jobdir::JobDir;
 
 use ptatin_mesh::StructuredMesh;
 use ptatin_mpm::points::MaterialPoints;

@@ -382,6 +382,7 @@ mod tests {
         faults::set_plan(Some(FaultPlan {
             kind: FaultKind::NonlinearStall,
             step: 0,
+            job: None,
         }));
         assert_eq!(faults::begin_step(0), Some(FaultKind::NonlinearStall));
         let mut u = vec![0.0; 3];

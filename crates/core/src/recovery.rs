@@ -85,11 +85,41 @@ pub struct RunConfig {
     pub recovery: RecoveryConfig,
 }
 
+/// Where in the step loop a cooperative yield check fires (see
+/// [`RunControl`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YieldPoint {
+    /// Top of the step, before any solve work: preempting here wastes
+    /// nothing. This is where deterministic slice budgets fire.
+    BeforeSolve,
+    /// Between an accepted solve and its commit: the candidate is
+    /// *discarded* and re-solved on resume, so a wall-clock deadline can
+    /// preempt a solve that overran its slice without ever committing a
+    /// half-step. The committed trajectory is untouched either way, which
+    /// is what keeps preempt+resume bitwise identical.
+    BeforeCommit,
+}
+
+/// Cooperative preemption control for [`run_rift_with`]: the driver asks
+/// `yield_now(step, point)` at both [`YieldPoint`]s of every step and
+/// returns [`RunOutcome::Preempted`] the first time it answers `true`.
+/// The ensemble scheduler supplies the hook; plain [`run_rift`] runs
+/// without one.
+#[derive(Default)]
+pub struct RunControl<'a> {
+    #[allow(clippy::type_complexity)]
+    pub yield_now: Option<&'a mut dyn FnMut(usize, YieldPoint) -> bool>,
+}
+
 /// How the run ended.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunOutcome {
     /// Reached the target step count.
     Completed,
+    /// The [`RunControl`] hook asked to yield: the model sits at `step`
+    /// committed steps (any in-flight candidate was discarded) and can be
+    /// suspended via checkpoint and resumed bitwise later.
+    Preempted { step: usize },
     /// The fault harness fired `crash@K`: the driver stopped dead at step
     /// `step` with NO final checkpoint, simulating power loss. Restart
     /// from the last periodic checkpoint.
@@ -131,9 +161,35 @@ fn write_checkpoint(model: &RiftModel, path: &Path) -> Result<(), CkptError> {
 /// checkpoint policy above. `Err` is reserved for checkpoint I/O failures;
 /// every solver failure mode is reported through [`RunOutcome`].
 pub fn run_rift(model: &mut RiftModel, run: &RunConfig) -> Result<RunReport, CkptError> {
+    run_rift_with(model, run, RunControl::default())
+}
+
+/// [`run_rift`] with a cooperative preemption hook. The hook is consulted
+/// at the top of every step (before the fault harness and any solve work)
+/// and again between an accepted solve and its commit; answering `true`
+/// at either point stops the driver with [`RunOutcome::Preempted`] and
+/// the model at a clean committed-step boundary, ready to be checkpointed
+/// and resumed bitwise.
+pub fn run_rift_with(
+    model: &mut RiftModel,
+    run: &RunConfig,
+    mut ctrl: RunControl<'_>,
+) -> Result<RunReport, CkptError> {
     let mut steps = Vec::new();
+    let mut yields = |step: usize, point: YieldPoint| -> bool {
+        ctrl.yield_now.as_mut().is_some_and(|f| f(step, point))
+    };
     while model.step_index < run.steps {
         let step = model.step_index;
+        // Yield check BEFORE the fault harness, so a preempted step does
+        // not consume a fault plan scheduled for it — the fault fires
+        // when the step actually runs (possibly after a resume).
+        if yields(step, YieldPoint::BeforeSolve) {
+            return Ok(RunReport {
+                outcome: RunOutcome::Preempted { step },
+                steps,
+            });
+        }
         if faults::begin_step(step as u64) == Some(FaultKind::Crash) {
             // Simulated power loss: stop dead, write nothing.
             return Ok(RunReport {
@@ -144,11 +200,19 @@ pub fn run_rift(model: &mut RiftModel, run: &RunConfig) -> Result<RunReport, Ckp
         let base = model.cfg.clone();
         let mut committed: Option<RiftStepStats> = None;
         let mut last_outcome = NonlinearOutcome::MaxIterations;
+        let mut preempted = false;
         for attempt in 0..run.recovery.max_attempts.max(1) {
             model.cfg = escalate(&base, &run.recovery, attempt);
             let cand = model.solve_stokes();
             last_outcome = cand.stats.outcome;
             if last_outcome.is_acceptable() {
+                if yields(step, YieldPoint::BeforeCommit) {
+                    // Deadline expired during the solve: drop the
+                    // candidate (model untouched) and yield; resume
+                    // re-solves this step from the same committed state.
+                    preempted = true;
+                    break;
+                }
                 // Commit under the (possibly escalated) config so the dt
                 // backoff applies to the recovered step.
                 let mut s = model.commit_step(cand);
@@ -160,6 +224,12 @@ pub fn run_rift(model: &mut RiftModel, run: &RunConfig) -> Result<RunReport, Ckp
             // the next attempt re-solves the same configuration.
         }
         model.cfg = base;
+        if preempted {
+            return Ok(RunReport {
+                outcome: RunOutcome::Preempted { step },
+                steps,
+            });
+        }
         match committed {
             Some(s) => steps.push(s),
             None => {
@@ -224,6 +294,73 @@ mod tests {
         assert_eq!(a2.gmg.post_smooth, base.gmg.post_smooth + 2);
         assert!(!a2.nonlinear.eisenstat_walker);
         assert!((a2.dt_max - base.dt_max * 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preemption_hook_yields_at_both_points_without_touching_state() {
+        let cfg = RiftConfig {
+            mx: 6,
+            my: 2,
+            mz: 4,
+            levels: 2,
+            nonlinear: NonlinearConfig {
+                max_it: 2,
+                linear_max_it: 150,
+                ..NonlinearConfig::default()
+            },
+            ..RiftConfig::default()
+        };
+        let run = RunConfig {
+            steps: 3,
+            ..RunConfig::default()
+        };
+        // BeforeSolve yield after one committed step: preempt at step 1,
+        // exactly one step in the report.
+        let mut model = RiftModel::new(cfg.clone());
+        let mut budget = 1usize;
+        let report = run_rift_with(
+            &mut model,
+            &run,
+            RunControl {
+                yield_now: Some(&mut |_, p| {
+                    if p == YieldPoint::BeforeSolve {
+                        if budget == 0 {
+                            return true;
+                        }
+                        budget -= 1;
+                    }
+                    false
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RunOutcome::Preempted { step: 1 });
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(model.step_index, 1);
+        let bytes_after_preempt = model.to_checkpoint().to_bytes();
+
+        // BeforeCommit yield on the next step: the solved candidate is
+        // discarded and the state is bitwise what it was at the boundary.
+        let report = run_rift_with(
+            &mut model,
+            &run,
+            RunControl {
+                yield_now: Some(&mut |_, p| p == YieldPoint::BeforeCommit),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RunOutcome::Preempted { step: 1 });
+        assert!(report.steps.is_empty());
+        assert_eq!(
+            model.to_checkpoint().to_bytes(),
+            bytes_after_preempt,
+            "BeforeCommit preemption must not touch the committed state"
+        );
+
+        // Resuming with no hook completes the run.
+        let report = run_rift(&mut model, &run).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert_eq!(model.step_index, 3);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Streamed JSONL progress events.
+//!
+//! A 10⁴-job sweep runs for hours; its progress must be observable while
+//! it runs, not only from the end-of-run report. The scheduler emits one
+//! JSON object per line as things happen, so `tail -f events.jsonl` (or a
+//! downstream collector) sees every slice, preemption, crash, retry and
+//! completion in order. Every event carries `"event"` (its kind) and —
+//! for per-job events — `"job"` (the stable job id from expansion order).
+//!
+//! Event kinds:
+//!
+//! | kind            | emitted when                                        |
+//! |-----------------|-----------------------------------------------------|
+//! | `sweep_start`   | once, before the first slice (`jobs`, `slice_steps`)|
+//! | `job_resumed`   | a suspended job is restored from its checkpoint     |
+//! | `job_slice`     | a slice of service finished (`steps_done`, `flops`) |
+//! | `job_preempted` | a running job was suspended to its [`JobDir`]       |
+//! | `job_crashed`   | the fault harness killed the job's slice            |
+//! | `job_completed` | a job reached its step budget (`state_hash`)        |
+//! | `job_failed`    | retries/budget exhausted or the solver aborted      |
+//! | `sweep_done`    | once, after the queue drained (`completed`,`failed`)|
+//!
+//! [`JobDir`]: ptatin_ckpt::JobDir
+
+use ptatin_prof::json::Value;
+use std::io::Write;
+
+/// Where the event stream goes. Writing is best-effort: an event sink
+/// must never kill a sweep, so I/O errors are counted, not propagated.
+pub struct EventSink {
+    out: Option<Box<dyn Write + Send>>,
+    /// In-memory capture for tests (`recording()` constructor).
+    captured: Option<Vec<Value>>,
+    /// Events dropped on the floor because the writer errored.
+    pub write_errors: usize,
+}
+
+impl EventSink {
+    /// Discard all events.
+    pub fn null() -> Self {
+        Self {
+            out: None,
+            captured: None,
+            write_errors: 0,
+        }
+    }
+
+    /// Stream events to stderr (the CLI default with `events=-`).
+    pub fn stderr() -> Self {
+        Self {
+            out: Some(Box::new(std::io::stderr())),
+            captured: None,
+            write_errors: 0,
+        }
+    }
+
+    /// Stream events to a JSONL file (created/truncated).
+    pub fn file(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self {
+            out: Some(Box::new(std::io::BufWriter::new(std::fs::File::create(
+                path,
+            )?))),
+            captured: None,
+            write_errors: 0,
+        })
+    }
+
+    /// Capture events in memory (tests and the report builder).
+    pub fn recording() -> Self {
+        Self {
+            out: None,
+            captured: Some(Vec::new()),
+            write_errors: 0,
+        }
+    }
+
+    /// Emit one event: `kind` plus its fields, as a single JSONL line.
+    pub fn emit(&mut self, kind: &str, fields: Vec<(&str, Value)>) {
+        let mut entries = vec![("event", Value::Str(kind.to_string()))];
+        entries.extend(fields);
+        let ev = Value::obj(entries);
+        if let Some(out) = self.out.as_mut() {
+            if writeln!(out, "{}", ev.to_json()).is_err() {
+                self.write_errors += 1;
+            }
+        }
+        if let Some(cap) = self.captured.as_mut() {
+            cap.push(ev);
+        }
+    }
+
+    /// Captured events (empty unless built with [`EventSink::recording`]).
+    pub fn captured(&self) -> &[Value] {
+        self.captured.as_deref().unwrap_or(&[])
+    }
+
+    /// Flush the underlying writer (end of sweep).
+    pub fn flush(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            if out.flush().is_err() {
+                self.write_errors += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_captures_tagged_events() {
+        let mut sink = EventSink::recording();
+        sink.emit("sweep_start", vec![("jobs", Value::Num(3.0))]);
+        sink.emit(
+            "job_completed",
+            vec![("job", Value::Num(1.0)), ("steps_done", Value::Num(2.0))],
+        );
+        let evs = sink.captured();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("event").unwrap().as_str(), Some("sweep_start"));
+        assert_eq!(evs[1].get("job").unwrap().as_f64(), Some(1.0));
+        // JSONL-serializable.
+        assert!(evs[1].to_json().contains("\"event\":"));
+        assert_eq!(sink.write_errors, 0);
+    }
+
+    #[test]
+    fn null_sink_swallows_everything() {
+        let mut sink = EventSink::null();
+        sink.emit("sweep_done", vec![]);
+        assert!(sink.captured().is_empty());
+        sink.flush();
+        assert_eq!(sink.write_errors, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ensemble simulation service: many independent pTatin3D solves
+//! time-sliced over one shared machine.
+//!
+//! Parameter studies (rheology sensitivity, seed ensembles, resolution
+//! ladders) need 10³–10⁴ *independent* model runs, and the practical
+//! bottleneck is operational: one process, one thread pool, thousands of
+//! jobs of wildly different cost, some of which crash or stall. This
+//! crate turns the checkpoint/restart subsystem (PR 5) into a preemption
+//! mechanism and schedules the whole queue fairly:
+//!
+//! * [`spec`] — job specs and the sweep-file format: base assignments +
+//!   `sweep` axes whose cartesian product expands into concrete jobs with
+//!   stable ids.
+//! * [`scheduler`] — round-robin time slicing with checkpoint-backed
+//!   suspend/resume (bitwise-identical at a fixed thread count), per-job
+//!   flop budgets from the profiler, and crash retry/abort policy riding
+//!   on the recovery ladder.
+//! * [`events`] — streamed JSONL progress events (`tail -f`-able).
+//! * [`report`] — end-of-run aggregation (jobs/hour, p50/p99 latency,
+//!   preemption overhead) and the `ptatin-ensemble-bench-v1` document.
+//!
+//! ```no_run
+//! use ptatin_ensemble::{EnsembleConfig, EventSink, SweepSpec};
+//!
+//! let jobs = SweepSpec::parse("mx = 6\nmy = 2\nmz = 4\nsweep seed = 0..16\n")
+//!     .unwrap()
+//!     .expand()
+//!     .unwrap();
+//! let cfg = EnsembleConfig::default();
+//! let mut sink = EventSink::stderr();
+//! let summary = ptatin_ensemble::run_sweep(jobs, &cfg, &mut sink).unwrap();
+//! println!("{}", ptatin_ensemble::report::summary_table(&summary));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod report;
+pub mod scheduler;
+pub mod spec;
+
+pub use events::EventSink;
+pub use report::{bench_doc, summary_table, ThroughputStats, ENSEMBLE_BENCH_SCHEMA};
+pub use scheduler::{run_sweep, EnsembleConfig, JobOutcome, JobResult, SweepSummary};
+pub use spec::{load_sweep_file, JobSpec, Scenario, SpecError, SweepSpec};

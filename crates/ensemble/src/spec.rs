@@ -1,0 +1,426 @@
+//! Scenario queue specification: job specs and the sweep-file format.
+//!
+//! A sweep file describes a (possibly huge) family of jobs compactly:
+//! scalar base assignments plus `sweep` axes whose cartesian product is
+//! expanded into concrete [`JobSpec`]s. The format is line-oriented so a
+//! 10⁴-job parameter study is a ten-line text file:
+//!
+//! ```text
+//! # continental rifting sensitivity sweep
+//! scenario = rift
+//! mx = 6
+//! my = 2
+//! mz = 4
+//! steps = 2
+//! sweep extension_velocity = 0.4, 0.5, 0.6
+//! sweep seed = 1..9
+//! sweep weak_lower_crust = true, false
+//! ```
+//!
+//! expands to `3 × 8 × 2 = 48` jobs. Axes expand in file order with the
+//! last axis fastest (odometer order), so job ids are stable under
+//! re-parsing — the scheduler, fault targeting and event stream all key
+//! on those ids.
+
+use ptatin_core::models::rift::RiftConfig;
+use ptatin_core::models::sinker::SinkerConfig;
+use ptatin_core::{CoarseKind, GmgConfig};
+use std::fmt;
+use std::path::Path;
+
+/// Hard cap on the number of jobs a single sweep may expand to; a typo in
+/// a range bound should be an error, not an OOM.
+pub const MAX_JOBS: usize = 1_000_000;
+
+/// What one job simulates.
+#[derive(Clone, Debug)]
+pub enum Scenario {
+    /// Time-dependent continental rifting run (preemptible: the step loop
+    /// yields at committed-step boundaries).
+    Rift(RiftConfig),
+    /// Single steady Stokes solve of the sinker robustness problem (not
+    /// preemptible: one solve, one slice).
+    Sinker(SinkerConfig),
+}
+
+impl Scenario {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Scenario::Rift(_) => "rift",
+            Scenario::Sinker(_) => "sinker",
+        }
+    }
+}
+
+/// One concrete job of an ensemble: a scenario, a step budget and a
+/// stable id (its index in expansion order).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub id: u64,
+    /// Human-readable name built from the sweep-axis values
+    /// (`"extension_velocity=0.5 seed=3"`), or `"job"` for an axis-free
+    /// sweep.
+    pub name: String,
+    pub scenario: Scenario,
+    /// Committed-step budget for rift jobs; ignored by sinker jobs.
+    pub steps: usize,
+}
+
+/// Sweep-file parse/expansion error with 1-based line context.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SpecError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "sweep: {}", self.msg)
+        } else {
+            write!(f, "sweep line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// A parsed sweep file: base assignments plus axes, not yet expanded.
+#[derive(Clone, Debug, Default)]
+pub struct SweepSpec {
+    /// `(line, key, value)` scalar assignments, applied in file order.
+    base: Vec<(usize, String, String)>,
+    /// `(line, key, values)` sweep axes, expanded in file order with the
+    /// last axis fastest.
+    axes: Vec<(usize, String, Vec<String>)>,
+}
+
+impl SweepSpec {
+    /// Parse the sweep-file text (see module docs for the grammar).
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = SweepSpec::default();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = match raw.find('#') {
+                Some(h) => &raw[..h],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (is_axis, rest) = match line.strip_prefix("sweep ") {
+                Some(r) => (true, r.trim()),
+                None => (false, line),
+            };
+            let Some((key, value)) = rest.split_once('=') else {
+                return err(lineno, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if key.is_empty() || value.is_empty() {
+                return err(lineno, "empty key or value");
+            }
+            if is_axis {
+                let values = expand_axis_values(lineno, &value)?;
+                spec.axes.push((lineno, key, values));
+            } else {
+                spec.base.push((lineno, key, value));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Number of jobs this sweep expands to (product of axis lengths).
+    pub fn job_count(&self) -> usize {
+        self.axes.iter().map(|(_, _, v)| v.len()).product()
+    }
+
+    /// Expand the cartesian product of all axes into concrete jobs.
+    pub fn expand(&self) -> Result<Vec<JobSpec>, SpecError> {
+        let total = self.job_count();
+        if total > MAX_JOBS {
+            return err(0, format!("sweep expands to {total} jobs (cap {MAX_JOBS})"));
+        }
+        let mut jobs = Vec::with_capacity(total);
+        for id in 0..total {
+            // Odometer decomposition, last axis fastest.
+            let mut proto = Proto::default();
+            for (line, key, value) in &self.base {
+                proto.apply(*line, key, value)?;
+            }
+            let mut rem = id;
+            let mut name = String::new();
+            for (line, key, values) in self.axes.iter().rev() {
+                let v = &values[rem % values.len()];
+                rem /= values.len();
+                proto.apply(*line, key, v)?;
+                if name.is_empty() {
+                    name = format!("{key}={v}");
+                } else {
+                    name = format!("{key}={v} {name}");
+                }
+            }
+            if name.is_empty() {
+                name = "job".to_string();
+            }
+            jobs.push(proto.into_job(id as u64, name)?);
+        }
+        Ok(jobs)
+    }
+}
+
+/// Parse and expand a sweep file from disk.
+pub fn load_sweep_file(path: &Path) -> Result<Vec<JobSpec>, SpecError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SpecError {
+        line: 0,
+        msg: format!("cannot read {}: {e}", path.display()),
+    })?;
+    SweepSpec::parse(&text)?.expand()
+}
+
+/// `a..b` integer ranges (half-open) or comma-separated literals.
+fn expand_axis_values(line: usize, value: &str) -> Result<Vec<String>, SpecError> {
+    if let Some((a, b)) = value.split_once("..") {
+        let (a, b) = (a.trim(), b.trim());
+        let lo: u64 = match a.parse() {
+            Ok(v) => v,
+            Err(_) => return err(line, format!("bad range start `{a}`")),
+        };
+        let hi: u64 = match b.parse() {
+            Ok(v) => v,
+            Err(_) => return err(line, format!("bad range end `{b}`")),
+        };
+        if hi <= lo {
+            return err(line, format!("empty range `{value}`"));
+        }
+        return Ok((lo..hi).map(|v| v.to_string()).collect());
+    }
+    let values: Vec<String> = value
+        .split(',')
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect();
+    if values.is_empty() {
+        return err(line, "axis has no values");
+    }
+    Ok(values)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Rift,
+    Sinker,
+}
+
+/// Mutable prototype a job is built on: both configs are carried so keys
+/// can be applied regardless of where `scenario =` appears in the file.
+struct Proto {
+    kind: Kind,
+    rift: RiftConfig,
+    sinker: SinkerConfig,
+    steps: usize,
+}
+
+impl Default for Proto {
+    fn default() -> Self {
+        Self {
+            kind: Kind::Rift,
+            rift: RiftConfig::default(),
+            sinker: SinkerConfig::default(),
+            steps: 1,
+        }
+    }
+}
+
+fn parse_as<T: std::str::FromStr>(line: usize, key: &str, v: &str) -> Result<T, SpecError> {
+    v.parse()
+        .map_or_else(|_| err(line, format!("bad value `{v}` for `{key}`")), Ok)
+}
+
+impl Proto {
+    fn apply(&mut self, line: usize, key: &str, v: &str) -> Result<(), SpecError> {
+        match key {
+            "scenario" => {
+                self.kind = match v {
+                    "rift" => Kind::Rift,
+                    "sinker" => Kind::Sinker,
+                    _ => return err(line, format!("unknown scenario `{v}`")),
+                }
+            }
+            "steps" => self.steps = parse_as(line, key, v)?,
+            // Rift geometry/physics.
+            "mx" => self.rift.mx = parse_as(line, key, v)?,
+            "my" => self.rift.my = parse_as(line, key, v)?,
+            "mz" => self.rift.mz = parse_as(line, key, v)?,
+            "levels" => {
+                // One knob drives both mesh depth fields.
+                let l: usize = parse_as(line, key, v)?;
+                self.rift.levels = l;
+                self.rift.gmg.levels = l;
+                self.sinker.levels = l;
+            }
+            "extension_velocity" => self.rift.extension_velocity = parse_as(line, key, v)?,
+            "shortening_velocity" => self.rift.shortening_velocity = parse_as(line, key, v)?,
+            "weak_lower_crust" => self.rift.weak_lower_crust = parse_as(line, key, v)?,
+            "kappa" => self.rift.kappa = parse_as(line, key, v)?,
+            "cfl" => self.rift.cfl = parse_as(line, key, v)?,
+            "dt_max" => self.rift.dt_max = parse_as(line, key, v)?,
+            "points_per_dim" => {
+                let p: usize = parse_as(line, key, v)?;
+                self.rift.points_per_dim = p;
+                self.sinker.points_per_dim = p;
+            }
+            "seed" => {
+                let s: u64 = parse_as(line, key, v)?;
+                self.rift.seed = s;
+                self.sinker.seed = s;
+            }
+            "max_it" => self.rift.nonlinear.max_it = parse_as(line, key, v)?,
+            "linear_max_it" => self.rift.nonlinear.linear_max_it = parse_as(line, key, v)?,
+            "abs_tol" => self.rift.nonlinear.abs_tol = parse_as(line, key, v)?,
+            "rel_tol" => self.rift.nonlinear.rel_tol = parse_as(line, key, v)?,
+            "coarse" => match v {
+                "direct" => self.rift.gmg.coarse = CoarseKind::Direct,
+                "asm" => self.rift.gmg.coarse = GmgConfig::default().coarse,
+                _ => return err(line, format!("unknown coarse solver `{v}` (direct|asm)")),
+            },
+            // Sinker-specific.
+            "m" => self.sinker.m = parse_as(line, key, v)?,
+            "n_spheres" => self.sinker.n_spheres = parse_as(line, key, v)?,
+            "radius" => self.sinker.radius = parse_as(line, key, v)?,
+            "delta_eta" => self.sinker.delta_eta = parse_as(line, key, v)?,
+            _ => return err(line, format!("unknown key `{key}`")),
+        }
+        Ok(())
+    }
+
+    fn into_job(self, id: u64, name: String) -> Result<JobSpec, SpecError> {
+        let scenario = match self.kind {
+            Kind::Rift => Scenario::Rift(self.rift),
+            Kind::Sinker => Scenario::Sinker(self.sinker),
+        };
+        Ok(JobSpec {
+            id,
+            name,
+            scenario,
+            steps: self.steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_expand_cartesian_product() {
+        let text = "\
+# a comment
+scenario = rift
+mx = 6
+my = 2          # trailing comment
+mz = 4
+steps = 2
+sweep extension_velocity = 0.4, 0.5
+sweep seed = 1..4
+";
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(spec.job_count(), 6);
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 6);
+        // Last axis fastest: seeds cycle within each extension velocity.
+        let seeds: Vec<u64> = jobs
+            .iter()
+            .map(|j| match &j.scenario {
+                Scenario::Rift(c) => c.seed,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seeds, vec![1, 2, 3, 1, 2, 3]);
+        match &jobs[0].scenario {
+            Scenario::Rift(c) => {
+                assert_eq!((c.mx, c.my, c.mz), (6, 2, 4));
+                assert!((c.extension_velocity - 0.4).abs() < 1e-15);
+            }
+            _ => unreachable!(),
+        }
+        match &jobs[5].scenario {
+            Scenario::Rift(c) => assert!((c.extension_velocity - 0.5).abs() < 1e-15),
+            _ => unreachable!(),
+        }
+        assert_eq!(jobs[0].steps, 2);
+        assert_eq!(jobs[0].id, 0);
+        assert_eq!(jobs[5].id, 5);
+        assert_eq!(jobs[1].name, "extension_velocity=0.4 seed=2");
+    }
+
+    #[test]
+    fn sinker_jobs_and_shared_keys() {
+        let text = "\
+scenario = sinker
+m = 4
+levels = 2
+delta_eta = 1e2
+sweep seed = 7, 8
+";
+        let jobs = SweepSpec::parse(text).unwrap().expand().unwrap();
+        assert_eq!(jobs.len(), 2);
+        match &jobs[1].scenario {
+            Scenario::Sinker(c) => {
+                assert_eq!(c.m, 4);
+                assert_eq!(c.levels, 2);
+                assert_eq!(c.seed, 8);
+                assert!((c.delta_eta - 1e2).abs() < 1e-12);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = SweepSpec::parse("mx = 6\nbogus_key = 3\n")
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus_key"), "{e}");
+
+        let e = SweepSpec::parse("sweep seed = 9..3\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("empty range"), "{e}");
+
+        let e = SweepSpec::parse("mx 6\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn range_axes_and_job_cap() {
+        let jobs = SweepSpec::parse("sweep seed = 0..10\n")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(jobs.len(), 10);
+        // 101^3 > MAX_JOBS: refused at expansion, not during allocation.
+        let text = "sweep seed = 0..101\nsweep mx = 0..101\nsweep my = 0..101\n";
+        let e = SweepSpec::parse(text).unwrap().expand().unwrap_err();
+        assert!(e.msg.contains("cap"), "{e}");
+    }
+
+    #[test]
+    fn axis_free_sweep_is_one_job() {
+        let jobs = SweepSpec::parse("scenario = rift\nmx = 4\n")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].name, "job");
+    }
+}

@@ -174,6 +174,29 @@ pub fn scope(name: &'static str) -> ScopeGuard {
         return ScopeGuard { event: None };
     }
     let event = intern(name);
+    push_frame(event);
+    ScopeGuard { event: Some(event) }
+}
+
+/// Like [`scope`], but the event name is computed at runtime (e.g. a
+/// per-job label such as `EnsembleJob[00017]`). A name not seen before is
+/// interned by leaking one copy, so the cost is bounded by the number of
+/// *distinct* names over the process lifetime — callers generating
+/// unbounded unique names (a 10⁴-job sweep) should only do so while
+/// profiling is enabled on purpose. When profiling is disabled nothing is
+/// interned and no allocation happens.
+#[inline]
+pub fn scope_dyn(name: &str) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { event: None };
+    }
+    let event = intern_dyn(name);
+    push_frame(event);
+    ScopeGuard { event: Some(event) }
+}
+
+#[inline]
+fn push_frame(event: usize) {
     STACK.with(|s| {
         s.borrow_mut().push(Frame {
             event,
@@ -182,7 +205,6 @@ pub fn scope(name: &'static str) -> ScopeGuard {
             adopted: false,
         })
     });
-    ScopeGuard { event: Some(event) }
 }
 
 impl Drop for ScopeGuard {
@@ -321,6 +343,38 @@ fn intern(name: &'static str) -> usize {
     });
     reg.names.insert(name, i);
     i
+}
+
+/// Intern a runtime-computed name. First sight of a name leaks one boxed
+/// copy to obtain the `&'static str` the registry stores; subsequent
+/// scopes with the same text reuse it (interning, not a per-call leak).
+fn intern_dyn(name: &str) -> usize {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&i) = reg.names.get(name) {
+        return i;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let i = reg.events.len();
+    reg.events.push(EventAgg {
+        name: leaked,
+        ..EventAgg::default()
+    });
+    reg.names.insert(leaked, i);
+    i
+}
+
+/// Total flops recorded so far across every event. The ensemble scheduler
+/// uses before/after deltas of this to attribute work to the job whose
+/// slice ran in between (slices run one at a time on the shared pool) and
+/// to enforce per-job flop budgets.
+pub fn flops_total() -> u64 {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .events
+        .iter()
+        .map(|e| e.flops)
+        .sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +586,76 @@ mod tests {
         assert_eq!(ev.flops, 4 * 250 + 17);
         // Adopted frames contribute no extra calls or time entries.
         assert_eq!(ev.calls, 1);
+    }
+
+    #[test]
+    fn scope_dyn_interns_runtime_names_once() {
+        let _g = fresh();
+        for pass in 0..3 {
+            let name = format!("Job[{:05}]", 7);
+            let _s = scope_dyn(&name);
+            log_flops(10 + pass);
+        }
+        disable();
+        let snap = snapshot();
+        // One event despite three guards built from three String values.
+        let ev = snap.event("Job[00007]").unwrap();
+        assert_eq!(ev.calls, 3);
+        assert_eq!(ev.flops, 10 + 11 + 12);
+        assert_eq!(
+            snap.events
+                .iter()
+                .filter(|e| e.name.starts_with("Job["))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn scope_dyn_disabled_records_and_interns_nothing() {
+        let _g = serialize_tests();
+        reset();
+        disable();
+        {
+            let _s = scope_dyn("ephemeral");
+            log_flops(5);
+        }
+        assert!(snapshot().events.is_empty());
+    }
+
+    /// Two "jobs" interleaved on the same worker threads: each dispatch
+    /// adopts the parent that spawned it, so flop attribution stays
+    /// disjoint per job even though the workers are shared. This is the
+    /// contract the ensemble scheduler's per-job attribution rests on.
+    #[test]
+    fn interleaved_adoption_attributes_to_the_right_parent() {
+        let _g = fresh();
+        let mut totals = [0u64; 2];
+        for round in 0..3 {
+            for job in 0..2usize {
+                let name = format!("AdoptJob[{job}]");
+                let _s = scope_dyn(&name);
+                let parent = current_id();
+                let work = 100 * (job as u64 + 1) + round;
+                std::thread::scope(|sc| {
+                    for _ in 0..2 {
+                        sc.spawn(move || {
+                            let _a = adopt(parent);
+                            log_flops(work);
+                        });
+                    }
+                });
+                totals[job] += 2 * work;
+            }
+        }
+        disable();
+        let snap = snapshot();
+        for job in 0..2usize {
+            let ev = snap.event(&format!("AdoptJob[{job}]")).unwrap();
+            assert_eq!(ev.flops, totals[job], "job {job} flops disjoint");
+            assert_eq!(ev.calls, 3, "one call per round");
+        }
+        assert_eq!(flops_total(), totals[0] + totals[1]);
     }
 
     #[test]

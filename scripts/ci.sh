@@ -35,11 +35,13 @@ step "tests (PTATIN_TEST_THREADS=1)"
 PTATIN_TEST_THREADS=1 cargo test --workspace -q
 PTATIN_TEST_THREADS=1 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=1 cargo test -q --test checkpoint_restart
+PTATIN_TEST_THREADS=1 cargo test -q --test ensemble_sweep
 
 step "tests (PTATIN_TEST_THREADS=4)"
 PTATIN_TEST_THREADS=4 cargo test --workspace -q
 PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=4 cargo test -q --test checkpoint_restart
+PTATIN_TEST_THREADS=4 cargo test -q --test ensemble_sweep
 
 # The same suite under the pool sanitizer: every split_ranges partition,
 # pool resize, and dispatch is checked against the worker-pool invariants
@@ -91,6 +93,39 @@ if [[ $FAST -eq 0 ]]; then
     cargo bench -p ptatin-bench --bench table1_operators -- smoke
     cargo run --release -p ptatin-bench --bin validate_bench -- \
         output/BENCH_kernels_smoke.json BENCH_kernels.json
+
+    # Ensemble smoke sweep on the release binary: 16 tiny jobs time-sliced
+    # with preemption (slice=1) and injected faults in two of them — the
+    # crash must be retried, the stall absorbed by the recovery ladder,
+    # and every job must complete (exit 0). Run at one and four threads so
+    # the checkpoint-backed suspend/resume path is exercised at both pool
+    # shapes, then validate the emitted ensemble bench record (plus the
+    # ensemble_throughput smoke output) against ptatin-ensemble-bench-v1.
+    step "ensemble smoke sweep (16 jobs, crash+stall faults, nt=1 and 4)"
+    SWEEP="$CKDIR/smoke_sweep.txt"
+    printf '%s\n' \
+        "scenario = rift" "mx = 4" "my = 2" "mz = 2" "levels = 2" \
+        "steps = 2" "max_it = 1" "linear_max_it = 60" "coarse = direct" \
+        "sweep seed = 0..16" > "$SWEEP"
+    for nt in 1 4; do
+        step "  ensemble sweep at PTATIN_TEST_THREADS=$nt"
+        PTATIN_TEST_THREADS=$nt target/release/ptatin ensemble \
+            sweep="$SWEEP" slice=1 retries=2 \
+            ckpt-dir="$CKDIR/ens_nt$nt" \
+            events="$CKDIR/ens_events_nt$nt.jsonl" \
+            bench="$CKDIR/ens_bench_nt$nt.json" \
+            --fault='crash@1:job=3;stall@0:job=11'
+        grep -q '"event":"job_crashed"' "$CKDIR/ens_events_nt$nt.jsonl" \
+            || { echo "missing job_crashed event at nt=$nt"; exit 1; }
+        grep -q '"event":"job_preempted"' "$CKDIR/ens_events_nt$nt.jsonl" \
+            || { echo "missing job_preempted event at nt=$nt"; exit 1; }
+    done
+
+    step "ensemble throughput smoke + BENCH_ensemble.json schema validation"
+    cargo run --release -p ptatin-bench --bin ensemble_throughput -- smoke
+    cargo run --release -p ptatin-bench --bin validate_bench -- \
+        output/BENCH_ensemble_smoke.json BENCH_ensemble.json \
+        "$CKDIR/ens_bench_nt1.json" "$CKDIR/ens_bench_nt4.json"
 fi
 
 step "rustfmt"

@@ -1,11 +1,14 @@
 //! `ptatin` — command-line driver for the pTatin3D-rs models.
 //!
 //! ```text
-//! ptatin sinker [m=8] [levels=3] [delta_eta=1e4] [out=vtk_out]
-//! ptatin rift   [mx=12] [my=4] [mz=8] [steps=10] [shortening=0]
-//!               [strong-crust] [out=vtk_out]
-//!               [--checkpoint-every=N] [--checkpoint-dir=DIR]
-//!               [--restart-from=FILE] [--fault=KIND@STEP]
+//! ptatin sinker   [m=8] [levels=3] [delta_eta=1e4] [out=vtk_out]
+//! ptatin rift     [mx=12] [my=4] [mz=8] [steps=10] [shortening=0]
+//!                 [strong-crust] [out=vtk_out]
+//!                 [--checkpoint-every=N] [--checkpoint-dir=DIR]
+//!                 [--restart-from=FILE] [--fault=KIND@STEP]
+//! ptatin ensemble sweep=FILE [slice=2] [retries=2] [flop-budget=N]
+//!                 [events=FILE|-] [ckpt-dir=DIR] [bench=FILE]
+//!                 [keep-ckpt] [no-preempt] [--fault=LIST]
 //! ```
 //!
 //! Both subcommands solve the model and write ParaView-ready legacy VTK
@@ -27,6 +30,18 @@
 //! Exit status: 0 on completion, 42 on a simulated crash, 3 when recovery
 //! was exhausted and the run aborted (after writing a final checkpoint).
 //!
+//! Ensemble sweeps (`ptatin ensemble`): expand a sweep file (base
+//! `key = value` lines plus `sweep key = v1, v2` / `sweep key = a..b`
+//! axes) into jobs and time-slice them fairly over the shared pool with
+//! checkpoint-backed preemption. `slice=N` sets the committed-step
+//! quantum (`no-preempt` runs each job to completion), `retries=N`
+//! bounds crash retries, `flop-budget=N` kills jobs that exceed the
+//! profiler's flop count, `events=FILE` streams JSONL progress (`-` =
+//! stderr), `bench=FILE` writes a `ptatin-ensemble-bench-v1` document.
+//! Fault plans (`--fault` or `PTATIN_FAULT`) accept `;`-separated lists
+//! with optional job targeting: `crash@1:job=3;stall@0:job=11`. Exit
+//! status: 0 when every job completed, 3 when any job failed.
+//!
 //! Profiling (any subcommand; with no subcommand `sinker` is implied):
 //!
 //! ```text
@@ -43,8 +58,10 @@ use ptatin3d::core::output::{
 };
 use ptatin3d::core::recovery::{run_rift as drive_rift, RunConfig, RunOutcome};
 use ptatin3d::core::{CoarseKind, GmgConfig, KrylovOperatorChoice};
+use ptatin3d::ensemble::{self, EnsembleConfig, EventSink};
 use ptatin_la::krylov::KrylovConfig;
-use std::path::PathBuf;
+use ptatin_la::par;
+use std::path::{Path, PathBuf};
 
 struct Args(Vec<String>);
 
@@ -83,12 +100,19 @@ fn main() {
     match cmd.as_str() {
         "sinker" => run_sinker(&args),
         "rift" => run_rift(&args),
+        "ensemble" => run_ensemble(&args),
         _ => {
-            eprintln!("usage: ptatin <sinker|rift> [key=value ...] [--log-view] [--log-json=FILE]");
-            eprintln!("  sinker: m=8 levels=3 delta_eta=1e4 out=vtk_out");
-            eprintln!("  rift:   mx=12 my=4 mz=8 steps=10 shortening=0 [strong-crust] out=vtk_out");
-            eprintln!("          --checkpoint-every=N --checkpoint-dir=DIR");
-            eprintln!("          --restart-from=FILE --fault=<breakdown|stall|crash>@STEP");
+            eprintln!("usage: ptatin <sinker|rift|ensemble> [key=value ...] [--log-view] [--log-json=FILE]");
+            eprintln!("  sinker:   m=8 levels=3 delta_eta=1e4 out=vtk_out");
+            eprintln!(
+                "  rift:     mx=12 my=4 mz=8 steps=10 shortening=0 [strong-crust] out=vtk_out"
+            );
+            eprintln!("            --checkpoint-every=N --checkpoint-dir=DIR");
+            eprintln!(
+                "            --restart-from=FILE --fault=<breakdown|stall|crash>@STEP[:job=N]"
+            );
+            eprintln!("  ensemble: sweep=FILE slice=2 retries=2 flop-budget=N events=FILE|-");
+            eprintln!("            ckpt-dir=DIR bench=FILE [keep-ckpt] [no-preempt] --fault=LIST");
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
     }
@@ -98,6 +122,121 @@ fn main() {
     if let Some(path) = log_json {
         ptatin_prof::write_json(&path).expect("write profiler json");
         println!("wrote profiler report to {}", path.display());
+    }
+}
+
+fn run_ensemble(args: &Args) {
+    let sweep = args.get("sweep", String::new());
+    if sweep.is_empty() {
+        eprintln!("ensemble: missing sweep=FILE");
+        std::process::exit(2);
+    }
+    let jobs = ensemble::load_sweep_file(Path::new(&sweep)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    // Fault plans: CLI flag wins over PTATIN_FAULT; both accept
+    // `;`-separated lists with `:job=N` targeting.
+    let fault_arg = args.get("--fault", String::new());
+    if fault_arg.is_empty() {
+        faults::install_from_env();
+    } else {
+        match FaultPlan::parse_list(&fault_arg) {
+            Some(plans) => faults::set_plans(plans),
+            None => {
+                eprintln!(
+                    "bad --fault spec {fault_arg:?}: want <breakdown|stall|crash>@STEP[:job=N][;...]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let no_preempt = args.flag("no-preempt");
+    let slice_wall = args.get("slice-wall", 0.0f64);
+    let flop_budget = args.get("flop-budget", 0u64);
+    let cfg = EnsembleConfig {
+        ckpt_root: PathBuf::from(args.get("ckpt-dir", String::from("output/ensemble_ckpt"))),
+        slice_steps: if no_preempt {
+            0
+        } else {
+            args.get("slice", 2usize)
+        },
+        slice_wall_seconds: (slice_wall > 0.0 && !no_preempt).then_some(slice_wall),
+        max_retries: args.get("retries", 2usize),
+        flop_budget: (flop_budget > 0).then_some(flop_budget),
+        keep_checkpoints: args.flag("keep-ckpt"),
+        ..EnsembleConfig::default()
+    };
+    // Flop budgets and per-job attribution need the profiler counters.
+    if cfg.flop_budget.is_some() {
+        ptatin_prof::enable();
+    }
+    let events = args.get("events", String::new());
+    let mut sink = match events.as_str() {
+        "" => EventSink::null(),
+        "-" => EventSink::stderr(),
+        p => EventSink::file(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot open event log {p}: {e}");
+            std::process::exit(2);
+        }),
+    };
+    let armed = faults::plans();
+    if !armed.is_empty() {
+        let list: Vec<String> = armed.iter().map(|p| p.to_string()).collect();
+        println!("fault injection armed: {}", list.join("; "));
+    }
+    println!(
+        "ensemble: {} jobs from {}, slice={} retries={}{}",
+        jobs.len(),
+        sweep,
+        if cfg.slice_steps == 0 {
+            String::from("off")
+        } else {
+            cfg.slice_steps.to_string()
+        },
+        cfg.max_retries,
+        match cfg.flop_budget {
+            Some(b) => format!(", flop budget {b}"),
+            None => String::new(),
+        }
+    );
+    let n_jobs = jobs.len();
+    let summary = ensemble::run_sweep(jobs, &cfg, &mut sink).unwrap_or_else(|e| {
+        eprintln!("checkpoint i/o failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", ensemble::summary_table(&summary));
+    let mut failed = 0usize;
+    for r in &summary.results {
+        if !r.outcome.is_success() {
+            failed += 1;
+            eprintln!(
+                "job {:>5} [{}] failed: {} after {} steps, {} retries",
+                r.id,
+                r.name,
+                r.outcome.label(),
+                r.steps_done,
+                r.retries
+            );
+        }
+    }
+    let bench = args.get("bench", String::new());
+    if !bench.is_empty() {
+        let stats = ensemble::ThroughputStats::from_summary(&summary);
+        let doc = ensemble::bench_doc(
+            "cli",
+            n_jobs,
+            cfg.slice_steps,
+            vec![stats.to_value(par::num_threads())],
+        );
+        std::fs::write(&bench, doc.to_json() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write bench file {bench}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {bench}");
+    }
+    if failed > 0 {
+        std::process::exit(3);
     }
 }
 
@@ -257,6 +396,9 @@ fn run_rift(args: &Args) {
     }
     match &report.outcome {
         RunOutcome::Completed => {}
+        // `run_rift` has no preemption hook; the plain rift subcommand
+        // can never be preempted.
+        RunOutcome::Preempted { .. } => {}
         RunOutcome::SimulatedCrash { step } => {
             eprintln!("simulated crash at step {step}; restart from the last checkpoint");
             std::process::exit(42);

@@ -22,7 +22,10 @@
 //! * [`ckpt`] — checkpoint/restart serialization + deterministic fault
 //!   injection (see `ptatin rift --checkpoint-every=N --restart-from=F`),
 //! * [`prof`] — `-log_view`-style profiling (event timers, flop counters,
-//!   KSP histories; see `ptatin --log-view`).
+//!   KSP histories; see `ptatin --log-view`),
+//! * [`ensemble`] — multi-tenant ensemble service: sweep expansion, fair
+//!   checkpoint-backed preemptive scheduling, JSONL progress events (see
+//!   `ptatin ensemble sweep=FILE`).
 //!
 //! See `examples/quickstart.rs` for the 60-second tour, DESIGN.md for the
 //! architecture and experiment index, and EXPERIMENTS.md for the
@@ -30,6 +33,7 @@
 
 pub use ptatin_ckpt as ckpt;
 pub use ptatin_core as core;
+pub use ptatin_ensemble as ensemble;
 pub use ptatin_fem as fem;
 pub use ptatin_la as la;
 pub use ptatin_mesh as mesh;

@@ -126,6 +126,7 @@ fn crash_and_resume_through_the_driver_matches_uninterrupted_run() {
     faults::set_plan(Some(FaultPlan {
         kind: FaultKind::Crash,
         step: CRASH_AT as u64,
+        job: None,
     }));
     let run = RunConfig {
         steps: N,
