@@ -13,7 +13,7 @@ use ptatin_mpm::projection::{
     corners_to_quadrature, corners_to_quadrature_log, project_to_corners,
 };
 use ptatin_ops::NewtonData;
-use ptatin_rheology::MaterialTable;
+use ptatin_rheology::{MaterialTable, Rheology};
 
 /// Coefficient state consumed by the operators and the right-hand side.
 pub struct CoefficientFields {
@@ -168,7 +168,9 @@ pub fn update_coefficients(
             Some(t) => corner_field_at(mesh, t, e, xi),
             None => materials.get(points.lithology[p]).reference_temperature,
         };
-        let mat = materials.get(points.lithology[p]);
+        // Evaluate through the `Rheology` trait — the constitutive contract
+        // shared by every law in the menu.
+        let mat: &dyn Rheology = materials.get(points.lithology[p]);
         let ev = mat.effective_viscosity(eps, temp, pres, points.plastic_strain[p]);
         log_eta[p] = ev.eta.ln();
         eta_prime[p] = ev.eta_prime;

@@ -1,5 +1,10 @@
-//! Model problems: the sinker robustness/performance problem (§IV) and the
-//! continental rifting application (§V).
+//! Model problems: the sinker robustness/performance problem (§IV), the
+//! continental rifting application (§V), and the scenario-registry
+//! workloads — SolCx analytic verification, plastic shear-band
+//! localization, and the nonlinear falling-block problem.
 
+pub mod falling_block;
 pub mod rift;
+pub mod shear_band;
 pub mod sinker;
+pub mod solcx;

@@ -35,7 +35,7 @@ use ptatin_mpm::points::{seed_regular, MaterialPoints};
 use ptatin_mpm::population::{control_population, PopulationConfig};
 use ptatin_ops::{OperatorKind, TensorViscousOp, ViscousOpData};
 use ptatin_prng::{Rng, StdRng};
-use ptatin_rheology::{DruckerPrager, Material, MaterialTable, ViscousLaw};
+use ptatin_rheology::{DruckerPrager, Material, MaterialTable, Plasticity, ViscousLaw};
 use std::sync::Arc;
 
 /// Configuration of the rifting model (scaled units).
@@ -145,6 +145,7 @@ fn rift_materials(weak_lower_crust: bool) -> MaterialTable {
             prefactor: 0.3,
             stress_exponent: 3.5,
             activation: 4.0,
+            activation_volume: 0.0,
         },
         plasticity: None,
         eta_min: 1e-3,
@@ -167,7 +168,7 @@ fn rift_materials(weak_lower_crust: bool) -> MaterialTable {
         viscous: ViscousLaw::Constant {
             eta: lower_crust_eta,
         },
-        plasticity: Some(crust_dp.clone()),
+        plasticity: Some(Plasticity::DruckerPrager(crust_dp.clone())),
         eta_min: 1e-3,
         eta_max: 1e4,
     };
@@ -177,7 +178,7 @@ fn rift_materials(weak_lower_crust: bool) -> MaterialTable {
         thermal_expansivity: 0.1,
         reference_temperature: 0.1,
         viscous: ViscousLaw::Constant { eta: 500.0 },
-        plasticity: Some(crust_dp),
+        plasticity: Some(Plasticity::DruckerPrager(crust_dp)),
         eta_min: 1e-3,
         eta_max: 1e4,
     };

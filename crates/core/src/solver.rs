@@ -200,6 +200,39 @@ fn build_arc_operator(
     }
 }
 
+/// How the effective viscosity reaches the quadrature points of every
+/// multigrid level.
+pub enum ViscositySpec<'a> {
+    /// Corner field on the finest mesh (output of the material-point
+    /// projection); coarser levels inherit it by the configured
+    /// restriction, and quadrature values interpolate the corner field.
+    Corner(&'a [f64]),
+    /// Analytic η(x) evaluated *directly* at the physical coordinates of
+    /// each quadrature point on every level. Keeps mesh-aligned viscosity
+    /// discontinuities sharp (corner interpolation would smear a jump over
+    /// the interface-adjacent elements and destroy the discretization
+    /// order) — the SolCx verification path.
+    Analytic(&'a dyn Fn([f64; 3]) -> f64),
+}
+
+/// Evaluate an analytic viscosity at every quadrature point of a mesh.
+fn analytic_eta_qp(
+    mesh: &ptatin_mesh::StructuredMesh,
+    tables: &Q2QuadTables,
+    eta: &dyn Fn([f64; 3]) -> f64,
+) -> Vec<f64> {
+    let nqp = tables.nqp();
+    let mut out = vec![0.0; mesh.num_elements() * nqp];
+    for e in 0..mesh.num_elements() {
+        let corners = mesh.element_corner_coords(e);
+        for q in 0..nqp {
+            let x = ptatin_fem::geometry::map_to_physical(&corners, tables.quad.points[q]);
+            out[e * nqp + q] = eta(x);
+        }
+    }
+    out
+}
+
 /// Build the full Stokes solver for one linearization state.
 ///
 /// * `hier` — mesh hierarchy (coarse → fine),
@@ -215,6 +248,24 @@ pub fn build_stokes_solver(
     cfg: &GmgConfig,
     newton: Option<ptatin_ops::NewtonData>,
 ) -> StokesSolver {
+    build_stokes_solver_spec(
+        hier,
+        ViscositySpec::Corner(eta_corner_fine),
+        bcs,
+        cfg,
+        newton,
+    )
+}
+
+/// [`build_stokes_solver`] generalized over the viscosity representation
+/// (corner field vs analytic per-quadrature-point evaluation).
+pub fn build_stokes_solver_spec(
+    hier: &MeshHierarchy,
+    viscosity: ViscositySpec,
+    bcs: &[DirichletBc],
+    cfg: &GmgConfig,
+    newton: Option<ptatin_ops::NewtonData>,
+) -> StokesSolver {
     let _ev = prof::scope("StokesSetup");
     let t_setup = std::time::Instant::now();
     let tables = Q2QuadTables::standard();
@@ -223,37 +274,48 @@ pub fn build_stokes_solver(
     assert_eq!(bcs.len(), levels);
     let fine_mesh = hier.finest();
 
-    // Coefficient fields per level (fine → coarse injection).
-    let mut eta_corner: Vec<Vec<f64>> = vec![Vec::new(); levels];
-    eta_corner[levels - 1] = eta_corner_fine.to_vec();
-    for l in (0..levels - 1).rev() {
-        eta_corner[l] = match cfg.coefficient_restriction {
-            CoefficientRestriction::Injection => ptatin_mpm::projection::coarsen_corner_field(
-                &hier.meshes[l + 1],
-                &hier.meshes[l],
-                &eta_corner[l + 1],
-            ),
-            CoefficientRestriction::FullWeighting => restrict_corner_field(
-                &hier.meshes[l + 1],
-                &hier.meshes[l],
-                &eta_corner[l + 1],
-                cfg.geometric_averaging,
-            ),
-        };
-    }
-    let eta_qp: Vec<Vec<f64>> = (0..levels)
-        .map(|l| {
-            if cfg.geometric_averaging {
-                corners_to_quadrature_log(&hier.meshes[l], &tables, &eta_corner[l])
-            } else {
-                ptatin_mpm::projection::corners_to_quadrature(
-                    &hier.meshes[l],
-                    &tables,
-                    &eta_corner[l],
-                )
+    // Coefficient fields per level.
+    let eta_qp: Vec<Vec<f64>> = match viscosity {
+        ViscositySpec::Corner(eta_corner_fine) => {
+            // Fine → coarse restriction of the corner field, then
+            // interpolation to quadrature points.
+            let mut eta_corner: Vec<Vec<f64>> = vec![Vec::new(); levels];
+            eta_corner[levels - 1] = eta_corner_fine.to_vec();
+            for l in (0..levels - 1).rev() {
+                eta_corner[l] = match cfg.coefficient_restriction {
+                    CoefficientRestriction::Injection => {
+                        ptatin_mpm::projection::coarsen_corner_field(
+                            &hier.meshes[l + 1],
+                            &hier.meshes[l],
+                            &eta_corner[l + 1],
+                        )
+                    }
+                    CoefficientRestriction::FullWeighting => restrict_corner_field(
+                        &hier.meshes[l + 1],
+                        &hier.meshes[l],
+                        &eta_corner[l + 1],
+                        cfg.geometric_averaging,
+                    ),
+                };
             }
-        })
-        .collect();
+            (0..levels)
+                .map(|l| {
+                    if cfg.geometric_averaging {
+                        corners_to_quadrature_log(&hier.meshes[l], &tables, &eta_corner[l])
+                    } else {
+                        ptatin_mpm::projection::corners_to_quadrature(
+                            &hier.meshes[l],
+                            &tables,
+                            &eta_corner[l],
+                        )
+                    }
+                })
+                .collect()
+        }
+        ViscositySpec::Analytic(eta) => (0..levels)
+            .map(|l| analytic_eta_qp(&hier.meshes[l], &tables, eta))
+            .collect(),
+    };
 
     // Masks and filtered blocked transfers.
     let masks: Vec<Vec<bool>> = (0..levels)

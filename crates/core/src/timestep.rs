@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn plastic_strain_accumulates_only_on_yield() {
-        use ptatin_rheology::{DruckerPrager, Material, ViscousLaw};
+        use ptatin_rheology::{DruckerPrager, Material, Plasticity, ViscousLaw};
         let mesh = mesh();
         let mats = MaterialTable::new(vec![Material {
             name: "brittle".into(),
@@ -194,14 +194,14 @@ mod tests {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: 1e6 },
-            plasticity: Some(DruckerPrager {
+            plasticity: Some(Plasticity::DruckerPrager(DruckerPrager {
                 cohesion: 0.1,
                 friction_angle: 0.5,
                 cohesion_softened: 0.1,
                 friction_softened: 0.5,
                 softening_strain: (0.0, 1.0),
                 tension_cutoff: 0.0,
-            }),
+            })),
             eta_min: 1e-6,
             eta_max: 1e12,
         }]);

@@ -229,6 +229,12 @@ pub fn run_sweep(
                 let sc = sc.clone();
                 run_slice_sinker(&mut st, &sc, cfg, sink)
             }
+            // The registry's steady scenarios run like sinker jobs: one
+            // non-preemptible solve per slice.
+            other => {
+                let sc = other.clone();
+                run_slice_steady(&mut st, &sc, cfg, sink)
+            }
         };
         summary.total_slices += 1;
         match end {
@@ -444,6 +450,62 @@ fn run_slice_rift(
                 None,
             ))
         }
+    }
+}
+
+/// One slice of a registry scenario job (SolCx, shear band, falling
+/// block): a single non-preemptible run through
+/// [`ptatin_scenarios::run_scenario`]. The state hash covers the named
+/// metrics of the run — bitwise comparable across schedules at a fixed
+/// thread count, like the sinker's solution hash.
+fn run_slice_steady(
+    st: &mut Active,
+    scenario: &Scenario,
+    cfg: &EnsembleConfig,
+    sink: &mut EventSink,
+) -> SliceEnd {
+    let id = st.spec.id;
+    let t_slice = Instant::now();
+    if let Some(b) = cfg.flop_budget {
+        if st.flops >= b {
+            return SliceEnd::Finished(JobOutcome::BudgetExhausted, None);
+        }
+    }
+    faults::set_current_job(Some(id));
+    let job_scope = prof::scope_dyn(&format!("EnsembleJob[{id:05}]"));
+    let flops0 = prof::flops_total();
+
+    let summary = ptatin_scenarios::run_scenario(scenario, st.spec.steps);
+
+    let slice_flops = prof::flops_total().saturating_sub(flops0);
+    drop(job_scope);
+    faults::set_current_job(None);
+    st.flops += slice_flops;
+    st.slices += 1;
+    st.steps_done = 1;
+    st.service_seconds += t_slice.elapsed().as_secs_f64();
+    sink.emit(
+        "job_slice",
+        vec![
+            ("job", Value::Num(id as f64)),
+            ("committed", num(1)),
+            ("flops", Value::Num(slice_flops as f64)),
+        ],
+    );
+    if summary.converged {
+        let mut bytes = Vec::new();
+        for (name, v) in &summary.metrics {
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        SliceEnd::Finished(JobOutcome::Completed, Some(fnv1a64(&bytes)))
+    } else {
+        SliceEnd::Finished(
+            JobOutcome::Aborted {
+                last: NonlinearOutcome::Stall,
+            },
+            None,
+        )
     }
 }
 

@@ -22,35 +22,15 @@
 //! re-parsing — the scheduler, fault targeting and event stream all key
 //! on those ids.
 
-use ptatin_core::models::rift::RiftConfig;
-use ptatin_core::models::sinker::SinkerConfig;
-use ptatin_core::{CoarseKind, GmgConfig};
+use ptatin_scenarios::ScenarioProto;
 use std::fmt;
 use std::path::Path;
+
+pub use ptatin_scenarios::Scenario;
 
 /// Hard cap on the number of jobs a single sweep may expand to; a typo in
 /// a range bound should be an error, not an OOM.
 pub const MAX_JOBS: usize = 1_000_000;
-
-/// What one job simulates.
-#[derive(Clone, Debug)]
-pub enum Scenario {
-    /// Time-dependent continental rifting run (preemptible: the step loop
-    /// yields at committed-step boundaries).
-    Rift(RiftConfig),
-    /// Single steady Stokes solve of the sinker robustness problem (not
-    /// preemptible: one solve, one slice).
-    Sinker(SinkerConfig),
-}
-
-impl Scenario {
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Scenario::Rift(_) => "rift",
-            Scenario::Sinker(_) => "sinker",
-        }
-    }
-}
 
 /// One concrete job of an ensemble: a scenario, a step budget and a
 /// stable id (its index in expansion order).
@@ -214,104 +194,34 @@ fn expand_axis_values(line: usize, value: &str) -> Result<Vec<String>, SpecError
     Ok(values)
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Kind {
-    Rift,
-    Sinker,
-}
-
-/// Mutable prototype a job is built on: both configs are carried so keys
-/// can be applied regardless of where `scenario =` appears in the file.
+/// Mutable prototype a job is built on: a [`ScenarioProto`] (which
+/// carries every per-kind config so keys apply regardless of where
+/// `scenario =` appears) — the sweep grammar therefore accepts the full
+/// scenario-registry key set, including the `material.*` rheology menu,
+/// `solver.*` knobs and `bc.*` boundary choices.
+#[derive(Default)]
 struct Proto {
-    kind: Kind,
-    rift: RiftConfig,
-    sinker: SinkerConfig,
-    steps: usize,
-}
-
-impl Default for Proto {
-    fn default() -> Self {
-        Self {
-            kind: Kind::Rift,
-            rift: RiftConfig::default(),
-            sinker: SinkerConfig::default(),
-            steps: 1,
-        }
-    }
-}
-
-fn parse_as<T: std::str::FromStr>(line: usize, key: &str, v: &str) -> Result<T, SpecError> {
-    v.parse()
-        .map_or_else(|_| err(line, format!("bad value `{v}` for `{key}`")), Ok)
+    inner: ScenarioProto,
 }
 
 impl Proto {
     fn apply(&mut self, line: usize, key: &str, v: &str) -> Result<(), SpecError> {
-        match key {
-            "scenario" => {
-                self.kind = match v {
-                    "rift" => Kind::Rift,
-                    "sinker" => Kind::Sinker,
-                    _ => return err(line, format!("unknown scenario `{v}`")),
-                }
-            }
-            "steps" => self.steps = parse_as(line, key, v)?,
-            // Rift geometry/physics.
-            "mx" => self.rift.mx = parse_as(line, key, v)?,
-            "my" => self.rift.my = parse_as(line, key, v)?,
-            "mz" => self.rift.mz = parse_as(line, key, v)?,
-            "levels" => {
-                // One knob drives both mesh depth fields.
-                let l: usize = parse_as(line, key, v)?;
-                self.rift.levels = l;
-                self.rift.gmg.levels = l;
-                self.sinker.levels = l;
-            }
-            "extension_velocity" => self.rift.extension_velocity = parse_as(line, key, v)?,
-            "shortening_velocity" => self.rift.shortening_velocity = parse_as(line, key, v)?,
-            "weak_lower_crust" => self.rift.weak_lower_crust = parse_as(line, key, v)?,
-            "kappa" => self.rift.kappa = parse_as(line, key, v)?,
-            "cfl" => self.rift.cfl = parse_as(line, key, v)?,
-            "dt_max" => self.rift.dt_max = parse_as(line, key, v)?,
-            "points_per_dim" => {
-                let p: usize = parse_as(line, key, v)?;
-                self.rift.points_per_dim = p;
-                self.sinker.points_per_dim = p;
-            }
-            "seed" => {
-                let s: u64 = parse_as(line, key, v)?;
-                self.rift.seed = s;
-                self.sinker.seed = s;
-            }
-            "max_it" => self.rift.nonlinear.max_it = parse_as(line, key, v)?,
-            "linear_max_it" => self.rift.nonlinear.linear_max_it = parse_as(line, key, v)?,
-            "abs_tol" => self.rift.nonlinear.abs_tol = parse_as(line, key, v)?,
-            "rel_tol" => self.rift.nonlinear.rel_tol = parse_as(line, key, v)?,
-            "coarse" => match v {
-                "direct" => self.rift.gmg.coarse = CoarseKind::Direct,
-                "asm" => self.rift.gmg.coarse = GmgConfig::default().coarse,
-                _ => return err(line, format!("unknown coarse solver `{v}` (direct|asm)")),
-            },
-            // Sinker-specific.
-            "m" => self.sinker.m = parse_as(line, key, v)?,
-            "n_spheres" => self.sinker.n_spheres = parse_as(line, key, v)?,
-            "radius" => self.sinker.radius = parse_as(line, key, v)?,
-            "delta_eta" => self.sinker.delta_eta = parse_as(line, key, v)?,
-            _ => return err(line, format!("unknown key `{key}`")),
-        }
-        Ok(())
+        self.inner
+            .apply(line, key, v)
+            .map_or_else(|msg| err(line, msg), Ok)
     }
 
     fn into_job(self, id: u64, name: String) -> Result<JobSpec, SpecError> {
-        let scenario = match self.kind {
-            Kind::Rift => Scenario::Rift(self.rift),
-            Kind::Sinker => Scenario::Sinker(self.sinker),
-        };
+        let steps = self.inner.steps;
+        let scenario = self
+            .inner
+            .build()
+            .map_err(|(line, msg)| SpecError { line, msg })?;
         Ok(JobSpec {
             id,
             name,
             scenario,
-            steps: self.steps,
+            steps,
         })
     }
 }
@@ -412,6 +322,57 @@ sweep seed = 7, 8
         let text = "sweep seed = 0..101\nsweep mx = 0..101\nsweep my = 0..101\n";
         let e = SweepSpec::parse(text).unwrap().expand().unwrap_err();
         assert!(e.msg.contains("cap"), "{e}");
+    }
+
+    #[test]
+    fn registry_scenarios_and_rheology_keys_are_sweepable() {
+        use ptatin_ops::OperatorKind;
+        use ptatin_rheology::ViscousLaw;
+        // A sweep axis may range over the rheology menu and the solver
+        // operator kind of a registry scenario.
+        let text = "\
+scenario = falling_block
+m = 4
+levels = 2
+material.ambient.law = power_law
+sweep material.ambient.stress_exponent = 2, 3
+sweep solver.fine_kind = tensor, tensor_batched
+";
+        let jobs = SweepSpec::parse(text).unwrap().expand().unwrap();
+        assert_eq!(jobs.len(), 4);
+        match &jobs[3].scenario {
+            Scenario::FallingBlock(c) => {
+                assert_eq!(c.m, 4);
+                assert_eq!(c.gmg.fine_kind, OperatorKind::TensorBatched);
+                match c.ambient.viscous {
+                    ViscousLaw::PowerLaw {
+                        stress_exponent, ..
+                    } => assert_eq!(stress_exponent, 3.0),
+                    ref other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("wrong kind {}", other.kind()),
+        }
+        assert_eq!(
+            jobs[1].name,
+            "material.ambient.stress_exponent=2 solver.fine_kind=tensor_batched"
+        );
+
+        // Scenario-registry validation fires through the sweep grammar
+        // with the sweep file's line numbers.
+        let e = SweepSpec::parse("scenario = solcx\nmx = 5\n")
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("mesh-aligned"), "{e}");
+
+        let e = SweepSpec::parse("scenario = rift\nbc.top = free_slip\n")
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("fixed by the model"), "{e}");
     }
 
     #[test]

@@ -367,8 +367,14 @@ fn invert4(m: &[[f64; NP1]; NP1]) -> [[f64; NP1]; NP1] {
     inv
 }
 
-/// Assemble the velocity right-hand side `F(w) = -∫ f·w` with `f = ρ g`
-/// (Eq. (10); surface tractions are zero on the free surface).
+/// Assemble the velocity right-hand side `F(w) = ∫ f·w` with `f = ρ g`
+/// (Eq. (10); surface tractions are zero on the free surface). `gravity`
+/// is the physical acceleration vector — pass it pointing down (e.g.
+/// `[0, 0, -9.8]`) and dense material sinks. (The sign was flipped when
+/// the falling-block scenario exposed that dense inclusions rose under
+/// the previous `-∫ f·w` convention; the legacy sinker/rift tests only
+/// assert that both flow signs exist, which incompressibility guarantees
+/// for either convention.)
 pub fn assemble_body_force(
     mesh: &StructuredMesh,
     tables: &Q2QuadTables,
@@ -387,12 +393,41 @@ pub fn assemble_body_force(
             for (i, &nid) in nodes.iter().enumerate() {
                 let phi = tables.basis[q][i];
                 for d in 0..3 {
-                    f[3 * nid + d] -= w * gravity[d] * phi;
+                    f[3 * nid + d] += w * gravity[d] * phi;
                 }
             }
         }
     }
     f
+}
+
+/// Weak-form load vector for an analytic body force `f(x)`:
+/// `F_i = ∫ f(x) · φ_i dx` by quadrature. Used by manufactured-solution
+/// and analytic verification problems (MMS, SolCx) where the forcing is a
+/// closure of the physical coordinate rather than a projected ρ g field.
+pub fn assemble_forcing(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    force: impl Fn([f64; 3]) -> [f64; 3],
+) -> Vec<f64> {
+    let nqp = tables.nqp();
+    let mut out = vec![0.0; num_velocity_dofs(mesh)];
+    for e in 0..mesh.num_elements() {
+        let corners = mesh.element_corner_coords(e);
+        let nodes = mesh.element_nodes(e);
+        for q in 0..nqp {
+            let geo = qp_geometry(&corners, tables.quad.points[q], tables.quad.weights[q]);
+            let x = map_to_physical(&corners, tables.quad.points[q]);
+            let fq = force(x);
+            for (i, &nid) in nodes.iter().enumerate() {
+                let w = tables.basis[q][i] * geo.wdetj;
+                for d in 0..3 {
+                    out[3 * nid + d] += w * fq[d];
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Total mesh volume by quadrature (diagnostics and tests).
@@ -541,7 +576,9 @@ mod tests {
 
     #[test]
     fn body_force_total_weight() {
-        // Σ_i f_i(z-components over all nodes) = -∫ρ g_z = -ρ g_z · vol
+        // Σ_i f_i(z-components over all nodes) = ∫ρ g_z = ρ g_z · vol:
+        // the net load on a unit cube of density 2 under g_z = -9.8 points
+        // down (dense material sinks).
         let tables = Q2QuadTables::standard();
         let mesh = box_mesh(2);
         let rho = const_coeff(&mesh, &tables, 2.0);
@@ -551,7 +588,7 @@ mod tests {
         for nn in 0..mesh.num_nodes() {
             total_z += f[3 * nn + 2];
         }
-        assert!((total_z - (-2.0 * -9.8)).abs() < 1e-10, "{total_z}");
+        assert!((total_z - (2.0 * -9.8)).abs() < 1e-10, "{total_z}");
     }
 
     #[test]

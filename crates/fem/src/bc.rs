@@ -142,6 +142,28 @@ impl<'m> VelocityBcBuilder<'m> {
         self
     }
 
+    /// Prescribe the full velocity vector on a face from a closure of the
+    /// node's physical coordinate (analytic Dirichlet data — MMS, SolCx).
+    pub fn velocity_fn(mut self, axis: usize, min: bool, f: impl Fn([f64; 3]) -> [f64; 3]) -> Self {
+        for n in self.mesh.boundary_nodes(axis, min) {
+            let v = f(self.mesh.coords[n]);
+            for d in 0..3 {
+                self.bc.set(3 * n + d, v[d]);
+            }
+        }
+        self
+    }
+
+    /// Prescribe analytic velocity data on all six faces.
+    pub fn all_faces_fn(mut self, f: impl Fn([f64; 3]) -> [f64; 3]) -> Self {
+        for axis in 0..3 {
+            for min in [true, false] {
+                self = self.velocity_fn(axis, min, &f);
+            }
+        }
+        self
+    }
+
     pub fn build(self) -> DirichletBc {
         self.bc
     }

@@ -210,22 +210,29 @@ impl Csr {
     ///
     /// The scatter races on output columns, so the parallel path gives
     /// each row-block its own column accumulator and combines the blocks
-    /// in fixed order afterwards — bitwise-deterministic at a fixed thread
-    /// count. Small matrices keep the serial scatter (identical to the
-    /// single-thread result).
+    /// in fixed order afterwards. The row-block partition is a pure
+    /// function of the matrix (never the thread count), so the result is
+    /// bitwise identical at every thread count. Small matrices keep the
+    /// serial scatter.
     pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
         let _ev = prof::scope("MatMultTranspose");
         prof::log_flops(2 * self.nnz() as u64);
         prof::log_bytes(self.bytes() as u64 + 8 * (x.len() + y.len()) as u64);
-        let nt = par::num_threads();
         const PAR_MIN_NNZ: usize = 1 << 14;
-        if nt <= 1 || self.nnz() < PAR_MIN_NNZ {
+        if self.nnz() < PAR_MIN_NNZ {
             self.spmv_transpose_serial_into(x, y);
             return;
         }
-        let ranges = par::split_ranges(self.nrows, nt);
+        // Fixed piece count, NOT the thread count: the grouping of row
+        // contributions into partial accumulators must be a pure function
+        // of the matrix so the result is bitwise identical at every
+        // thread count (at nt=1 the pieces just run in order on the
+        // calling thread). 8 pieces bounds the accumulator memory at
+        // 8 × ncols while covering the pool widths CI sweeps.
+        const NPIECES: usize = 8;
+        let ranges = par::split_ranges(self.nrows, NPIECES);
         let npieces = ranges.len();
         if npieces <= 1 {
             self.spmv_transpose_serial_into(x, y);

@@ -12,12 +12,19 @@
 //!
 //! * [`split_ranges`] is a pure function of `(len, nt)`.
 //! * Piece results depend only on the piece index, never on which thread
-//!   ran the piece; [`par_reduce`] combines partials left-to-right.
+//!   ran the piece.
+//! * [`par_reduce`] folds fixed [`REDUCE_BLOCK`]-sized blocks and combines
+//!   the block partials left-to-right in block order — the grouping is a
+//!   pure function of `len`, independent of the thread count.
 //! * The calling thread folds piece 0 itself (it would otherwise idle).
 //!
 //! Together these make every helper bitwise-deterministic at a fixed
-//! thread count; across thread counts only the floating-point regrouping
-//! of reductions changes (see `tests/thread_invariance.rs`).
+//! thread count, and make every *reduction* (dot products, norms — the
+//! only place parallel regrouping could touch floating point) bitwise
+//! identical across thread counts too. Element loops already scatter in
+//! color/lane order, so whole Stokes solves reproduce bitwise at nt=1
+//! and nt=N (see `tests/thread_invariance.rs` and the SolCx gate's
+//! nt-sweep in scripts/ci.sh).
 //!
 //! ## Nested parallelism
 //!
@@ -616,31 +623,48 @@ where
     });
 }
 
-/// Parallel reduction: each worker folds its range with `fold`, partial
-/// results are combined left-to-right with `combine` (deterministic order).
+/// Fixed partial-reduction block size. [`par_reduce`] folds
+/// `REDUCE_BLOCK`-sized index blocks and combines the block partials
+/// left-to-right in block order, so the grouping of a reduction is a pure
+/// function of `len` — **independent of the thread count** — and every
+/// reduction is bitwise identical at nt=1 and nt=N. The block is large
+/// enough that the partial-combine tail is negligible next to the folds.
+const REDUCE_BLOCK: usize = 8192;
+
+/// Parallel reduction: `fold` runs over fixed `REDUCE_BLOCK`-sized index
+/// blocks (threads each take a contiguous run of blocks), and the block
+/// partials are combined left-to-right with `combine` in block order.
+/// Because the blocking ignores the thread count, the result is bitwise
+/// identical at every `num_threads()` — the foundation of the
+/// cross-thread-count determinism contract (see module docs).
 pub fn par_reduce<R, F, C>(len: usize, identity: R, fold: F, combine: C) -> R
 where
     R: Send,
     F: Fn(usize, usize) -> R + Sync,
     C: Fn(R, R) -> R,
 {
-    let ranges = split_ranges(len, num_threads());
-    if ranges.len() <= 1 {
-        let (s, e) = ranges[0];
-        return fold(s, e);
+    let nblocks = len.div_ceil(REDUCE_BLOCK).max(1);
+    if nblocks <= 1 {
+        return fold(0, len);
     }
-    let mut parts: Vec<Option<R>> = (0..ranges.len()).map(|_| None).collect();
+    let mut parts: Vec<Option<R>> = (0..nblocks).map(|_| None).collect();
     let base = SendPtr::new(parts.as_mut_ptr());
-    run_on_pool(&ranges, |i, s, e| {
-        // SAFETY: each piece writes only slot `i`; `parts` outlives the
-        // dispatch.
-        unsafe { *base.get().add(i) = Some(fold(s, e)) };
+    let ranges = split_ranges(nblocks, num_threads());
+    run_on_pool(&ranges, |_, bs, be| {
+        for b in bs..be {
+            let s = b * REDUCE_BLOCK;
+            let e = (s + REDUCE_BLOCK).min(len);
+            // SAFETY: each piece writes only its own block slots `bs..be`;
+            // `parts` outlives the dispatch.
+            unsafe { *base.get().add(b) = Some(fold(s, e)) };
+        }
     });
     parts
         .into_iter()
         // PANIC-OK: `run_on_pool` returns only after every piece ran, and
-        // piece `i` wrote slot `i`; a `None` here is a pool logic bug.
-        .map(|p| p.expect("piece finished"))
+        // the piece owning block `b` wrote slot `b`; a `None` here is a
+        // pool logic bug.
+        .map(|p| p.expect("block finished"))
         .fold(identity, combine)
 }
 
@@ -774,8 +798,11 @@ mod tests {
         let _g = test_guard();
         set_num_threads(4);
         let caller = std::thread::current().id();
+        // 8 blocks over 4 threads: the caller owns blocks 0..2, the
+        // workers the rest.
+        let len = 8 * REDUCE_BLOCK;
         let ids = par_reduce(
-            1000,
+            len,
             Vec::new(),
             |s, _e| vec![(s, std::thread::current().id())],
             |mut a, b| {
@@ -784,13 +811,44 @@ mod tests {
             },
         );
         set_num_threads(0);
-        assert!(ids.len() > 1, "expected a parallel split");
-        let first = ids.iter().find(|(s, _)| *s == 0).expect("range 0 present");
-        assert_eq!(first.1, caller, "range 0 must fold on the calling thread");
-        for (s, id) in &ids {
-            if *s != 0 {
-                assert_ne!(*id, caller, "spawned range folded on the caller");
-            }
+        assert_eq!(ids.len(), 8, "expected one partial per block");
+        // Left-to-right combine in block order.
+        for (b, (s, _)) in ids.iter().enumerate() {
+            assert_eq!(*s, b * REDUCE_BLOCK, "partials out of block order");
+        }
+        assert_eq!(ids[0].1, caller, "block 0 must fold on the calling thread");
+        assert!(
+            ids.iter().any(|(_, id)| *id != caller),
+            "expected a parallel split"
+        );
+    }
+
+    #[test]
+    fn par_reduce_is_bitwise_identical_across_thread_counts() {
+        let _g = test_guard();
+        // An ill-conditioned sum whose value depends on the fp grouping:
+        // any nt-dependent regrouping would flip low bits.
+        let x: Vec<f64> = (0..5 * REDUCE_BLOCK + 17)
+            .map(|i| ((i as f64).sin() * 1e8).mul_add(1.0, 1e-8))
+            .collect();
+        let sum_at = |nt: usize| {
+            set_num_threads(nt);
+            let s = par_reduce(
+                x.len(),
+                0.0f64,
+                |a, b| x[a..b].iter().sum::<f64>(),
+                |p, q| p + q,
+            );
+            set_num_threads(0);
+            s
+        };
+        let s1 = sum_at(1);
+        for nt in [2, 3, 4, 7] {
+            assert_eq!(
+                s1.to_bits(),
+                sum_at(nt).to_bits(),
+                "reduction regrouped between nt=1 and nt={nt}"
+            );
         }
     }
 

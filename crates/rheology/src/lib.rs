@@ -1,18 +1,22 @@
 #![forbid(unsafe_code)]
 
 //! `ptatin-rheology` — effective viscosity and density laws (§II-A, §V of
-//! the paper): per-lithology flow laws combining Arrhenius-type
-//! temperature/strain-rate-dependent creep with a Drucker–Prager stress
-//! limiter parametrizing brittle behaviour, plus Boussinesq buoyancy.
+//! the paper): per-lithology flow laws from the paper's menu (constant,
+//! power-law, Arrhenius, Frank–Kamenetskii creep) combined with a plastic
+//! stress limiter (von Mises or Drucker–Prager with strain softening)
+//! parametrizing brittle behaviour, plus Boussinesq buoyancy.
 //!
-//! Each lithology Φ carries one [`Material`]; [`Material::effective_viscosity`]
-//! returns both η and η′ = ∂η/∂I₂ — the scalar that turns the Picard
-//! operator into the Newton operator (§III-A: the tensor coefficient
-//! `η I + η′ D(u) ⊗ D(u)`).
+//! Each lithology Φ carries one [`Material`]; the [`Rheology`] trait is the
+//! contract consumed by `core::coefficients`:
+//! [`Rheology::effective_viscosity`] returns both η and η′ = ∂η/∂I₂ — the
+//! scalar that turns the Picard operator into the Newton operator (§III-A:
+//! the tensor coefficient `η I + η′ D(u) ⊗ D(u)`).
 
 pub mod material;
 
-pub use material::{DruckerPrager, Material, MaterialTable, ViscosityEval, ViscousLaw};
+pub use material::{
+    DruckerPrager, Material, MaterialTable, Plasticity, Rheology, ViscosityEval, ViscousLaw,
+};
 
 #[cfg(test)]
 mod tests {
@@ -46,6 +50,7 @@ mod tests {
                 prefactor: 1.0,
                 stress_exponent: 3.5,
                 activation: 10.0,
+                activation_volume: 0.0,
             },
             plasticity: None,
             eta_min: 1e-30,
@@ -67,6 +72,7 @@ mod tests {
                 prefactor: 2.0,
                 stress_exponent: 3.0,
                 activation: 0.0,
+                activation_volume: 0.0,
             },
             plasticity: None,
             eta_min: 1e-12,
@@ -92,14 +98,14 @@ mod tests {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: 1e6 },
-            plasticity: Some(DruckerPrager {
+            plasticity: Some(Plasticity::DruckerPrager(DruckerPrager {
                 cohesion: 2.0,
                 friction_angle: 30f64.to_radians(),
                 cohesion_softened: 2.0,
                 friction_softened: 30f64.to_radians(),
                 softening_strain: (0.0, 1.0),
                 tension_cutoff: 0.0,
-            }),
+            })),
             eta_min: 1e-3,
             eta_max: 1e9,
         };
@@ -124,14 +130,14 @@ mod tests {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: 1e8 },
-            plasticity: Some(DruckerPrager {
+            plasticity: Some(Plasticity::DruckerPrager(DruckerPrager {
                 cohesion: 1.0,
                 friction_angle: 0.5,
                 cohesion_softened: 1.0,
                 friction_softened: 0.5,
                 softening_strain: (0.0, 1.0),
                 tension_cutoff: 0.0,
-            }),
+            })),
             eta_min: 1e-6,
             eta_max: 1e12,
         };
@@ -163,7 +169,7 @@ mod tests {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: 1e9 },
-            plasticity: Some(dp),
+            plasticity: Some(Plasticity::DruckerPrager(dp)),
             eta_min: 1e-9,
             eta_max: 1e12,
         };
@@ -187,6 +193,7 @@ mod tests {
                 prefactor: 1.0,
                 stress_exponent: 5.0,
                 activation: 0.0,
+                activation_volume: 0.0,
             },
             plasticity: None,
             eta_min: 0.5,

@@ -1,22 +1,47 @@
-//! Material definitions: viscous flow laws, Drucker–Prager stress limiter
-//! with strain softening, Boussinesq density.
+//! Material definitions: the paper's viscous flow-law menu (constant,
+//! power-law, Arrhenius, Frank–Kamenetskii), plastic stress limiters
+//! (von Mises, Drucker–Prager with strain softening), Boussinesq density.
 
-/// Viscous (creep) part of the effective viscosity.
+/// Viscous (creep) part of the effective viscosity — the paper's §V menu.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ViscousLaw {
     /// Newtonian: η = const.
     Constant { eta: f64 },
+    /// Isothermal power-law creep:
+    /// `η = prefactor · I₂^((1-n)/(2n))`
+    /// (shear-thinning for `stress_exponent` n > 1).
+    PowerLaw {
+        prefactor: f64,
+        stress_exponent: f64,
+    },
     /// Arrhenius-type power-law creep (dimensional or scaled):
-    /// `η = prefactor · ε̇_II^((1-n)/n) · exp(activation / (n·T̃))`
-    /// where `T̃ = max(T, T_floor)` guards the cold limit. The `activation`
-    /// constant may fold pressure dependence (`(E + P·V)/R`) in — the
-    /// pressure-aware evaluation path passes it through
-    /// [`Material::effective_viscosity`].
+    /// `η = prefactor · I₂^((1-n)/(2n)) · exp((activation + P·activation_volume) / (n·T̃))`
+    /// where `T̃ = max(T, T_floor)` guards the cold limit and the pressure
+    /// term models depth dependence (`(E + P·V)/R` folded into scaled
+    /// constants). Pressure enters clamped at zero so a transient tensile
+    /// state cannot reduce the activation barrier below its surface value.
     Arrhenius {
         prefactor: f64,
         stress_exponent: f64,
         activation: f64,
+        activation_volume: f64,
     },
+    /// Frank–Kamenetskii linearized exponential law:
+    /// `η = eta0 · exp(−theta · T)` — the classic mantle-convection
+    /// linearization of Arrhenius creep about a reference temperature.
+    FrankKamenetskii { eta0: f64, theta: f64 },
+}
+
+impl ViscousLaw {
+    /// Stable lower-case identifier used by scenario files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViscousLaw::Constant { .. } => "constant",
+            ViscousLaw::PowerLaw { .. } => "power_law",
+            ViscousLaw::Arrhenius { .. } => "arrhenius",
+            ViscousLaw::FrankKamenetskii { .. } => "frank_kamenetskii",
+        }
+    }
 }
 
 /// Drucker–Prager yield envelope with linear strain softening:
@@ -58,6 +83,34 @@ impl DruckerPrager {
     }
 }
 
+/// Plastic stress limiter: caps the deviatoric stress at a yield stress
+/// τ_y by switching the effective viscosity to `τ_y / (2 √I₂)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plasticity {
+    /// Pressure-insensitive constant yield stress (von Mises).
+    VonMises { yield_stress: f64 },
+    /// Pressure-sensitive envelope with strain softening.
+    DruckerPrager(DruckerPrager),
+}
+
+impl Plasticity {
+    /// Yield stress at pressure `p` and accumulated plastic strain `eps_p`.
+    pub fn yield_stress(&self, p: f64, eps_p: f64) -> f64 {
+        match self {
+            Plasticity::VonMises { yield_stress } => *yield_stress,
+            Plasticity::DruckerPrager(dp) => dp.yield_stress(p, eps_p),
+        }
+    }
+
+    /// Stable lower-case identifier used by scenario files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Plasticity::VonMises { .. } => "von_mises",
+            Plasticity::DruckerPrager(_) => "drucker_prager",
+        }
+    }
+}
+
 /// Result of an effective-viscosity evaluation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ViscosityEval {
@@ -66,8 +119,26 @@ pub struct ViscosityEval {
     /// `∂η/∂I₂` of the *active branch* (0 when the bound clamp is active)
     /// — the Newton coefficient of §III-A.
     pub eta_prime: f64,
-    /// Whether the Drucker–Prager limiter is the active branch.
+    /// Whether the plastic limiter is the active branch.
     pub yielded: bool,
+}
+
+/// The constitutive contract consumed by `core::coefficients` and the
+/// scenario registry: everything the coefficient pipeline needs from a
+/// lithology, independent of how the law menu is represented.
+pub trait Rheology {
+    /// Effective viscosity η and its strain-rate sensitivity η′ = ∂η/∂I₂
+    /// at state (√I₂ = `eps_ii`, T, P) with history `plastic_strain`.
+    fn effective_viscosity(
+        &self,
+        eps_ii: f64,
+        temperature: f64,
+        pressure: f64,
+        plastic_strain: f64,
+    ) -> ViscosityEval;
+
+    /// Density at temperature `T` (Boussinesq or constant).
+    fn density(&self, temperature: f64) -> f64;
 }
 
 /// One lithology's full constitutive description.
@@ -79,7 +150,7 @@ pub struct Material {
     pub thermal_expansivity: f64,
     pub reference_temperature: f64,
     pub viscous: ViscousLaw,
-    pub plasticity: Option<DruckerPrager>,
+    pub plasticity: Option<Plasticity>,
     pub eta_min: f64,
     pub eta_max: f64,
 }
@@ -130,29 +201,46 @@ impl Material {
         plastic_strain: f64,
     ) -> ViscosityEval {
         let i2 = (eps_ii * eps_ii).max(I2_FLOOR);
-        // Viscous branch.
+        // Viscous branch: (η, dη/dI₂).
         let (eta_v, eta_v_prime) = match &self.viscous {
             ViscousLaw::Constant { eta } => (*eta, 0.0),
+            ViscousLaw::PowerLaw {
+                prefactor,
+                stress_exponent,
+            } => {
+                let n = *stress_exponent;
+                // η = A · I₂^((1-n)/(2n))
+                let expo = (1.0 - n) / (2.0 * n);
+                let eta = prefactor * i2.powf(expo);
+                (eta, eta * expo / i2)
+            }
             ViscousLaw::Arrhenius {
                 prefactor,
                 stress_exponent,
                 activation,
+                activation_volume,
             } => {
                 let n = *stress_exponent;
                 let t = temperature.max(T_FLOOR);
-                // η = A · I₂^((1-n)/(2n)) · exp(act/(n·T))
+                // η = A · I₂^((1-n)/(2n)) · exp((act + P·V)/(n·T))
                 let expo = (1.0 - n) / (2.0 * n);
-                let eta = prefactor * i2.powf(expo) * (activation / (n * t)).exp();
+                let act = activation + pressure.max(0.0) * activation_volume;
+                let eta = prefactor * i2.powf(expo) * (act / (n * t)).exp();
                 // dη/dI₂ = η · expo / I₂  (≤ 0 for shear-thinning n > 1)
                 (eta, eta * expo / i2)
+            }
+            ViscousLaw::FrankKamenetskii { eta0, theta } => {
+                // η = η₀ · exp(−θ T): temperature-dependent, strain-rate
+                // independent — the Newton term vanishes.
+                (eta0 * (-theta * temperature).exp(), 0.0)
             }
         };
         // Plastic branch: η_p = τ_y / (2 √I₂); dη_p/dI₂ = −η_p / (2 I₂).
         let mut eta = eta_v;
         let mut eta_prime = eta_v_prime;
         let mut yielded = false;
-        if let Some(dp) = &self.plasticity {
-            let tau_y = dp.yield_stress(pressure, plastic_strain);
+        if let Some(pl) = &self.plasticity {
+            let tau_y = pl.yield_stress(pressure, plastic_strain);
             let eta_p = tau_y / (2.0 * i2.sqrt());
             if eta_p < eta {
                 eta = eta_p;
@@ -180,6 +268,22 @@ impl Material {
             eta_prime,
             yielded,
         }
+    }
+}
+
+impl Rheology for Material {
+    fn effective_viscosity(
+        &self,
+        eps_ii: f64,
+        temperature: f64,
+        pressure: f64,
+        plastic_strain: f64,
+    ) -> ViscosityEval {
+        Material::effective_viscosity(self, eps_ii, temperature, pressure, plastic_strain)
+    }
+
+    fn density(&self, temperature: f64) -> f64 {
+        Material::density(self, temperature)
     }
 }
 

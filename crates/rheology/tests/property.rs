@@ -1,0 +1,290 @@
+//! Property tests for the constitutive menu.
+//!
+//! Every law in `ViscousLaw`, with and without a plastic limiter, is
+//! driven over randomized states (strain-rate invariant, temperature,
+//! pressure, plastic strain) and must return a positive, finite,
+//! bounds-respecting viscosity. The analytic strain-rate sensitivity
+//! `eta_prime = ∂η/∂I₂` is checked against a central finite difference
+//! away from branch switches and clamps, where it is well defined.
+
+use ptatin_rheology::{DruckerPrager, Material, Plasticity, ViscosityEval, ViscousLaw};
+
+/// splitmix64 — tiny deterministic PRNG, no external crates.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Log-uniform in [lo, hi) — spans many decades evenly.
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        (self.range(lo.ln(), hi.ln())).exp()
+    }
+}
+
+/// The law menu under test, with scaled (O(1)-ish) parameters so the
+/// exponentials stay finite across the sampled state space.
+fn law_menu() -> Vec<ViscousLaw> {
+    vec![
+        ViscousLaw::Constant { eta: 50.0 },
+        ViscousLaw::PowerLaw {
+            prefactor: 10.0,
+            stress_exponent: 3.0,
+        },
+        ViscousLaw::PowerLaw {
+            prefactor: 2.0,
+            stress_exponent: 1.5,
+        },
+        ViscousLaw::Arrhenius {
+            prefactor: 1.0,
+            stress_exponent: 3.0,
+            activation: 8.0,
+            activation_volume: 0.5,
+        },
+        ViscousLaw::FrankKamenetskii {
+            eta0: 100.0,
+            theta: 4.0,
+        },
+    ]
+}
+
+fn plasticity_menu() -> Vec<Option<Plasticity>> {
+    vec![
+        None,
+        Some(Plasticity::VonMises { yield_stress: 5.0 }),
+        Some(Plasticity::DruckerPrager(DruckerPrager {
+            cohesion: 2.0,
+            friction_angle: 0.5,
+            cohesion_softened: 0.4,
+            friction_softened: 0.1,
+            softening_strain: (0.05, 1.0),
+            tension_cutoff: 0.0,
+        })),
+    ]
+}
+
+fn material(viscous: ViscousLaw, plasticity: Option<Plasticity>) -> Material {
+    Material {
+        name: format!("prop_{}", viscous.name()),
+        rho0: 1.0,
+        thermal_expansivity: 0.1,
+        reference_temperature: 0.5,
+        viscous,
+        plasticity,
+        eta_min: 1e-6,
+        eta_max: 1e8,
+    }
+}
+
+/// Random state: √I₂ log-uniform over 14 decades, T/P/ε_p uniform over
+/// physically plausible scaled ranges (P may be tensile).
+fn random_state(rng: &mut SplitMix64) -> (f64, f64, f64, f64) {
+    let eps_ii = rng.log_range(1e-12, 1e2);
+    let temperature = rng.range(0.0, 2.0);
+    let pressure = rng.range(-1.0, 10.0);
+    let plastic_strain = rng.range(0.0, 2.0);
+    (eps_ii, temperature, pressure, plastic_strain)
+}
+
+#[test]
+fn viscosity_is_positive_finite_and_bounded_for_every_law() {
+    let mut rng = SplitMix64(0x5eed_0001);
+    for viscous in law_menu() {
+        for plasticity in plasticity_menu() {
+            let mat = material(viscous.clone(), plasticity);
+            for _ in 0..2000 {
+                let (e, t, p, ep) = random_state(&mut rng);
+                let ev = mat.effective_viscosity(e, t, p, ep);
+                assert!(
+                    ev.eta.is_finite() && ev.eta > 0.0,
+                    "{}: eta = {} at eps_ii={e:e} T={t} P={p} eps_p={ep}",
+                    mat.name,
+                    ev.eta
+                );
+                assert!(
+                    (mat.eta_min..=mat.eta_max).contains(&ev.eta),
+                    "{}: eta = {:e} outside [{:e}, {:e}]",
+                    mat.name,
+                    ev.eta,
+                    mat.eta_min,
+                    mat.eta_max
+                );
+                assert!(
+                    ev.eta_prime.is_finite(),
+                    "{}: eta_prime = {} at eps_ii={e:e}",
+                    mat.name,
+                    ev.eta_prime
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn density_is_positive_and_affine_in_temperature() {
+    let mut rng = SplitMix64(0x5eed_0002);
+    let mat = material(ViscousLaw::Constant { eta: 1.0 }, None);
+    for _ in 0..500 {
+        let t = rng.range(0.0, 2.0);
+        let rho = mat.density(t);
+        assert!(rho.is_finite() && rho > 0.0, "rho = {rho} at T = {t}");
+        // Boussinesq: ρ(T) = ρ₀ (1 − α (T − T_ref)) exactly.
+        let expect = mat.rho0 * (1.0 - mat.thermal_expansivity * (t - mat.reference_temperature));
+        assert!((rho - expect).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn shear_thinning_laws_are_monotone_in_strain_rate() {
+    // For n > 1 the unclamped creep viscosity strictly decreases with
+    // √I₂; the clamp can only flatten it, never reverse it.
+    let mut rng = SplitMix64(0x5eed_0003);
+    for viscous in [
+        ViscousLaw::PowerLaw {
+            prefactor: 10.0,
+            stress_exponent: 3.0,
+        },
+        ViscousLaw::Arrhenius {
+            prefactor: 1.0,
+            stress_exponent: 3.0,
+            activation: 8.0,
+            activation_volume: 0.5,
+        },
+    ] {
+        let mat = material(viscous, None);
+        for _ in 0..500 {
+            let (e, t, p, ep) = random_state(&mut rng);
+            let lo = mat.effective_viscosity(e, t, p, ep).eta;
+            let hi = mat.effective_viscosity(e * 2.0, t, p, ep).eta;
+            assert!(
+                hi <= lo * (1.0 + 1e-12),
+                "{}: eta grew with strain rate: {lo:e} -> {hi:e} at eps_ii={e:e}",
+                mat.name
+            );
+        }
+    }
+}
+
+#[test]
+fn strain_rate_independent_laws_report_zero_sensitivity() {
+    let mut rng = SplitMix64(0x5eed_0004);
+    for viscous in [
+        ViscousLaw::Constant { eta: 50.0 },
+        ViscousLaw::FrankKamenetskii {
+            eta0: 100.0,
+            theta: 4.0,
+        },
+    ] {
+        let mat = material(viscous, None);
+        for _ in 0..500 {
+            let (e, t, p, ep) = random_state(&mut rng);
+            let ev = mat.effective_viscosity(e, t, p, ep);
+            if ev.eta > mat.eta_min && ev.eta < mat.eta_max {
+                assert_eq!(ev.eta_prime, 0.0, "{}: nonzero eta_prime", mat.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn yielded_branch_never_exceeds_the_viscous_branch() {
+    let mut rng = SplitMix64(0x5eed_0005);
+    for viscous in law_menu() {
+        for plasticity in plasticity_menu().into_iter().flatten() {
+            let with = material(viscous.clone(), Some(plasticity));
+            let without = material(viscous.clone(), None);
+            for _ in 0..1000 {
+                let (e, t, p, ep) = random_state(&mut rng);
+                let ev = with.effective_viscosity(e, t, p, ep);
+                let visc = without.effective_viscosity(e, t, p, ep);
+                assert!(
+                    ev.eta <= visc.eta * (1.0 + 1e-12),
+                    "{}: limiter raised eta ({:e} > {:e})",
+                    with.name,
+                    ev.eta,
+                    visc.eta
+                );
+                if ev.yielded && ev.eta > with.eta_min && ev.eta < with.eta_max {
+                    // On the plastic branch 2 η √I₂ equals the yield stress.
+                    let tau_y = with
+                        .plasticity
+                        .as_ref()
+                        .expect("constructed with a limiter")
+                        .yield_stress(p, ep);
+                    let i2 = (e * e).max(1e-32);
+                    let tau = 2.0 * ev.eta * i2.sqrt();
+                    assert!(
+                        (tau - tau_y).abs() <= 1e-10 * tau_y.max(1.0),
+                        "{}: plastic branch stress {tau:e} != tau_y {tau_y:e}",
+                        with.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True when the evaluation sits strictly inside one smooth branch:
+/// not clamped at either viscosity bound.
+fn unclamped(ev: &ViscosityEval, mat: &Material) -> bool {
+    ev.eta > mat.eta_min * (1.0 + 1e-12) && ev.eta < mat.eta_max * (1.0 - 1e-12)
+}
+
+#[test]
+fn analytic_sensitivity_matches_finite_differences() {
+    // eta_prime is ∂η/∂I₂ of the active branch. Central-difference η in
+    // I₂ and compare, skipping states where the stencil crosses a branch
+    // switch (viscous↔plastic) or a bound clamp — there the one-sided
+    // derivative is not what eta_prime reports.
+    let mut rng = SplitMix64(0x5eed_0006);
+    let mut checked = 0usize;
+    for viscous in law_menu() {
+        for plasticity in plasticity_menu() {
+            let mat = material(viscous.clone(), plasticity);
+            for _ in 0..2000 {
+                let (e, t, p, ep) = random_state(&mut rng);
+                let i2 = e * e;
+                let d = i2 * 1e-6;
+                let center = mat.effective_viscosity(e, t, p, ep);
+                let plus = mat.effective_viscosity((i2 + d).sqrt(), t, p, ep);
+                let minus = mat.effective_viscosity((i2 - d).sqrt(), t, p, ep);
+                let same_branch = plus.yielded == center.yielded && minus.yielded == center.yielded;
+                if !(same_branch
+                    && unclamped(&center, &mat)
+                    && unclamped(&plus, &mat)
+                    && unclamped(&minus, &mat))
+                {
+                    continue;
+                }
+                let fd = (plus.eta - minus.eta) / (2.0 * d);
+                let scale = center.eta_prime.abs().max(fd.abs()).max(1e-300);
+                let rel = (center.eta_prime - fd).abs() / scale;
+                assert!(
+                    center.eta_prime == fd || rel < 1e-4,
+                    "{}: eta_prime {:e} vs FD {:e} (rel {rel:e}) at eps_ii={e:e} T={t} P={p}",
+                    mat.name,
+                    center.eta_prime,
+                    fd
+                );
+                checked += 1;
+            }
+        }
+    }
+    // The skip conditions must not silently hollow out the test.
+    assert!(checked > 5000, "only {checked} FD comparisons survived");
+}

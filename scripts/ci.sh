@@ -126,6 +126,27 @@ if [[ $FAST -eq 0 ]]; then
     cargo run --release -p ptatin-bench --bin validate_bench -- \
         output/BENCH_ensemble_smoke.json BENCH_ensemble.json \
         "$CKDIR/ens_bench_nt1.json" "$CKDIR/ens_bench_nt4.json"
+
+    # SolCx analytic verification gate (smoke: 2 refinement levels, rate
+    # floors 2.5 / 1.7) at one and four threads. The reports — including
+    # the raw f64 bits of each fitted rate — must be bitwise identical:
+    # the par determinism contract makes every reduction grouping a pure
+    # function of problem size, never of the thread count.
+    step "solcx verification gate (smoke, nt=1 vs nt=4 bitwise)"
+    PTATIN_TEST_THREADS=1 target/release/ptatin verify mode=smoke \
+        | tail -n +2 > "$CKDIR/solcx_nt1.txt"
+    PTATIN_TEST_THREADS=4 target/release/ptatin verify mode=smoke \
+        | tail -n +2 > "$CKDIR/solcx_nt4.txt"
+    grep -q 'gate=PASS' "$CKDIR/solcx_nt1.txt" \
+        || { echo "solcx smoke gate failed"; cat "$CKDIR/solcx_nt1.txt"; exit 1; }
+    diff "$CKDIR/solcx_nt1.txt" "$CKDIR/solcx_nt4.txt" \
+        || { echo "solcx gate report differs between nt=1 and nt=4"; exit 1; }
+
+    # One registry-driven scenario end to end through the CLI: the
+    # checked-in shear-band spec must parse, run and converge (exit 0).
+    step "registry-driven shear-band scenario (CLI end to end)"
+    PTATIN_TEST_THREADS=2 target/release/ptatin scenario \
+        file=examples/scenarios/shear_band.scn
 fi
 
 step "rustfmt"

@@ -9,6 +9,8 @@
 //! ptatin ensemble sweep=FILE [slice=2] [retries=2] [flop-budget=N]
 //!                 [events=FILE|-] [ckpt-dir=DIR] [bench=FILE]
 //!                 [keep-ckpt] [no-preempt] [--fault=LIST]
+//! ptatin scenario file=SPEC [steps=N]
+//! ptatin verify   [mode=full|smoke] [fine_kind=KIND]
 //! ```
 //!
 //! Both subcommands solve the model and write ParaView-ready legacy VTK
@@ -42,6 +44,20 @@
 //! with optional job targeting: `crash@1:job=3;stall@0:job=11`. Exit
 //! status: 0 when every job completed, 3 when any job failed.
 //!
+//! Scenario registry (`ptatin scenario`): parse a scenario spec file
+//! (`key = value` lines; see `examples/scenarios/`) and run it, printing
+//! each diagnostic metric. `steps=N` overrides the file's step count.
+//! Exit status: 0 when the run converged, 3 otherwise.
+//!
+//! Verification gate (`ptatin verify`): run the SolCx analytic
+//! convergence gate — solve the sharp-viscosity-jump problem at a ladder
+//! of resolutions and fit the L² error rates. `mode=smoke` runs the
+//! two-level variant CI uses on every invocation; `fine_kind=` selects
+//! the fine-level operator (assembled|matrix_free|tensor|tensor_c|
+//! tensor_batched). The report prints each rate in decimal *and* as raw
+//! f64 bits so two runs at different thread counts can be diffed
+//! textually. Exit status: 0 on PASS, 3 on FAIL.
+//!
 //! Profiling (any subcommand; with no subcommand `sinker` is implied):
 //!
 //! ```text
@@ -59,6 +75,7 @@ use ptatin3d::core::output::{
 use ptatin3d::core::recovery::{run_rift as drive_rift, RunConfig, RunOutcome};
 use ptatin3d::core::{CoarseKind, GmgConfig, KrylovOperatorChoice};
 use ptatin3d::ensemble::{self, EnsembleConfig, EventSink};
+use ptatin3d::scenarios;
 use ptatin_la::krylov::KrylovConfig;
 use ptatin_la::par;
 use std::path::{Path, PathBuf};
@@ -101,8 +118,10 @@ fn main() {
         "sinker" => run_sinker(&args),
         "rift" => run_rift(&args),
         "ensemble" => run_ensemble(&args),
+        "scenario" => run_scenario_cmd(&args),
+        "verify" => run_verify(&args),
         _ => {
-            eprintln!("usage: ptatin <sinker|rift|ensemble> [key=value ...] [--log-view] [--log-json=FILE]");
+            eprintln!("usage: ptatin <sinker|rift|ensemble|scenario|verify> [key=value ...] [--log-view] [--log-json=FILE]");
             eprintln!("  sinker:   m=8 levels=3 delta_eta=1e4 out=vtk_out");
             eprintln!(
                 "  rift:     mx=12 my=4 mz=8 steps=10 shortening=0 [strong-crust] out=vtk_out"
@@ -113,6 +132,8 @@ fn main() {
             );
             eprintln!("  ensemble: sweep=FILE slice=2 retries=2 flop-budget=N events=FILE|-");
             eprintln!("            ckpt-dir=DIR bench=FILE [keep-ckpt] [no-preempt] --fault=LIST");
+            eprintln!("  scenario: file=SPEC steps=N");
+            eprintln!("  verify:   mode=full|smoke fine_kind=tensor");
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
     }
@@ -122,6 +143,72 @@ fn main() {
     if let Some(path) = log_json {
         ptatin_prof::write_json(&path).expect("write profiler json");
         println!("wrote profiler report to {}", path.display());
+    }
+}
+
+fn run_scenario_cmd(args: &Args) {
+    let file = args.get("file", String::new());
+    if file.is_empty() {
+        eprintln!("scenario: missing file=SPEC");
+        std::process::exit(2);
+    }
+    let spec = scenarios::parse_scenario_file(Path::new(&file)).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let steps = args.get("steps", spec.steps);
+    println!(
+        "scenario: {} from {} ({} steps)",
+        spec.scenario.kind(),
+        file,
+        steps
+    );
+    let summary = scenarios::run_scenario(&spec.scenario, steps);
+    println!(
+        "{}: converged={} iterations={}",
+        summary.kind, summary.converged, summary.iterations
+    );
+    for (name, value) in &summary.metrics {
+        println!("  {name} = {value:.6e}");
+    }
+    if let Some(err) = &summary.error {
+        eprintln!("scenario failed: {err}");
+    }
+    if !summary.converged {
+        std::process::exit(3);
+    }
+}
+
+fn run_verify(args: &Args) {
+    let mode = args.get("mode", String::from("full"));
+    let mut cfg = match mode.as_str() {
+        "full" => scenarios::GateConfig::full(),
+        "smoke" => scenarios::GateConfig::smoke(),
+        other => {
+            eprintln!("verify: unknown mode `{other}` (full|smoke)");
+            std::process::exit(2);
+        }
+    };
+    let kind = args.get("fine_kind", String::new());
+    if !kind.is_empty() {
+        cfg.fine_kind = scenarios::parse_operator_kind(&kind).unwrap_or_else(|| {
+            eprintln!(
+                "verify: unknown operator kind `{kind}` \
+                 (assembled|matrix_free|tensor|tensor_c|tensor_batched)"
+            );
+            std::process::exit(2);
+        });
+    }
+    println!(
+        "verify: solcx {} gate, fine_kind={:?}, {} threads",
+        mode,
+        cfg.fine_kind,
+        par::num_threads()
+    );
+    let report = scenarios::run_gate(&cfg);
+    print!("{}", report.render());
+    if !report.pass() {
+        std::process::exit(3);
     }
 }
 

@@ -25,7 +25,11 @@
 //!   KSP histories; see `ptatin --log-view`),
 //! * [`ensemble`] — multi-tenant ensemble service: sweep expansion, fair
 //!   checkpoint-backed preemptive scheduling, JSONL progress events (see
-//!   `ptatin ensemble sweep=FILE`).
+//!   `ptatin ensemble sweep=FILE`),
+//! * [`scenarios`] — config-file-driven scenario registry (rift, sinker,
+//!   SolCx, shear band, falling block) sharing one key grammar with the
+//!   ensemble sweeps, plus the SolCx analytic convergence gate (see
+//!   `ptatin scenario file=F` and `ptatin verify`).
 //!
 //! See `examples/quickstart.rs` for the 60-second tour, DESIGN.md for the
 //! architecture and experiment index, and EXPERIMENTS.md for the
@@ -42,3 +46,4 @@ pub use ptatin_mpm as mpm;
 pub use ptatin_ops as ops;
 pub use ptatin_prof as prof;
 pub use ptatin_rheology as rheology;
+pub use ptatin_scenarios as scenarios;

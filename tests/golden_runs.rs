@@ -17,6 +17,7 @@
 //! ```
 
 use ptatin3d::core::models::rift::{RiftConfig, RiftModel};
+use ptatin3d::core::models::solcx::{SolCxConfig, SolCxModel};
 use ptatin3d::core::{CoarseKind, GmgConfig, KrylovOperatorChoice, NonlinearConfig};
 use ptatin_bench::{paper_gmg_config, sinker_setup};
 use ptatin_la::krylov::KrylovConfig;
@@ -93,7 +94,7 @@ fn check_golden(name: &str, header: &str, got: &Record) {
             (Some(w), Some(g)) => (w, g),
             (w, g) => panic!("{name}: key {key} present in only one side (golden={w:?} run={g:?})"),
         };
-        if key.contains("residual") {
+        if key.contains("residual") || key.starts_with("error.") {
             let (wf, gf): (f64, f64) = (w.parse().unwrap(), g.parse().unwrap());
             let rel = (gf - wf).abs() / wf.abs().max(1e-300);
             assert!(
@@ -135,6 +136,53 @@ fn golden_sinker_solve() {
         "sinker_m4_l2_de1e3.txt",
         "sinker m=4 levels=2 delta_eta=1e3, GMG(tensor), Picard, rtol=1e-8, nt=1",
         &rec,
+    );
+}
+
+/// Solve one SolCx configuration at nt=1 and record iteration count,
+/// final residual and analytic L² errors.
+fn solcx_record(eta_left: f64, eta_right: f64) -> Record {
+    par::set_num_threads(1);
+    let report = SolCxModel::new(SolCxConfig {
+        mx: 6,
+        my: 6,
+        mz: 2,
+        levels: 2,
+        eta_left,
+        eta_right,
+        fine_kind: OperatorKind::Tensor,
+        rtol: 1e-10,
+        max_it: 2000,
+    })
+    .solve();
+    par::set_num_threads(0);
+    assert!(report.stats.converged);
+    let mut rec = Record::default();
+    rec.set("krylov.iterations", report.stats.iterations);
+    rec.set_f64("residual.initial", report.stats.initial_residual);
+    rec.set_f64("residual.final", report.stats.final_residual);
+    rec.set_f64("error.velocity_l2", report.errors.velocity_l2);
+    rec.set_f64("error.pressure_l2", report.errors.pressure_l2);
+    rec
+}
+
+#[test]
+fn golden_solcx_iso() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    check_golden(
+        "solcx_iso_6x6x2.txt",
+        "solcx 6x6x2 levels=2 eta_left=eta_right=1 (isoviscous), GMG(tensor), rtol=1e-10, nt=1",
+        &solcx_record(1.0, 1.0),
+    );
+}
+
+#[test]
+fn golden_solcx_vv1e4() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    check_golden(
+        "solcx_vv1e4_6x6x2.txt",
+        "solcx 6x6x2 levels=2 eta_left=1 eta_right=1e4 (sharp jump), GMG(tensor), rtol=1e-10, nt=1",
+        &solcx_record(1.0, 1e4),
     );
 }
 

@@ -5,6 +5,7 @@
 
 use ptatin_core::solver::{build_stokes_solver, CoarseKind, GmgConfig, KrylovOperatorChoice};
 use ptatin_fem::assemble::{num_pressure_dofs, num_velocity_dofs, Q2QuadTables};
+use ptatin_fem::basis::{element_frame, p1disc_basis, NP1};
 use ptatin_fem::bc::DirichletBc;
 use ptatin_fem::geometry::{map_to_physical, qp_geometry};
 use ptatin_la::krylov::KrylovConfig;
@@ -25,7 +26,6 @@ fn u_exact(x: [f64; 3]) -> [f64; 3] {
 
 /// Exact pressure (mean handled separately; used by the forcing and the
 /// pressure-accuracy check).
-#[allow(dead_code)]
 fn p_exact(x: [f64; 3]) -> f64 {
     (PI * x[0]).cos() * (PI * x[2]).sin()
 }
@@ -41,8 +41,11 @@ fn forcing(x: [f64; 3]) -> [f64; 3] {
     ]
 }
 
-/// Solve the MMS problem at resolution `m`; return the L² velocity error.
-fn velocity_error(m: usize) -> f64 {
+/// Solve the MMS problem at resolution `m` with fine-level operator
+/// `kind`; return the L² `(velocity, pressure)` errors (pressure
+/// mean-shifted on both sides — the constant nullspace of the
+/// all-Dirichlet problem).
+fn mms_errors(m: usize, kind: OperatorKind) -> (f64, f64) {
     let tables = Q2QuadTables::standard();
     let mesh = StructuredMesh::new_box(m, m, m, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
     let levels = 2;
@@ -70,7 +73,7 @@ fn velocity_error(m: usize) -> f64 {
     let eta_corner = vec![1.0; fine.num_corners()];
     let gmg = GmgConfig {
         levels,
-        fine_kind: OperatorKind::Tensor,
+        fine_kind: kind,
         coarse: CoarseKind::Direct,
         ..GmgConfig::default()
     };
@@ -102,7 +105,7 @@ fn velocity_error(m: usize) -> f64 {
     let p0 = vec![0.0; np];
     // Residual at the lifted state.
     let a_unmasked = ptatin_ops::build_viscous_operator(
-        OperatorKind::Tensor,
+        kind,
         fine,
         vec![1.0; fine.num_elements() * nqp],
         &DirichletBc::new(),
@@ -129,10 +132,35 @@ fn velocity_error(m: usize) -> f64 {
         None,
     );
     assert!(stats.converged, "MMS solve failed at m={m}: {stats:?}");
-    // L² error of velocity by quadrature.
-    let mut err2 = 0.0;
+    let p = &delta[nu..];
+    // Pass 1: pressure means (discrete and exact), for the nullspace shift.
+    let mut vol = 0.0;
+    let mut ph_mean = 0.0;
+    let mut pe_mean = 0.0;
     for e in 0..fine.num_elements() {
         let corners = fine.element_corner_coords(e);
+        let (centroid, half) = element_frame(&corners);
+        for q in 0..nqp {
+            let geo = qp_geometry(&corners, tables.quad.points[q], tables.quad.weights[q]);
+            let xq = map_to_physical(&corners, tables.quad.points[q]);
+            let psi = p1disc_basis(xq, centroid, half);
+            let mut ph = 0.0;
+            for (mm, &pm) in psi.iter().enumerate() {
+                ph += pm * p[NP1 * e + mm];
+            }
+            vol += geo.wdetj;
+            ph_mean += geo.wdetj * ph;
+            pe_mean += geo.wdetj * p_exact(xq);
+        }
+    }
+    ph_mean /= vol;
+    pe_mean /= vol;
+    // Pass 2: L² errors of velocity and mean-shifted pressure.
+    let mut verr2 = 0.0;
+    let mut perr2 = 0.0;
+    for e in 0..fine.num_elements() {
+        let corners = fine.element_corner_coords(e);
+        let (centroid, half) = element_frame(&corners);
         let nodes = fine.element_nodes(e);
         for q in 0..nqp {
             let geo = qp_geometry(&corners, tables.quad.points[q], tables.quad.weights[q]);
@@ -146,23 +174,61 @@ fn velocity_error(m: usize) -> f64 {
                 }
             }
             for d in 0..3 {
-                err2 += geo.wdetj * (uh[d] - ue[d]).powi(2);
+                verr2 += geo.wdetj * (uh[d] - ue[d]).powi(2);
             }
+            let psi = p1disc_basis(xq, centroid, half);
+            let mut ph = 0.0;
+            for (mm, &pm) in psi.iter().enumerate() {
+                ph += pm * p[NP1 * e + mm];
+            }
+            let diff = (ph - ph_mean) - (p_exact(xq) - pe_mean);
+            perr2 += geo.wdetj * diff * diff;
         }
     }
-    err2.sqrt()
+    (verr2.sqrt(), perr2.sqrt())
 }
 
 #[test]
 fn velocity_converges_at_third_order() {
-    let e2 = velocity_error(2);
-    let e4 = velocity_error(4);
+    let (e2, _) = mms_errors(2, OperatorKind::Tensor);
+    let (e4, _) = mms_errors(4, OperatorKind::Tensor);
     let rate = (e2 / e4).log2();
     // Q2 velocity: O(h³) in L²; accept anything ≥ 2.5 at these coarse
     // resolutions (pre-asymptotic superconvergence can push it higher).
     assert!(
         rate > 2.5,
         "observed convergence rate {rate:.2} (errors {e2:.3e} → {e4:.3e})"
+    );
+}
+
+#[test]
+fn pressure_converges_at_second_order() {
+    let (_, p2) = mms_errors(2, OperatorKind::Tensor);
+    let (_, p4) = mms_errors(4, OperatorKind::Tensor);
+    let rate = (p2 / p4).log2();
+    // P1disc pressure: O(h²) in L²; accept ≥ 1.5 at these coarse
+    // resolutions.
+    assert!(
+        rate > 1.5,
+        "observed pressure convergence rate {rate:.2} (errors {p2:.3e} → {p4:.3e})"
+    );
+}
+
+#[test]
+fn batched_operator_reproduces_the_convergence_rates() {
+    // The SIMD-batched fine-level operator is the same discretization —
+    // both L² error rates must hold through it too.
+    let (v2, p2) = mms_errors(2, OperatorKind::TensorBatched);
+    let (v4, p4) = mms_errors(4, OperatorKind::TensorBatched);
+    let vrate = (v2 / v4).log2();
+    let prate = (p2 / p4).log2();
+    assert!(
+        vrate > 2.5,
+        "batched velocity rate {vrate:.2} (errors {v2:.3e} → {v4:.3e})"
+    );
+    assert!(
+        prate > 1.5,
+        "batched pressure rate {prate:.2} (errors {p2:.3e} → {p4:.3e})"
     );
 }
 

@@ -11,7 +11,7 @@ use ptatin_ops::tensor::{
     Tensor1d,
 };
 use ptatin_prng::{Rng, SplitMix64};
-use ptatin_rheology::{DruckerPrager, Material, ViscousLaw};
+use ptatin_rheology::{DruckerPrager, Material, Plasticity, ViscousLaw};
 
 const CASES: usize = 48;
 
@@ -150,14 +150,14 @@ fn effective_viscosity_is_min_of_branches() {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: eta_v },
-            plasticity: Some(DruckerPrager {
+            plasticity: Some(Plasticity::DruckerPrager(DruckerPrager {
                 cohesion,
                 friction_angle: 0.5,
                 cohesion_softened: cohesion,
                 friction_softened: 0.5,
                 softening_strain: (0.0, 1.0),
                 tension_cutoff: 0.0,
-            }),
+            })),
             eta_min: 1e-12,
             eta_max: 1e12,
         };
@@ -189,14 +189,14 @@ fn viscosity_monotone_decreasing_in_strain_rate_when_yielding() {
             thermal_expansivity: 0.0,
             reference_temperature: 0.0,
             viscous: ViscousLaw::Constant { eta: 1e9 },
-            plasticity: Some(DruckerPrager {
+            plasticity: Some(Plasticity::DruckerPrager(DruckerPrager {
                 cohesion: 1.0,
                 friction_angle: 0.4,
                 cohesion_softened: 1.0,
                 friction_softened: 0.4,
                 softening_strain: (0.0, 1.0),
                 tension_cutoff: 0.0,
-            }),
+            })),
             eta_min: 1e-12,
             eta_max: 1e12,
         };

@@ -1,0 +1,69 @@
+//! SolCx analytic convergence gate, workspace level.
+//!
+//! The headline verification of this repo: solve the sharp-viscosity-jump
+//! SolCx problem at three refinement levels, fit the L² error rates by
+//! least squares, and demand the Q2–P1disc design orders — velocity
+//! ~O(h³), pressure ~O(h²) — *across the 10⁴ jump*. A regression anywhere
+//! in quadrature, viscosity sampling, restriction or the solver stack
+//! shows up here as a rate collapse.
+//!
+//! The gate's rendered report prints each rate as raw f64 bits; the
+//! nt-sweep test asserts the whole report is bitwise identical at 1 and 4
+//! threads (the `par` determinism contract: fixed-block reductions,
+//! nt-independent partial grouping).
+
+use ptatin3d::scenarios::{run_gate, GateConfig};
+use ptatin_la::par;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the thread count is a
+/// process-global knob.
+static NT_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn full_gate_meets_design_rates() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = run_gate(&GateConfig::full());
+    assert!(
+        report.velocity_rate >= 2.7,
+        "velocity rate collapsed:\n{}",
+        report.render()
+    );
+    assert!(
+        report.pressure_rate >= 1.8,
+        "pressure rate collapsed:\n{}",
+        report.render()
+    );
+    assert!(report.pass(), "{}", report.render());
+}
+
+#[test]
+fn smoke_gate_is_bitwise_identical_across_thread_counts() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let render_at = |nt: usize| {
+        par::set_num_threads(nt);
+        let r = run_gate(&GateConfig::smoke()).render();
+        par::set_num_threads(0);
+        r
+    };
+    let r1 = render_at(1);
+    let r4 = render_at(4);
+    assert!(r1.contains("gate=PASS"), "{r1}");
+    assert_eq!(
+        r1, r4,
+        "SolCx gate report changed between nt=1 and nt=4:\n--- nt=1\n{r1}--- nt=4\n{r4}"
+    );
+}
+
+#[test]
+fn smoke_gate_rejects_a_rate_collapse() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Impossible floors: the machinery must report FAIL, not mask it.
+    let cfg = GateConfig {
+        vel_rate_floor: 10.0,
+        ..GateConfig::smoke()
+    };
+    let report = run_gate(&cfg);
+    assert!(!report.pass());
+    assert!(report.render().contains("gate=FAIL"));
+}
