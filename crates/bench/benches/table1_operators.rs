@@ -10,17 +10,29 @@
 //! writes to `output/BENCH_kernels_smoke.json` instead so a quick run
 //! never clobbers the committed record.
 
-use ptatin_bench::kernels_json::{KernelEntry, KERNEL_BENCH_SCHEMA};
+use ptatin_bench::kernels_json::{
+    KernelEntry, PerKernelEntry, KERNEL_BENCH_SCHEMA, WHOLE_STEP_VCYCLES,
+};
 use ptatin_bench::sinker_setup;
 use ptatin_core::models::sinker::sinker_bc;
 use ptatin_fem::assemble::Q2QuadTables;
-use ptatin_la::operator::LinearOperator;
+use ptatin_fem::bc::DirichletBc;
+use ptatin_la::chebyshev::Chebyshev;
+use ptatin_la::csr::Csr;
+use ptatin_la::operator::{LinearOperator, Preconditioner};
 use ptatin_la::par;
+use ptatin_la::schwarz::DirectSolver;
+use ptatin_la::transfer::BatchedTransfer;
+use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar};
+use ptatin_mg::{filter_transfer, ArcOp, GeometricMg, GmgCoarseSolver, GmgLevel};
+use ptatin_mpm::points::seed_regular;
+use ptatin_mpm::projection;
 use ptatin_ops::{
     assembled_model, assembled_viscous_op, mf_model, tensor_batched_model, tensor_c_model,
     tensor_model, BatchedViscousOp, MfViscousOp, OperatorModel, SimdPath, TensorCViscousOp,
     TensorViscousOp, ViscousOpData,
 };
+use ptatin_prng::StdRng;
 use ptatin_prof::json::Value;
 use std::sync::Arc;
 use std::time::Instant;
@@ -103,6 +115,177 @@ fn run_at_current_nt(m: usize, iters: usize) -> (Vec<KernelEntry>, f64) {
     (entries, secs_tensor / secs_batched)
 }
 
+/// Scalar-vs-batched timings of the rest of the per-step pipeline (the
+/// operator table above covers the viscous-block apply itself):
+///
+/// * `projection` — one MPM P2G corner projection plus one G2P viscosity
+///   interpolation over a 27-points-per-element swarm,
+/// * `transfer` — one restriction plus one prolongation through the finest
+///   grid-transfer operator (scalar CSR vs lane-packed SIMD),
+/// * `smoother` — four Chebyshev iterations on the assembled fine matrix,
+///   full-mesh sweeps vs the profitability-gated cache-blocked pipeline,
+/// * `vcycle` — one GMG V(2,2) application: the fully scalar pipeline
+///   (scalar tensor fine operator, CSR transfers, unfused smoothing) vs
+///   the fully batched one (SIMD tensor operator, batched transfers,
+///   fused smoothing on assembled levels),
+/// * `whole_step` — the composite `projection + WHOLE_STEP_VCYCLES ×
+///   vcycle`: one material-point projection pass plus roughly one Stokes
+///   solve (≈ 8 preconditioned Krylov iterations) per time step.
+fn per_kernel_at_current_nt(m: usize, iters: usize) -> Vec<PerKernelEntry> {
+    let levels = if m % 4 == 0 { 3 } else { 2 };
+    let (model, fields) = sinker_setup(m, levels, 1e4);
+    let meshes = &model.hier.meshes;
+    let fine = model.hier.finest();
+    let tables = Q2QuadTables::standard();
+
+    // P2G + G2P over a jittered regular swarm.
+    let mut rng = StdRng::seed_from_u64(42);
+    let pts = seed_regular(fine, 3, 0.3, &mut rng, |_| 0);
+    let value = |i: usize| ((i * 2654435761) % 1000) as f64 / 1000.0;
+    let proj_scalar = time_it(iters, || {
+        let c = projection::project_to_corners_scalar(fine, &pts, value, |_| 1.0);
+        let _ = projection::corners_to_quadrature_scalar(fine, &tables, &c);
+    });
+    let proj_batched = time_it(iters, || {
+        let c = projection::project_to_corners(fine, &pts, value, |_| 1.0);
+        let _ = projection::corners_to_quadrature(fine, &tables, &c);
+    });
+
+    // Per-level assembled operators, masks and filtered transfers (unit
+    // viscosity off the finest level — the timings don't depend on the
+    // coefficient values).
+    let bcs: Vec<DirichletBc> = meshes.iter().map(sinker_bc).collect();
+    let ops: Vec<Csr> = meshes
+        .iter()
+        .enumerate()
+        .map(|(l, mm)| {
+            let eta = if l == levels - 1 {
+                fields.eta_qp.clone()
+            } else {
+                vec![1.0; mm.num_elements() * tables.nqp()]
+            };
+            assembled_viscous_op(mm, &tables, &eta, &bcs[l])
+        })
+        .collect();
+    let masks: Vec<Vec<bool>> = ops
+        .iter()
+        .zip(&bcs)
+        .map(|(a, bc)| bc.mask(a.nrows()))
+        .collect();
+    let ps: Vec<Csr> = (0..levels - 1)
+        .map(|l| {
+            let mut p = expand_blocked(&prolongation_scalar(&meshes[l], &meshes[l + 1]), 3);
+            filter_transfer(&mut p, &masks[l + 1], &masks[l]);
+            p
+        })
+        .collect();
+
+    // Finest grid transfer: restriction + prolongation.
+    let pf = ps.last().expect("at least two levels");
+    let bt = BatchedTransfer::from_csr(pf);
+    let r: Vec<f64> = (0..pf.nrows()).map(|i| value(i) - 0.5).collect();
+    let xc: Vec<f64> = (0..pf.ncols()).map(|i| value(i + 1) - 0.5).collect();
+    let mut rc = vec![0.0; pf.ncols()];
+    let mut corr = vec![0.0; pf.nrows()];
+    let tr_scalar = time_it(iters, || {
+        pf.spmv_transpose(&r, &mut rc);
+        pf.spmv(&xc, &mut corr);
+    });
+    let tr_batched = time_it(iters, || {
+        bt.restrict(&r, &mut rc);
+        bt.prolong(&xc, &mut corr);
+    });
+
+    // Chebyshev smoothing on the assembled fine matrix, depth 4. The
+    // batched side is the gated production pipeline: the cache-blocked
+    // fused sweep where the plan's halo redundancy is profitable, plain
+    // sweeps otherwise (3D Q2 blocks reject fusing at bench sizes — the
+    // documented negative result).
+    let af = ops.last().expect("at least two levels");
+    let cheb = Chebyshev::new(af, 2, 10);
+    let plan = Some(cheb.fused_plan(af, 4, 0)).filter(|p| p.profitable());
+    let b: Vec<f64> = masks
+        .last()
+        .expect("masks per level")
+        .iter()
+        .map(|&m| if m { 0.0 } else { 1.0 })
+        .collect();
+    let mut xs = vec![0.0; af.nrows()];
+    let sm_scalar = time_it(iters, || cheb.smooth_with(af, &b, &mut xs, 4));
+    let mut xb = vec![0.0; af.nrows()];
+    let sm_batched = time_it(iters, || match &plan {
+        Some(p) => cheb.apply_fused(af, p, &b, &mut xb, 4),
+        None => cheb.smooth_with(af, &b, &mut xb, 4),
+    });
+
+    // One V(2,2) through the scalar vs the batched pipeline. The fine
+    // level is the matrix-free tensor operator in its scalar vs SIMD
+    // variant (the production fine-level kind); intermediate levels are
+    // assembled and smooth fused only on the batched side.
+    let data = Arc::new(ViscousOpData::new(
+        fine,
+        fields.eta_qp.clone(),
+        &bcs[levels - 1],
+    ));
+    let build_mg = |scalar: bool| -> GeometricMg {
+        let mut lvls = Vec::new();
+        for l in 1..levels {
+            if l == levels - 1 {
+                let op: ArcOp = if scalar {
+                    Arc::new(TensorViscousOp::new(data.clone()))
+                } else {
+                    Arc::new(BatchedViscousOp::new(data.clone()))
+                };
+                let smoother = Chebyshev::new(op.as_ref(), 2, 10);
+                lvls.push(GmgLevel::new(op, smoother));
+            } else {
+                let a = Arc::new(ops[l].clone());
+                let smoother = Chebyshev::new(a.as_ref(), 2, 10);
+                lvls.push(GmgLevel::from_csr(a, smoother));
+            }
+        }
+        let coarse = GmgCoarseSolver::Direct(DirectSolver::new(&ops[0]));
+        let mg = GeometricMg::new(lvls, ps.clone(), coarse, 2, 2);
+        if scalar {
+            mg.with_scalar_pipeline()
+        } else {
+            mg
+        }
+    };
+    let mut z = vec![0.0; af.nrows()];
+    let mg_s = build_mg(true);
+    let vc_scalar = time_it(iters, || mg_s.apply(&b, &mut z));
+    let mg_b = build_mg(false);
+    let vc_batched = time_it(iters, || mg_b.apply(&b, &mut z));
+
+    let whole_scalar = proj_scalar + WHOLE_STEP_VCYCLES as f64 * vc_scalar;
+    let whole_batched = proj_batched + WHOLE_STEP_VCYCLES as f64 * vc_batched;
+    let pairs = [
+        ("projection", proj_scalar, proj_batched),
+        ("transfer", tr_scalar, tr_batched),
+        ("smoother", sm_scalar, sm_batched),
+        ("vcycle", vc_scalar, vc_batched),
+        ("whole_step", whole_scalar, whole_batched),
+    ];
+    pairs
+        .iter()
+        .map(|&(name, s, bsecs)| {
+            println!(
+                "{name:<16} {m}^3 nt={}  scalar {:10.1} us  batched {:10.1} us  {:5.2}x",
+                par::num_threads(),
+                s * 1e6,
+                bsecs * 1e6,
+                s / bsecs
+            );
+            PerKernelEntry {
+                kernel: name.into(),
+                scalar_us: s * 1e6,
+                batched_us: bsecs * 1e6,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
     let m = if smoke { 6 } else { 8 };
@@ -118,6 +301,7 @@ fn main() {
             speedup_nt1 = speedup;
         }
         println!("  -> tensor_batched vs tensor at nt={nt}: {speedup:.2}x");
+        let per_kernel = per_kernel_at_current_nt(m, iters);
         runs.push(Value::obj(vec![
             ("nt", Value::Num(nt as f64)),
             (
@@ -125,6 +309,10 @@ fn main() {
                 Value::Arr(entries.iter().map(KernelEntry::to_value).collect()),
             ),
             ("speedup_tensor_batched_vs_tensor", Value::Num(speedup)),
+            (
+                "per_kernel",
+                Value::Arr(per_kernel.iter().map(PerKernelEntry::to_value).collect()),
+            ),
         ]));
     }
     par::set_num_threads(0);

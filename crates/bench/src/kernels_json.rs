@@ -15,10 +15,22 @@
 //!       "entries": [ { "operator": "tensor", "us_per_apply": ...,
 //!                      "el_per_s": ..., "flops_per_s": ...,
 //!                      "bytes_per_apply": ... }, ... ],
-//!       "speedup_tensor_batched_vs_tensor": 2.1 }, ...
+//!       "speedup_tensor_batched_vs_tensor": 2.1,
+//!       "per_kernel": [ { "kernel": "projection", "scalar_us": ...,
+//!                         "batched_us": ..., "speedup": ... }, ... ] }, ...
 //!   ]
 //! }
 //! ```
+//!
+//! `per_kernel` covers the rest of the per-step pipeline (the operator
+//! entries above cover the viscous-block apply): the MPM projection pair
+//! (P2G + G2P), the grid transfer (restrict + prolong), the Chebyshev
+//! smoother (cache-blocked fused vs full-mesh sweeps), one GMG V-cycle
+//! through the scalar vs the batched pipeline, and the `whole_step`
+//! composite (one projection + [`WHOLE_STEP_VCYCLES`] V-cycles — roughly
+//! one Stokes solve per time step). Every run must carry all
+//! [`REQUIRED_KERNELS`], and `whole_step` must clear
+//! [`WHOLE_STEP_MIN_SPEEDUP`].
 //!
 //! [`validate`] is the CI gate: `--bin validate_bench` applies it to both
 //! the committed root file and the smoke-mode output.
@@ -26,6 +38,34 @@
 use ptatin_prof::json::Value;
 
 pub const KERNEL_BENCH_SCHEMA: &str = "ptatin-kernel-bench-v1";
+
+/// Kernels every run's `per_kernel` section must report.
+pub const REQUIRED_KERNELS: [&str; 5] =
+    ["projection", "transfer", "smoother", "vcycle", "whole_step"];
+
+/// V-cycles per `whole_step` composite (≈ Krylov iterations per solve).
+pub const WHOLE_STEP_VCYCLES: usize = 8;
+
+/// CI floor on the `whole_step` batched-vs-scalar speedup.
+pub const WHOLE_STEP_MIN_SPEEDUP: f64 = 1.3;
+
+/// One scalar-vs-batched kernel comparison at a fixed thread count.
+pub struct PerKernelEntry {
+    pub kernel: String,
+    pub scalar_us: f64,
+    pub batched_us: f64,
+}
+
+impl PerKernelEntry {
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("kernel", Value::Str(self.kernel.clone())),
+            ("scalar_us", Value::Num(self.scalar_us)),
+            ("batched_us", Value::Num(self.batched_us)),
+            ("speedup", Value::Num(self.scalar_us / self.batched_us)),
+        ])
+    }
+}
 
 /// One timed operator variant at a fixed thread count.
 pub struct KernelEntry {
@@ -122,6 +162,35 @@ pub fn validate(doc: &Value) -> Result<(), String> {
         if !speedup.is_finite() || speedup <= 0.0 {
             return Err(format!("bad speedup at nt={nt}: {speedup}"));
         }
+        let per_kernel = match get(run, "per_kernel")? {
+            Value::Arr(a) if !a.is_empty() => a,
+            _ => return Err(format!("nt={nt}: per_kernel must be a non-empty array")),
+        };
+        let mut kernels = Vec::new();
+        for e in per_kernel {
+            let name = string(e, "kernel")?;
+            for key in ["scalar_us", "batched_us", "speedup"] {
+                let v = num(e, key)?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("kernel '{name}' has bad {key}: {v}"));
+                }
+            }
+            if name == "whole_step" {
+                let s = num(e, "speedup")?;
+                if s < WHOLE_STEP_MIN_SPEEDUP {
+                    return Err(format!(
+                        "nt={nt}: whole_step speedup {s:.2} below the \
+                         {WHOLE_STEP_MIN_SPEEDUP} floor"
+                    ));
+                }
+            }
+            kernels.push(name);
+        }
+        for required in REQUIRED_KERNELS {
+            if !kernels.iter().any(|k| k == required) {
+                return Err(format!("nt={nt} run is missing kernel '{required}'"));
+            }
+        }
     }
     Ok(())
 }
@@ -141,6 +210,24 @@ mod tests {
         .to_value()
     }
 
+    fn kernel(name: &str, scalar_us: f64, batched_us: f64) -> Value {
+        PerKernelEntry {
+            kernel: name.into(),
+            scalar_us,
+            batched_us,
+        }
+        .to_value()
+    }
+
+    fn per_kernel_section() -> Value {
+        Value::Arr(
+            REQUIRED_KERNELS
+                .iter()
+                .map(|k| kernel(k, 300.0, 100.0))
+                .collect(),
+        )
+    }
+
     fn valid_doc() -> Value {
         Value::obj(vec![
             ("schema", Value::Str(KERNEL_BENCH_SCHEMA.into())),
@@ -157,6 +244,7 @@ mod tests {
                         Value::Arr(vec![entry("tensor"), entry("tensor_batched")]),
                     ),
                     ("speedup_tensor_batched_vs_tensor", Value::Num(2.0)),
+                    ("per_kernel", per_kernel_section()),
                 ])]),
             ),
         ])
@@ -204,5 +292,58 @@ mod tests {
             map.insert("nel".into(), Value::Num(100.0));
         }
         assert!(validate(&bad).unwrap_err().contains("inconsistent grid"));
+    }
+
+    fn with_per_kernel(section: Value) -> Value {
+        let mut doc = valid_doc();
+        if let Value::Obj(map) = &mut doc {
+            if let Some(Value::Arr(runs)) = map.get_mut("runs") {
+                if let Value::Obj(run) = &mut runs[0] {
+                    run.insert("per_kernel".into(), section);
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn rejects_missing_kernel_and_slow_whole_step() {
+        // Dropping any required kernel fails.
+        let short = Value::Arr(
+            REQUIRED_KERNELS
+                .iter()
+                .filter(|k| **k != "smoother")
+                .map(|k| kernel(k, 300.0, 100.0))
+                .collect(),
+        );
+        assert!(validate(&with_per_kernel(short))
+            .unwrap_err()
+            .contains("missing kernel 'smoother'"));
+
+        // A whole_step speedup below the floor fails.
+        let slow = Value::Arr(
+            REQUIRED_KERNELS
+                .iter()
+                .map(|k| {
+                    if *k == "whole_step" {
+                        kernel(k, 100.0, 100.0)
+                    } else {
+                        kernel(k, 300.0, 100.0)
+                    }
+                })
+                .collect(),
+        );
+        assert!(validate(&with_per_kernel(slow))
+            .unwrap_err()
+            .contains("below the"));
+
+        // Non-finite timings fail.
+        let nan = Value::Arr(
+            REQUIRED_KERNELS
+                .iter()
+                .map(|k| kernel(k, f64::NAN, 100.0))
+                .collect(),
+        );
+        assert!(validate(&with_per_kernel(nan)).unwrap_err().contains("bad"));
     }
 }

@@ -445,22 +445,32 @@ pub fn build_stokes_solver_spec(
     let mut level_ops: Vec<Arc<TimedOperator<ArcOp>>> = Vec::new();
     let mut gmg_levels: Vec<GmgLevel> = Vec::new();
     for l in 1..levels {
-        let op: ArcOp = if l == levels - 1 {
+        // Keep the `Arc<Csr>` of assembled levels alongside the timing
+        // wrapper: the fused cache-blocked smoother needs matrix rows,
+        // which the `dyn LinearOperator` interface cannot provide.
+        let (op, csr): (ArcOp, Option<Arc<Csr>>) = if l == levels - 1 {
             match assembled[l].take() {
-                Some(a) => Arc::new(a),
-                None => build_arc_operator(
-                    cfg.fine_kind,
-                    fine_mesh,
-                    &tables,
-                    eta_qp[l].clone(),
-                    &bcs[l],
+                Some(a) => {
+                    let a = Arc::new(a);
+                    (a.clone() as ArcOp, Some(a))
+                }
+                None => (
+                    build_arc_operator(
+                        cfg.fine_kind,
+                        fine_mesh,
+                        &tables,
+                        eta_qp[l].clone(),
+                        &bcs[l],
+                        None,
+                    ),
                     None,
                 ),
             }
         } else {
             // PANIC-OK: the assembled-intermediates path above filled
             // every level this branch visits.
-            Arc::new(assembled[l].take().expect("intermediate assembled"))
+            let a = Arc::new(assembled[l].take().expect("intermediate assembled"));
+            (a.clone() as ArcOp, Some(a))
         };
         let timed = Arc::new(TimedOperator::new(op));
         let smoother = Chebyshev::with_target_fractions(
@@ -471,9 +481,9 @@ pub fn build_stokes_solver_spec(
             cfg.cheb_targets.1,
         );
         level_ops.push(timed.clone());
-        gmg_levels.push(GmgLevel {
-            op: timed as ArcOp,
-            smoother,
+        gmg_levels.push(match csr {
+            Some(a) => GmgLevel::with_assembled(timed as ArcOp, a, smoother),
+            None => GmgLevel::new(timed as ArcOp, smoother),
         });
     }
     let mg = GeometricMg::new(

@@ -16,7 +16,10 @@
 //! * [`ilu`], [`schwarz`] — ILU(0), block-Jacobi, additive Schwarz and
 //!   dense-direct subdomain/coarse solvers,
 //! * [`dense`] — small dense kernels (LU, QR, 3×3 geometry),
-//! * [`par`] — scoped-thread data parallelism replacing MPI ranks.
+//! * [`par`] — scoped-thread data parallelism replacing MPI ranks,
+//! * [`simd`] — the shared `F64x4` lane type, AVX2+FMA/portable dispatch
+//!   and the batched slice kernels of the per-step pipeline (§III-E),
+//! * [`transfer`] — lane-batched GMG prolongation/restriction.
 
 pub mod chebyshev;
 pub mod csr;
@@ -26,9 +29,11 @@ pub mod krylov;
 pub mod operator;
 pub mod par;
 pub mod schwarz;
+pub mod simd;
+pub mod transfer;
 pub mod vec_ops;
 
-pub use chebyshev::Chebyshev;
+pub use chebyshev::{Chebyshev, FusedPlan};
 pub use csr::{Csr, CsrBuilder};
 pub use dense::{DenseLu, DenseMatrix};
 pub use ilu::Ilu0;
@@ -37,3 +42,5 @@ pub use krylov::{
 };
 pub use operator::{IdentityPc, JacobiPc, LinearOperator, Preconditioner, TimedOperator};
 pub use schwarz::{AdditiveSchwarz, DirectSolver, SubdomainSolve};
+pub use simd::{avx2_fma_available, detected_simd_path, F64x4, SimdPath, LANES};
+pub use transfer::BatchedTransfer;

@@ -5,6 +5,7 @@
 //! use a fixed deterministic combination order regardless of thread count.
 
 use crate::par;
+use crate::simd;
 
 /// Threshold below which kernels run serially. Originally 1 << 15, tuned
 /// for spawn-per-call dispatch (~20 µs/call); the persistent pool cut the
@@ -39,19 +40,63 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 }
 
 /// y ← y + alpha * x
+///
+/// Dispatches to the AVX2 slice kernel when available; both paths perform
+/// the same plain `y += alpha·x` per entry, so the result is bitwise
+/// identical across paths, partitions and thread counts.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
+    let path = simd::runtime_simd_path();
     if y.len() < PAR_MIN {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += alpha * xi;
-        }
+        simd::axpy(path, alpha, x, y);
     } else {
         par::par_chunks_mut(y, |off, c| {
-            for (i, yi) in c.iter_mut().enumerate() {
-                // DETERMINISM-OK: elementwise update of this piece's own
-                // chunk entry, not a cross-piece reduction.
-                *yi += alpha * x[off + i];
-            }
+            // Elementwise update of this piece's own chunk entries,
+            // not a cross-piece reduction — order-insensitive.
+            simd::axpy(path, alpha, &x[off..off + c.len()], c);
+        });
+    }
+}
+
+/// r ← b − r (the residual flip after `r = A x`; Chebyshev smoothing).
+pub fn residual_ip(b: &[f64], r: &mut [f64]) {
+    assert_eq!(b.len(), r.len());
+    let path = simd::runtime_simd_path();
+    if r.len() < PAR_MIN {
+        simd::residual_ip(path, b, r);
+    } else {
+        par::par_chunks_mut(r, |off, c| {
+            simd::residual_ip(path, &b[off..off + c.len()], c);
+        });
+    }
+}
+
+/// d ← (inv_diag .* r) / theta (Chebyshev direction seed).
+pub fn cheb_d_init(inv_diag: &[f64], r: &[f64], theta: f64, d: &mut [f64]) {
+    assert_eq!(inv_diag.len(), d.len());
+    assert_eq!(r.len(), d.len());
+    let path = simd::runtime_simd_path();
+    if d.len() < PAR_MIN {
+        simd::cheb_d_init(path, inv_diag, r, theta, d);
+    } else {
+        par::par_chunks_mut(d, |off, c| {
+            let e = off + c.len();
+            simd::cheb_d_init(path, &inv_diag[off..e], &r[off..e], theta, c);
+        });
+    }
+}
+
+/// d ← c1·d + c2·(inv_diag .* r) (Chebyshev direction recurrence).
+pub fn cheb_update(c1: f64, c2: f64, inv_diag: &[f64], r: &[f64], d: &mut [f64]) {
+    assert_eq!(inv_diag.len(), d.len());
+    assert_eq!(r.len(), d.len());
+    let path = simd::runtime_simd_path();
+    if d.len() < PAR_MIN {
+        simd::cheb_update(path, c1, c2, inv_diag, r, d);
+    } else {
+        par::par_chunks_mut(d, |off, c| {
+            let e = off + c.len();
+            simd::cheb_update(path, c1, c2, &inv_diag[off..e], &r[off..e], c);
         });
     }
 }

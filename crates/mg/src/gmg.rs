@@ -5,14 +5,16 @@
 //! V-cycle, block-Jacobi+LU, inexact Krylov+ASM, or direct LU).
 
 use crate::amg::AmgHierarchy;
-use ptatin_la::chebyshev::Chebyshev;
+use ptatin_la::chebyshev::{Chebyshev, FusedPlan};
 use ptatin_la::csr::Csr;
 use ptatin_la::krylov::{cg, fgmres, KrylovConfig};
 use ptatin_la::operator::{LinearOperator, Preconditioner};
 use ptatin_la::schwarz::{AdditiveSchwarz, DirectSolver};
+use ptatin_la::transfer::BatchedTransfer;
 use ptatin_la::vec_ops;
 use ptatin_prof as prof;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-level smoother event names (profiling scopes need `&'static str`);
 /// levels deeper than the table share the last entry.
@@ -130,6 +132,48 @@ pub type ArcOp = std::sync::Arc<dyn LinearOperator + Send + Sync>;
 pub struct GmgLevel {
     pub op: ArcOp,
     pub smoother: Chebyshev,
+    /// Assembled matrix handle when the level has one — enables the
+    /// cache-blocked fused smoother ([`Chebyshev::apply_fused`]; the plan
+    /// is built by [`GeometricMg::new`], which knows the smoothing depths).
+    assembled: Option<Arc<Csr>>,
+    fused: Option<FusedPlan>,
+}
+
+impl GmgLevel {
+    /// Level backed by an arbitrary (possibly matrix-free) operator; the
+    /// smoother runs unfused full-mesh sweeps.
+    pub fn new(op: ArcOp, smoother: Chebyshev) -> Self {
+        Self {
+            op,
+            smoother,
+            assembled: None,
+            fused: None,
+        }
+    }
+
+    /// Level backed by an assembled matrix — the operator applies through
+    /// the matrix and smoothing is eligible for the fused path.
+    pub fn from_csr(a: Arc<Csr>, smoother: Chebyshev) -> Self {
+        Self {
+            op: a.clone() as ArcOp,
+            smoother,
+            assembled: Some(a),
+            fused: None,
+        }
+    }
+
+    /// Level where residual applies go through `op` (e.g. a timing
+    /// wrapper) but an assembled matrix is also at hand for fused
+    /// smoothing. The caller must guarantee `op` and `a` represent the
+    /// same linear operator.
+    pub fn with_assembled(op: ArcOp, a: Arc<Csr>, smoother: Chebyshev) -> Self {
+        Self {
+            op,
+            smoother,
+            assembled: Some(a),
+            fused: None,
+        }
+    }
 }
 
 /// A geometric multigrid V(m,n)-cycle usable as a [`Preconditioner`].
@@ -146,12 +190,18 @@ pub struct GeometricMg {
     /// `prolongations[0]` maps the coarsest (solver) level to
     /// `levels[0]`; `prolongations[k]` maps `levels[k-1]` to `levels[k]`.
     pub prolongations: Vec<Csr>,
+    /// Lane-packed SIMD forms of `prolongations` (same indices/weights,
+    /// repacked for 4-wide row batches; see `ptatin-la::transfer`).
+    transfers: Vec<BatchedTransfer>,
     pub coarse: GmgCoarseSolver,
     /// Pre-/post-smoothing iteration counts (V(m,n)).
     pub pre_smooth: usize,
     pub post_smooth: usize,
     /// V- or W-cycle recursion.
     pub cycle: CycleType,
+    /// Force the pre-batching code path (scalar CSR transfers, unfused
+    /// full-mesh smoothing). Benchmark baseline and equivalence-test hook.
+    scalar_pipeline: bool,
     /// Accumulated coarse-solve time (ns) and application count.
     coarse_nanos: AtomicU64,
     coarse_calls: AtomicU64,
@@ -159,20 +209,37 @@ pub struct GeometricMg {
 
 impl GeometricMg {
     pub fn new(
-        levels: Vec<GmgLevel>,
+        mut levels: Vec<GmgLevel>,
         prolongations: Vec<Csr>,
         coarse: GmgCoarseSolver,
         pre_smooth: usize,
         post_smooth: usize,
     ) -> Self {
         assert_eq!(prolongations.len(), levels.len());
+        // Plan depth covers the deeper of the two smoothing passes; a
+        // shallower sweep reuses the same plan (validity only shrinks).
+        // Keep a plan only where its halo redundancy makes fusing a win —
+        // unprofitable levels (wide-stencil or tiny matrices) smooth
+        // unfused instead.
+        let depth = pre_smooth.max(post_smooth).max(1);
+        for lvl in &mut levels {
+            if let Some(a) = lvl.assembled.clone() {
+                lvl.fused = Some(lvl.smoother.fused_plan(&a, depth, 0)).filter(|p| p.profitable());
+            }
+        }
+        let transfers = prolongations
+            .iter()
+            .map(BatchedTransfer::from_csr)
+            .collect();
         Self {
             levels,
             prolongations,
+            transfers,
             coarse,
             pre_smooth,
             post_smooth,
             cycle: CycleType::V,
+            scalar_pipeline: false,
             coarse_nanos: AtomicU64::new(0),
             coarse_calls: AtomicU64::new(0),
         }
@@ -182,6 +249,24 @@ impl GeometricMg {
     pub fn with_cycle(mut self, cycle: CycleType) -> Self {
         self.cycle = cycle;
         self
+    }
+
+    /// Disable the batched transfer / fused smoother paths (builder style).
+    /// Used by benches to time the pre-batching pipeline and by the
+    /// equivalence suite to compare both paths on one hierarchy.
+    pub fn with_scalar_pipeline(mut self) -> Self {
+        self.scalar_pipeline = true;
+        self
+    }
+
+    fn smooth_level(&self, lvl: &GmgLevel, b: &[f64], x: &mut [f64], iters: usize) {
+        if !self.scalar_pipeline {
+            if let (Some(a), Some(plan)) = (&lvl.assembled, &lvl.fused) {
+                lvl.smoother.apply_fused(a, plan, b, x, iters);
+                return;
+            }
+        }
+        lvl.smoother.smooth_with(lvl.op.as_ref(), b, x, iters);
     }
 
     /// Total wall time spent in the coarse solver so far (seconds).
@@ -216,7 +301,7 @@ impl GeometricMg {
         let a = lvl.op.as_ref();
         {
             let _ev = prof::scope(smooth_event(k));
-            lvl.smoother.smooth_with(a, b, x, self.pre_smooth);
+            self.smooth_level(lvl, b, x, self.pre_smooth);
         }
         // Residual: r = b - A x (axpby(1, b, -1, r) is bitwise-identical
         // to the elementwise subtraction and runs on the worker pool).
@@ -229,7 +314,11 @@ impl GeometricMg {
         let mut rc = vec![0.0; p.ncols()];
         {
             let _ev = prof::scope("MGRestrict");
-            p.spmv_transpose(&r, &mut rc);
+            if self.scalar_pipeline {
+                p.spmv_transpose(&r, &mut rc);
+            } else {
+                self.transfers[k - 1].restrict(&r, &mut rc);
+            }
         }
         // μ-cycle: recurse μ times on the *same* coarse problem with a
         // warm start (the textbook W-cycle; refreshing the fine residual
@@ -250,12 +339,16 @@ impl GeometricMg {
         let mut corr = vec![0.0; n];
         {
             let _ev = prof::scope("MGProlong");
-            p.spmv(&xc, &mut corr);
+            if self.scalar_pipeline {
+                p.spmv(&xc, &mut corr);
+            } else {
+                self.transfers[k - 1].prolong(&xc, &mut corr);
+            }
         }
         vec_ops::axpy(1.0, &corr, x);
         {
             let _ev = prof::scope(smooth_event(k));
-            lvl.smoother.smooth_with(a, b, x, self.post_smooth);
+            self.smooth_level(lvl, b, x, self.post_smooth);
         }
     }
 }
@@ -357,10 +450,7 @@ mod tests {
         let mut lvls = Vec::new();
         for a in ops.into_iter().skip(1) {
             let smoother = Chebyshev::new(&a, 2, 10);
-            lvls.push(GmgLevel {
-                op: std::sync::Arc::new(a) as ArcOp,
-                smoother,
-            });
+            lvls.push(GmgLevel::from_csr(Arc::new(a), smoother));
         }
         let rhs: Vec<f64> = {
             let n = fine_a.nrows();

@@ -8,20 +8,36 @@ use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::basis::q1_basis;
 use ptatin_fem::geometry::map_to_physical;
 use ptatin_la::par;
+use ptatin_la::simd::{self, F64x4, SimdPath, LANES};
 use ptatin_mesh::StructuredMesh;
 
-/// Point count below which the projection scatter runs serially.
-const PAR_MIN_POINTS: usize = 1 << 12;
+/// Point count below which the projection scatter runs serially (single
+/// accumulation piece). Public so the thread-invariance suite can pin
+/// swarms to either side of the seam.
+pub const PAR_MIN_POINTS: usize = 1 << 12;
+
+/// Accumulation pieces for swarms at or above [`PAR_MIN_POINTS`]. Fixed —
+/// like `Csr::spmv_transpose`'s piece count — so the floating-point
+/// combination order is a pure function of the swarm size, never of the
+/// thread count: the corner field is bitwise identical at nt = 1, 2, 4, …
+/// (Previously the piece count was the thread count itself, so a swarm
+/// straddling the threshold changed bits with nt; the regression test
+/// `projection_bitwise_across_par_seam` pins the fix.)
+const PROJ_PIECES: usize = 8;
 
 /// Project per-point values onto the Q1 corner mesh:
 /// `f_i = Σ_p N_i(x_p) f_p / Σ_p N_i(x_p)` over the points in the support
 /// of node `i`. Nodes with no nearby points receive `fallback(i)`.
 ///
-/// The scatter races on shared corners, so the parallel path accumulates
-/// into per-piece corner buffers and combines them in fixed piece order —
-/// bitwise-deterministic at a fixed thread count (piece boundaries regroup
-/// the floating-point sums relative to the serial order, like every other
-/// reduction in the solve stack).
+/// The scatter races on shared corners, so swarms of [`PAR_MIN_POINTS`] or
+/// more accumulate into [`PROJ_PIECES`] per-piece corner buffers combined
+/// in fixed piece order (see there for the determinism argument). Within a
+/// piece, points are processed 4 per [`F64x4`] lane — the trilinear
+/// weights of 4 points at once, whole chunks of lanes per kernel call —
+/// but every corner accumulation stays in the scalar one-point-at-a-time
+/// order, so the result is bitwise identical to the scalar reference
+/// ([`project_to_corners_scalar`]) as well as across SIMD paths and
+/// thread counts (equivalence suite).
 pub fn project_to_corners<F, G>(
     mesh: &StructuredMesh,
     points: &MaterialPoints,
@@ -32,10 +48,116 @@ where
     F: Fn(usize) -> f64 + Sync,
     G: Fn(usize) -> f64,
 {
-    let nc = mesh.num_corners();
-    let npts = points.len();
-    let mut num = vec![0.0f64; nc];
-    let mut den = vec![0.0f64; nc];
+    project_to_corners_with_path(mesh, points, value, fallback, simd::runtime_simd_path())
+}
+
+/// [`project_to_corners`] with an explicit SIMD path (equivalence tests).
+pub fn project_to_corners_with_path<F, G>(
+    mesh: &StructuredMesh,
+    points: &MaterialPoints,
+    value: F,
+    fallback: G,
+    path: SimdPath,
+) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+    G: Fn(usize) -> f64,
+{
+    // Points per weights-kernel call: one non-inlinable SIMD dispatch
+    // amortized over 1024 points (the per-lane call costs more than the
+    // Q1 math it vectorizes).
+    const CHUNK_LANES: usize = 256;
+    let scatter = |range: std::ops::Range<usize>, num: &mut [f64], den: &mut [f64]| {
+        // Two chunk-sized lane buffers per piece, reused across the
+        // piece's chunks.
+        let mut xibuf = vec![F64x4::ZERO; 3 * CHUNK_LANES];
+        let mut wbuf = vec![F64x4::ZERO; 8 * CHUNK_LANES];
+        let mut c0 = range.start;
+        while c0 < range.end {
+            let cn = (range.end - c0).min(CHUNK_LANES * LANES);
+            let nlanes = cn.div_ceil(LANES);
+            // Ghost slots carry ξ = 0; their weights are computed and
+            // discarded — no remainder branch in the kernel.
+            xibuf[..3 * nlanes].fill(F64x4::ZERO);
+            for j in 0..cn {
+                let x = points.xi[c0 + j];
+                let (l, s) = (j / LANES, j % LANES);
+                xibuf[3 * l].0[s] = x[0];
+                xibuf[3 * l + 1].0[s] = x[1];
+                xibuf[3 * l + 2].0[s] = x[2];
+            }
+            simd::q1_hat_weights_many(path, &xibuf[..3 * nlanes], &mut wbuf[..8 * nlanes]);
+            for l in 0..nlanes {
+                let p0 = c0 + l * LANES;
+                let m = (c0 + cn - p0).min(LANES);
+                let w8 = &wbuf[8 * l..8 * l + 8];
+                let e0 = points.element[p0];
+                // A uniform lane — 4 located points in one element (the
+                // common case for element-major swarms) — amortizes the
+                // corner-id lookup over the lane. The four contributions
+                // stay four *sequential* adds per corner, exactly the
+                // scalar one-point-at-a-time order: collapsing them into
+                // a pairwise tree would perturb the corner field by ulps,
+                // and downstream consumers make discrete decisions on it
+                // (SA-AMG strength-of-connection thresholds over the
+                // assembled operator) that bifurcate on the last bit —
+                // measured as a 23 → 45 Krylov-iteration flip on the
+                // sinker golden. Bitwise-equal-to-scalar is the contract.
+                let uniform = m == LANES
+                    && e0 != u32::MAX
+                    && points.element[p0 + 1] == e0
+                    && points.element[p0 + 2] == e0
+                    && points.element[p0 + 3] == e0;
+                if uniform {
+                    let cids = mesh.element_corner_ids(e0 as usize);
+                    let v = [value(p0), value(p0 + 1), value(p0 + 2), value(p0 + 3)];
+                    for (k, &cid) in cids.iter().enumerate() {
+                        let w = &w8[k].0;
+                        let mut nacc = num[cid];
+                        let mut dacc = den[cid];
+                        for j in 0..LANES {
+                            nacc += w[j] * v[j];
+                            dacc += w[j];
+                        }
+                        num[cid] = nacc;
+                        den[cid] = dacc;
+                    }
+                } else {
+                    for j in 0..m {
+                        let e = points.element[p0 + j];
+                        if e == u32::MAX {
+                            continue; // unlocated point contributes nothing
+                        }
+                        let cids = mesh.element_corner_ids(e as usize);
+                        let v = value(p0 + j);
+                        for (k, &cid) in cids.iter().enumerate() {
+                            let w = w8[k].0[j];
+                            num[cid] += w * v;
+                            den[cid] += w;
+                        }
+                    }
+                }
+            }
+            c0 += cn;
+        }
+    };
+    project_with_scatter(mesh, points.len(), fallback, &scatter)
+}
+
+/// Scalar reference implementation of [`project_to_corners`]: one point at
+/// a time via `q1_basis`, same piece structure. The batched projection is
+/// bitwise identical to this (equivalence tests); it is also the
+/// pre-batching baseline timed by the kernel benchmarks.
+pub fn project_to_corners_scalar<F, G>(
+    mesh: &StructuredMesh,
+    points: &MaterialPoints,
+    value: F,
+    fallback: G,
+) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+    G: Fn(usize) -> f64,
+{
     let scatter = |range: std::ops::Range<usize>, num: &mut [f64], den: &mut [f64]| {
         for p in range {
             let e = points.element[p];
@@ -51,11 +173,32 @@ where
             }
         }
     };
-    let nt = par::num_threads();
-    if nt <= 1 || npts < PAR_MIN_POINTS {
+    project_with_scatter(mesh, points.len(), fallback, &scatter)
+}
+
+/// Shared piece structure of the projection scatter: serial below
+/// [`PAR_MIN_POINTS`], otherwise [`PROJ_PIECES`] fixed pieces combined in
+/// piece order (parallel when threads are available — `par_blocks_mut`
+/// runs the pieces in order on the caller at nt = 1, so the piece
+/// *structure*, and therefore every bit of the result, is independent of
+/// the thread count).
+fn project_with_scatter<G, S>(
+    mesh: &StructuredMesh,
+    npts: usize,
+    fallback: G,
+    scatter: &S,
+) -> Vec<f64>
+where
+    G: Fn(usize) -> f64,
+    S: Fn(std::ops::Range<usize>, &mut [f64], &mut [f64]) + Sync,
+{
+    let nc = mesh.num_corners();
+    let mut num = vec![0.0f64; nc];
+    let mut den = vec![0.0f64; nc];
+    if npts < PAR_MIN_POINTS {
         scatter(0..npts, &mut num, &mut den);
     } else {
-        let ranges = par::split_ranges(npts, nt);
+        let ranges = par::split_ranges(npts, PROJ_PIECES);
         let npieces = ranges.len();
         // Per-piece [num | den] accumulators, combined in piece order.
         let mut parts = vec![0.0f64; npieces * 2 * nc];
@@ -86,7 +229,69 @@ where
 /// Interpolate a Q1 corner field to the quadrature points of every element
 /// (Eq. (13)); output layout matches the coefficient arrays consumed by
 /// `ptatin-fem`/`ptatin-ops`: `element × nqp`.
+///
+/// Elements are processed 4 per [`F64x4`] lane (gather the 8 corner values
+/// of 4 elements, interpolate all quadrature points with plain mul/add in
+/// ascending corner order) and lanes are distributed over threads. Each
+/// output value depends only on its own element, so the result is bitwise
+/// identical to the scalar reference at every thread count and on both
+/// SIMD paths.
 pub fn corners_to_quadrature(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    corner_field: &[f64],
+) -> Vec<f64> {
+    corners_to_quadrature_with_path(mesh, tables, corner_field, simd::runtime_simd_path())
+}
+
+/// [`corners_to_quadrature`] with an explicit SIMD path (equivalence
+/// tests).
+pub fn corners_to_quadrature_with_path(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    corner_field: &[f64],
+    path: SimdPath,
+) -> Vec<f64> {
+    assert_eq!(corner_field.len(), mesh.num_corners());
+    let nqp = tables.nqp();
+    assert!(nqp <= MAX_NQP, "quadrature rule exceeds the lane buffer");
+    let nel = mesh.num_elements();
+    let mut out = vec![0.0; nel * nqp];
+    // Q1 basis at the quadrature points, precomputed.
+    let basis_at_qp: Vec<[f64; 8]> = tables.quad.points.iter().map(|&p| q1_basis(p)).collect();
+    // One block = one lane of 4 elements; blocks are independent.
+    par::par_blocks_mut(&mut out, LANES * nqp, |bi, chunk| {
+        let e0 = bi * LANES;
+        let m = (nel - e0).min(LANES);
+        let mut f8 = [F64x4::ZERO; 8];
+        for j in 0..LANES {
+            // Ghost slots replicate the block's first element so gathers
+            // stay in bounds; their results are discarded.
+            let e = e0 + if j < m { j } else { 0 };
+            let cids = mesh.element_corner_ids(e);
+            for (k, &cid) in cids.iter().enumerate() {
+                f8[k].0[j] = corner_field[cid];
+            }
+        }
+        let mut lane_out = [F64x4::ZERO; MAX_NQP];
+        simd::dot8_table(path, &basis_at_qp, &f8, &mut lane_out[..nqp]);
+        for j in 0..m {
+            for (q, lo) in lane_out.iter().enumerate().take(nqp) {
+                chunk[j * nqp + q] = lo.0[j];
+            }
+        }
+    });
+    out
+}
+
+/// Upper bound on quadrature points per element supported by the batched
+/// interpolation's stack buffer (3³ Gauss is 27).
+const MAX_NQP: usize = 32;
+
+/// Scalar reference implementation of [`corners_to_quadrature`]: serial,
+/// one element and quadrature point at a time (equivalence tests and the
+/// pre-batching benchmark baseline).
+pub fn corners_to_quadrature_scalar(
     mesh: &StructuredMesh,
     tables: &Q2QuadTables,
     corner_field: &[f64],
@@ -94,7 +299,6 @@ pub fn corners_to_quadrature(
     assert_eq!(corner_field.len(), mesh.num_corners());
     let nqp = tables.nqp();
     let mut out = vec![0.0; mesh.num_elements() * nqp];
-    // Q1 basis at the quadrature points, precomputed.
     let basis_at_qp: Vec<[f64; 8]> = tables.quad.points.iter().map(|&p| q1_basis(p)).collect();
     for e in 0..mesh.num_elements() {
         let cids = mesh.element_corner_ids(e);
@@ -279,6 +483,67 @@ mod tests {
                 f[c],
                 expect
             );
+        }
+    }
+
+    #[test]
+    fn batched_projection_matches_scalar() {
+        let mesh = mesh();
+        let mut rng = StdRng::seed_from_u64(17);
+        // 27 elements × 27 points: npts % 4 == 1 exercises the remainder
+        // lane; a few unlocated points exercise the scatter skip.
+        let mut pts = seed_regular(&mesh, 3, 0.4, &mut rng, |_| 0);
+        for p in (0..pts.len()).step_by(31) {
+            pts.element[p] = u32::MAX;
+        }
+        let vals: Vec<f64> = (0..pts.len()).map(|p| ((p as f64) * 0.61).sin()).collect();
+        let reference = project_to_corners_scalar(&mesh, &pts, |p| vals[p], |i| i as f64);
+        // Batched-vs-scalar is bitwise: the lane scatter keeps the scalar
+        // per-corner accumulation order (downstream AMG setup makes
+        // discrete decisions on these values — see project_to_corners).
+        let portable = project_to_corners_with_path(
+            &mesh,
+            &pts,
+            |p| vals[p],
+            |i| i as f64,
+            SimdPath::Portable,
+        );
+        for (c, (a, b)) in portable.iter().zip(&reference).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "portable corner {c}: {a} vs {b}");
+        }
+        // AVX-vs-portable is strictly bitwise.
+        if simd::avx2_fma_available() {
+            let avx = project_to_corners_with_path(
+                &mesh,
+                &pts,
+                |p| vals[p],
+                |i| i as f64,
+                SimdPath::Avx2Fma,
+            );
+            for (c, (a, b)) in avx.iter().zip(&portable).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "avx corner {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_quadrature_interpolation_matches_scalar_bitwise() {
+        let mesh = mesh(); // 27 elements: nel % 4 == 3 remainder lane
+        let tables = Q2QuadTables::standard();
+        let corner_field: Vec<f64> = (0..mesh.num_corners())
+            .map(|c| ((c as f64) * 0.37).cos())
+            .collect();
+        let reference = corners_to_quadrature_scalar(&mesh, &tables, &corner_field);
+        let mut paths = vec![SimdPath::Portable];
+        if simd::avx2_fma_available() {
+            paths.push(SimdPath::Avx2Fma);
+        }
+        for path in paths {
+            let qpf = corners_to_quadrature_with_path(&mesh, &tables, &corner_field, path);
+            assert_eq!(qpf.len(), reference.len());
+            for (i, (a, b)) in qpf.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{path:?} qp value {i}");
+            }
         }
     }
 

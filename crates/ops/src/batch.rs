@@ -34,99 +34,11 @@ use ptatin_la::operator::LinearOperator;
 use ptatin_prof as prof;
 use std::sync::Arc;
 
-/// Elements per SIMD batch (one AVX 256-bit register of f64).
-pub const LANES: usize = 4;
-
-/// Four f64 values, one per element of a batch. 32-byte aligned so the
-/// AVX2 path can use aligned loads/stores directly on the same arrays the
-/// portable path indexes.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-#[repr(C, align(32))]
-pub struct F64x4(pub [f64; 4]);
-
-impl F64x4 {
-    pub const ZERO: F64x4 = F64x4([0.0; 4]);
-
-    #[inline(always)]
-    pub fn splat(v: f64) -> Self {
-        F64x4([v; 4])
-    }
-
-    /// Elementwise fused multiply-add `self·a + b` (single rounding per
-    /// lane — the portable mirror of `_mm256_fmadd_pd`).
-    #[inline(always)]
-    pub fn mul_add(self, a: F64x4, b: F64x4) -> F64x4 {
-        F64x4([
-            self.0[0].mul_add(a.0[0], b.0[0]),
-            self.0[1].mul_add(a.0[1], b.0[1]),
-            self.0[2].mul_add(a.0[2], b.0[2]),
-            self.0[3].mul_add(a.0[3], b.0[3]),
-        ])
-    }
-}
-
-impl std::ops::Add for F64x4 {
-    type Output = F64x4;
-    #[inline(always)]
-    fn add(self, o: F64x4) -> F64x4 {
-        F64x4([
-            self.0[0] + o.0[0],
-            self.0[1] + o.0[1],
-            self.0[2] + o.0[2],
-            self.0[3] + o.0[3],
-        ])
-    }
-}
-
-impl std::ops::Mul for F64x4 {
-    type Output = F64x4;
-    #[inline(always)]
-    fn mul(self, o: F64x4) -> F64x4 {
-        F64x4([
-            self.0[0] * o.0[0],
-            self.0[1] * o.0[1],
-            self.0[2] * o.0[2],
-            self.0[3] * o.0[3],
-        ])
-    }
-}
-
-/// Which lane kernel a [`BatchedViscousOp`] dispatches to. Chosen once at
-/// construction; both paths produce bitwise-identical results.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SimdPath {
-    /// `f64::mul_add`-based kernel, correct on every target.
-    Portable,
-    /// Explicit `core::arch::x86_64` AVX2+FMA intrinsics.
-    Avx2Fma,
-}
-
-/// Hardware capability check only (ignores the env override): can this
-/// host run the AVX2+FMA kernel at all?
-pub fn avx2_fma_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
-
-/// Runtime dispatch decision: AVX2+FMA when the CPU supports it, unless
-/// `PTATIN_NO_AVX` is set (non-empty, not `"0"`) to force the portable
-/// fallback — the knob CI uses to keep that path green on any host.
-pub fn detected_simd_path() -> SimdPath {
-    if std::env::var("PTATIN_NO_AVX").is_ok_and(|v| !v.is_empty() && v != "0") {
-        return SimdPath::Portable;
-    }
-    if avx2_fma_available() {
-        SimdPath::Avx2Fma
-    } else {
-        SimdPath::Portable
-    }
-}
+// The lane type and runtime dispatch were hoisted into `ptatin-la::simd`
+// when the rest of the per-step pipeline (projection, GMG transfer,
+// Chebyshev) adopted the same batching recipe; re-exported here so the
+// `ptatin_ops::{F64x4, SimdPath, ...}` paths of PR 4 keep working.
+pub use ptatin_la::simd::{avx2_fma_available, detected_simd_path, F64x4, SimdPath, LANES};
 
 // ---------------------------------------------------------------------------
 // Batched contractions (portable path)

@@ -55,11 +55,13 @@ PTATIN_TEST_THREADS=4 cargo test --workspace -q --features pool-sanitizer
 PTATIN_TEST_THREADS=4 cargo test -q --features pool-sanitizer --test thread_invariance
 PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-la --features pool-sanitizer par::
 
-# Operator-equivalence suite with the AVX path force-disabled: the
-# portable mul_add fallback of the batched operator must satisfy the
-# same 1e-12 contract as the hardware path (DESIGN.md §9).
-step "operator equivalence with AVX disabled (PTATIN_NO_AVX=1)"
+# Operator-equivalence and thread-invariance suites with the AVX path
+# force-disabled: the portable fallbacks of the batched operator,
+# projection, transfer, and fused smoother must satisfy the same 1e-12 /
+# bitwise contracts as the hardware path (DESIGN.md §9).
+step "equivalence + thread invariance with AVX disabled (PTATIN_NO_AVX=1)"
 PTATIN_NO_AVX=1 PTATIN_TEST_THREADS=2 cargo test -q --test operator_equivalence
+PTATIN_NO_AVX=1 PTATIN_TEST_THREADS=2 cargo test -q --test thread_invariance
 
 # Fault-injection matrix on the release binary: every injected failure
 # class must be recovered (exit 0) or reported cleanly (crash => 42),
@@ -85,10 +87,13 @@ if [[ $FAST -eq 0 ]]; then
     step "  restart from the surviving checkpoint"
     PTATIN_TEST_THREADS=2 $RIFT --restart-from="$CKDIR/ckpt_step_00002.ptck"
 
-    # Kernel-benchmark smoke run: exercises all five operator variants and
-    # writes a machine-readable record, then validates it (plus the
-    # committed full-size record) against the ptatin-kernel-bench-v1
-    # schema with the in-repo JSON parser.
+    # Kernel-benchmark smoke run: exercises all five operator variants
+    # plus the per-kernel pipeline pairs (projection, transfer, smoother,
+    # V-cycle, whole step) at nt = 1 and 4 — the bench loops over both
+    # thread counts internally — and writes a machine-readable record,
+    # then validates it (plus the committed full-size record) against the
+    # ptatin-kernel-bench-v1 schema, including the whole_step speedup
+    # floor, with the in-repo JSON parser.
     step "kernel benchmark smoke + BENCH_kernels.json schema validation"
     cargo bench -p ptatin-bench --bench table1_operators -- smoke
     cargo run --release -p ptatin-bench --bin validate_bench -- \

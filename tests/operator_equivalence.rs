@@ -4,10 +4,16 @@
 
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::{DirichletBc, VelocityBcBuilder};
+use ptatin_la::chebyshev::Chebyshev;
 use ptatin_la::krylov::{cg, KrylovConfig};
 use ptatin_la::operator::LinearOperator;
+use ptatin_la::transfer::BatchedTransfer;
 use ptatin_la::JacobiPc;
+use ptatin_mesh::hierarchy::expand_blocked;
 use ptatin_mesh::StructuredMesh;
+use ptatin_mg::filter_transfer;
+use ptatin_mpm::points::seed_regular;
+use ptatin_mpm::projection;
 use ptatin_ops::{
     avx2_fma_available, build_viscous_operator, BatchedViscousOp, NewtonData, OperatorKind,
     SimdPath, TensorViscousOp, ViscousOpData, NQP,
@@ -247,6 +253,180 @@ fn batched_avx_and_portable_paths_agree_bitwise() {
                 yp[i],
                 ya[i]
             );
+        }
+    }
+}
+
+#[test]
+fn batched_projection_pipeline_matches_scalar_randomized() {
+    // P2G + G2P, batched vs scalar reference, over randomized deformed
+    // meshes and jittered swarms: element counts off the lane width
+    // (nel % 4 ≠ 0), swarm sizes off the lane width (npts % 4 ≠ 0),
+    // unlocated points, and both SIMD paths. Both directions are strictly
+    // bitwise against their scalar references on every path: the lane
+    // scatter keeps the scalar per-corner accumulation order, because
+    // downstream consumers (SA-AMG strength-of-connection) make discrete
+    // decisions that bifurcate on the last bit of the corner field.
+    let mut rng = SplitMix64::seed_from_u64(0x9a7_1e57);
+    for (dims, np) in [((3, 3, 3), 3), ((2, 2, 2), 2), ((5, 1, 3), 3)] {
+        let (mesh, _, _) = random_setup(&mut rng, dims);
+        let jitter = rng.gen_range(0.0..0.45);
+        let mut pts = seed_regular(&mesh, np, jitter, &mut rng, |_| 0);
+        // A few unlocated points must contribute nothing.
+        for p in (0..pts.len()).step_by(17) {
+            pts.element[p] = u32::MAX;
+        }
+        let vals: Vec<f64> = (0..pts.len()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let value = |p: usize| vals[p];
+        let reference = projection::project_to_corners_scalar(&mesh, &pts, value, |i| i as f64);
+        let portable = projection::project_to_corners_with_path(
+            &mesh,
+            &pts,
+            value,
+            |i| i as f64,
+            SimdPath::Portable,
+        );
+        for (c, (a, b)) in portable.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "dims {dims:?} np={np} corner {c}: batched {a} vs scalar {b}"
+            );
+        }
+        if avx2_fma_available() {
+            let avx = projection::project_to_corners_with_path(
+                &mesh,
+                &pts,
+                value,
+                |i| i as f64,
+                SimdPath::Avx2Fma,
+            );
+            for (c, (a, b)) in avx.iter().zip(&portable).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dims {dims:?} corner {c}: avx {a} vs portable {b}"
+                );
+            }
+        }
+
+        // G2P: quadrature interpolation of a random corner field.
+        let tables = Q2QuadTables::standard();
+        let corner_field: Vec<f64> = (0..mesh.num_corners())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let qref = projection::corners_to_quadrature_scalar(&mesh, &tables, &corner_field);
+        let mut paths = vec![SimdPath::Portable];
+        if avx2_fma_available() {
+            paths.push(SimdPath::Avx2Fma);
+        }
+        for path in paths {
+            let q =
+                projection::corners_to_quadrature_with_path(&mesh, &tables, &corner_field, path);
+            assert_eq!(q.len(), qref.len());
+            for (i, (a, b)) in q.iter().zip(&qref).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dims {dims:?} {path:?} qp {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_transfer_matches_csr_randomized() {
+    // The lane-packed grid transfer against the CSR reference on randomized
+    // deformed hierarchies with mixed-BC-filtered transfer matrices:
+    // prolongation is bitwise (`spmv` row order == slot order), restriction
+    // matches the scalar transpose apply to within zero-sign/shortcut
+    // effects (≤ 1e-12 relative), and the two SIMD paths are bitwise
+    // identical to each other in both directions.
+    let mut rng = SplitMix64::seed_from_u64(0x7a5_fe2);
+    for dims in [(2, 2, 2), (4, 2, 2), (2, 4, 6)] {
+        let (fine, _, _) = random_setup(&mut rng, dims);
+        let hier = ptatin_mesh::hierarchy::MeshHierarchy::new(fine, 2);
+        let mut p = expand_blocked(&hier.prolongations[0], 3);
+        let fine_mask = bc(&hier.meshes[1]).mask(p.nrows());
+        let coarse_mask = bc(&hier.meshes[0]).mask(p.ncols());
+        filter_transfer(&mut p, &fine_mask, &coarse_mask);
+
+        let xc: Vec<f64> = (0..p.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let r: Vec<f64> = (0..p.nrows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y_ref = vec![0.0; p.nrows()];
+        p.spmv(&xc, &mut y_ref);
+        let mut yc_ref = vec![0.0; p.ncols()];
+        p.spmv_transpose(&r, &mut yc_ref);
+
+        let mut variants = vec![BatchedTransfer::with_path(&p, SimdPath::Portable)];
+        if avx2_fma_available() {
+            variants.push(BatchedTransfer::with_path(&p, SimdPath::Avx2Fma));
+        }
+        let mut prev: Option<(Vec<f64>, Vec<f64>)> = None;
+        for bt in &variants {
+            let mut y = vec![0.0; p.nrows()];
+            bt.prolong(&xc, &mut y);
+            for (i, (a, b)) in y.iter().zip(&y_ref).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dims {dims:?} {:?} prolong row {i}: {a} vs {b}",
+                    bt.path()
+                );
+            }
+            let mut yc = vec![0.0; p.ncols()];
+            bt.restrict(&r, &mut yc);
+            for (i, (a, b)) in yc.iter().zip(&yc_ref).enumerate() {
+                let scale = b.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= 1e-12 * scale,
+                    "dims {dims:?} {:?} restrict row {i}: {a} vs {b}",
+                    bt.path()
+                );
+            }
+            if let Some((py, pyc)) = &prev {
+                assert!(y.iter().zip(py).all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(yc.iter().zip(pyc).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            prev = Some((y, yc));
+        }
+    }
+}
+
+#[test]
+fn fused_chebyshev_matches_plain_sweeps_on_stokes_block() {
+    // Cache-blocked fused smoothing against k plain sweeps, bitwise, on a
+    // real assembled viscous block (deformed mesh, 9-decade viscosity,
+    // mixed BCs) — auto tile size plus thin tiles whose halos make the
+    // plan unprofitable (gating is a perf decision only; the bits match
+    // either way).
+    let mesh = deformed_mesh();
+    let eta = wild_eta(mesh.num_elements());
+    let bc = bc(&mesh);
+    let tables = Q2QuadTables::standard();
+    let a = ptatin_ops::assembled_viscous_op(&mesh, &tables, &eta, &bc);
+    let n = a.nrows();
+    let cheb = Chebyshev::new(&a, 4, 10);
+    let mut rng = SplitMix64::seed_from_u64(0xc4eb);
+    let b_vec = random_vector(&mut rng, n);
+    let x_init = random_vector(&mut rng, n);
+    for tile in [0usize, 64, 512] {
+        let plan = cheb.fused_plan(&a, 4, tile);
+        for k in [1usize, 2, 4] {
+            let mut x_ref = x_init.clone();
+            cheb.smooth_with(&a, &b_vec, &mut x_ref, k);
+            let mut x = x_init.clone();
+            cheb.apply_fused(&a, &plan, &b_vec, &mut x, k);
+            for i in 0..n {
+                assert_eq!(
+                    x[i].to_bits(),
+                    x_ref[i].to_bits(),
+                    "tile={tile} k={k} dof {i}: fused {} vs plain {}",
+                    x[i],
+                    x_ref[i]
+                );
+            }
         }
     }
 }

@@ -15,9 +15,15 @@
 
 use ptatin_bench::{paper_gmg_config, sinker_setup};
 use ptatin_core::solver::{GmgConfig, KrylovOperatorChoice};
+use ptatin_la::chebyshev::Chebyshev;
+use ptatin_la::csr::Csr;
 use ptatin_la::krylov::KrylovConfig;
 use ptatin_la::par;
+use ptatin_mesh::StructuredMesh;
+use ptatin_mpm::points::{seed_regular, MaterialPoints};
+use ptatin_mpm::projection;
 use ptatin_ops::OperatorKind;
+use ptatin_prng::StdRng;
 use std::sync::Mutex;
 
 /// Serializes the tests in this binary: the thread count is a
@@ -161,6 +167,126 @@ fn batched_operator_invariant_and_bitwise() {
             a.x[i].to_bits(),
             b.x[i].to_bits(),
             "batched: solution must be bitwise reproducible at fixed nt (dof {i})"
+        );
+    }
+}
+
+/// A 2·PAR_MIN_POINTS-capable swarm: 8³ elements × 2³ points per element
+/// lands exactly on [`projection::PAR_MIN_POINTS`]; `delta` then nudges
+/// the size to either side of the serial/parallel seam.
+fn seam_swarm(mesh: &StructuredMesh, delta: i64) -> MaterialPoints {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut pts = seed_regular(mesh, 2, 0.25, &mut rng, |_| 0);
+    assert_eq!(pts.len(), projection::PAR_MIN_POINTS);
+    match delta {
+        -1 => pts.swap_remove(pts.len() - 1),
+        1 => {
+            let (x, e, xi) = (pts.x[0], pts.element[0], pts.xi[0]);
+            pts.push_located(x, 0, 0.0, e, xi);
+        }
+        _ => unreachable!(),
+    }
+    pts
+}
+
+#[test]
+fn projection_bitwise_across_par_seam() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Regression: the scatter's piece structure is a pure function of the
+    // swarm size (serial below PAR_MIN_POINTS, 8 fixed pieces at or
+    // above), never of the thread count — so a swarm one point to either
+    // side of the seam must give a bitwise-identical corner field at
+    // nt = 1, 2, 4. (Previously the piece count was the thread count
+    // itself, so straddling swarms changed bits with nt.)
+    let mesh = StructuredMesh::new_box(8, 8, 8, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+    for delta in [-1i64, 1] {
+        let pts = seam_swarm(&mesh, delta);
+        let value = |p: usize| ((p as f64) * 0.61).sin();
+        let runs: Vec<Vec<f64>> = [1usize, 2, 4]
+            .into_iter()
+            .map(|nt| {
+                par::set_num_threads(nt);
+                let f = projection::project_to_corners(&mesh, &pts, value, |i| i as f64);
+                par::set_num_threads(0);
+                f
+            })
+            .collect();
+        for (k, run) in runs[1..].iter().enumerate() {
+            for (c, (a, b)) in run.iter().zip(&runs[0]).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "delta {delta} corner {c}: nt={} gives {a}, nt=1 gives {b}",
+                    [2, 4][k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_projection_and_fused_smoother_bitwise_across_thread_counts() {
+    let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Batched P2G well above the parallel threshold: 8³ elements × 27
+    // points = 13824 points across 8 fixed accumulation pieces.
+    let mesh = StructuredMesh::new_box(8, 8, 8, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
+    let mut rng = StdRng::seed_from_u64(11);
+    let pts = seed_regular(&mesh, 3, 0.3, &mut rng, |_| 0);
+    assert!(pts.len() > projection::PAR_MIN_POINTS);
+    let value = |p: usize| ((p as f64) * 0.37).cos();
+    let proj: Vec<Vec<f64>> = [1usize, 2, 4, 4]
+        .into_iter()
+        .map(|nt| {
+            par::set_num_threads(nt);
+            let f = projection::project_to_corners(&mesh, &pts, value, |i| i as f64);
+            par::set_num_threads(0);
+            f
+        })
+        .collect();
+    for run in &proj[1..] {
+        assert!(
+            run.iter()
+                .zip(&proj[0])
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "projection changed bits across thread counts"
+        );
+    }
+
+    // Cache-blocked fused smoothing on a banded (profitable) matrix with
+    // many tiles: tiles read a shared snapshot and write disjoint row
+    // ranges, so the sweep is bitwise identical at every thread count.
+    let n = 20_000;
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 2.5));
+        if i > 0 {
+            t.push((i, i - 1, -1.0));
+        }
+        if i + 1 < n {
+            t.push((i, i + 1, -1.0));
+        }
+    }
+    let a = Csr::from_triplets(n, n, &t);
+    let cheb = Chebyshev::new(&a, 3, 10);
+    let plan = cheb.fused_plan(&a, 3, 1024);
+    assert!(plan.profitable(), "banded plan must pass the gate");
+    let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).sin()).collect();
+    let smooth: Vec<Vec<f64>> = [1usize, 2, 4, 4]
+        .into_iter()
+        .map(|nt| {
+            par::set_num_threads(nt);
+            let mut x = vec![0.1; n];
+            cheb.apply_fused(&a, &plan, &b, &mut x, 3);
+            par::set_num_threads(0);
+            x
+        })
+        .collect();
+    for run in &smooth[1..] {
+        assert!(
+            run.iter()
+                .zip(&smooth[0])
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "fused smoothing changed bits across thread counts"
         );
     }
 }
