@@ -135,14 +135,22 @@ const TAG_PANIC: &str = "PANIC-OK:";
 const TAG_SAFETY: &str = "SAFETY:";
 
 /// Function names treated as hot paths by the `hot-alloc` rule: the
-/// operator `apply` family and explicit kernels. Matches the repo's
-/// naming convention for per-iteration code (DESIGN.md §10).
+/// operator `apply` family, explicit kernels, and the per-linearization
+/// assembly paths (`assemble*`, `reassemble*` and the `*_into` element
+/// kernels run once per Picard/Newton step — their scratch must be
+/// caller-owned and reused). Matches the repo's naming convention for
+/// per-iteration code (DESIGN.md §10, §13).
 fn is_hot_fn(name: &str) -> bool {
     name == "apply"
         || name.starts_with("apply_")
         || name.ends_with("_apply")
         || name.contains("kernel")
         || name.starts_with("spmv")
+        || name.starts_with("assemble")
+        || name.starts_with("reassemble")
+        || (name.starts_with("element_") && name.ends_with("_into"))
+        || name.ends_with("numeric_scalar_into")
+        || name.ends_with("numeric_batched_into")
 }
 
 /// Parallel combinators whose piece closures must not accumulate with
@@ -863,6 +871,32 @@ mod tests {
         assert_eq!(f[0].rule, Rule::HotAlloc);
         let cold = "fn setup(x: &[f64]) { let t = x.to_vec(); }";
         assert!(findings("crates/ops/src/x.rs", cold).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_covers_assembly_family() {
+        // The per-linearization assembly paths are hot: `assemble*`,
+        // `reassemble*` and the `*_into` element/numeric kernels.
+        for name in [
+            "assemble_viscous_batched",
+            "reassemble_into",
+            "element_viscous_matrix_into",
+            "numeric_scalar_into",
+            "viscous_numeric_batched_into",
+        ] {
+            let src = format!("fn {name}() {{ let t = vec![0.0; 8]; }}");
+            let f = findings("crates/fem/src/x.rs", &src);
+            assert_eq!(f.len(), 1, "{name} not treated as hot");
+            assert_eq!(f[0].rule, Rule::HotAlloc);
+        }
+        // Symbolic-phase constructors stay cold: they run once per mesh.
+        for name in ["build", "element_corner_coords", "assembly_order"] {
+            let src = format!("fn {name}() {{ let t = vec![0.0; 8]; }}");
+            assert!(
+                findings("crates/fem/src/x.rs", &src).is_empty(),
+                "{name} wrongly treated as hot"
+            );
+        }
     }
 
     #[test]

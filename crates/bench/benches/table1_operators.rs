@@ -11,26 +11,31 @@
 //! never clobbers the committed record.
 
 use ptatin_bench::kernels_json::{
-    KernelEntry, PerKernelEntry, KERNEL_BENCH_SCHEMA, WHOLE_STEP_VCYCLES,
+    FusedOrderingStats, KernelEntry, PerKernelEntry, SetupSection, KERNEL_BENCH_SCHEMA,
+    WHOLE_STEP_VCYCLES,
 };
 use ptatin_bench::sinker_setup;
 use ptatin_core::models::sinker::sinker_bc;
+use ptatin_core::solver::{build_stokes_solver_cached, CoarseKind, GmgConfig, SetupCache};
 use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::bc::DirichletBc;
+use ptatin_fem::pattern::ViscousPattern;
 use ptatin_la::chebyshev::Chebyshev;
 use ptatin_la::csr::Csr;
 use ptatin_la::operator::{LinearOperator, Preconditioner};
 use ptatin_la::par;
 use ptatin_la::schwarz::DirectSolver;
+use ptatin_la::simd::{runtime_simd_path, F64x4};
 use ptatin_la::transfer::BatchedTransfer;
 use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar};
+use ptatin_mesh::sfc::{expand_permutation, morton_node_permutation};
 use ptatin_mg::{filter_transfer, ArcOp, GeometricMg, GmgCoarseSolver, GmgLevel};
 use ptatin_mpm::points::seed_regular;
 use ptatin_mpm::projection;
 use ptatin_ops::{
     assembled_model, assembled_viscous_op, mf_model, tensor_batched_model, tensor_c_model,
-    tensor_model, BatchedViscousOp, MfViscousOp, OperatorModel, SimdPath, TensorCViscousOp,
-    TensorViscousOp, ViscousOpData,
+    tensor_model, viscous_numeric_batched_into, BatchedViscousOp, MfViscousOp, OperatorKind,
+    OperatorModel, SimdPath, TensorCViscousOp, TensorViscousOp, ViscousOpData,
 };
 use ptatin_prng::StdRng;
 use ptatin_prof::json::Value;
@@ -286,6 +291,184 @@ fn per_kernel_at_current_nt(m: usize, iters: usize) -> Vec<PerKernelEntry> {
         .collect()
 }
 
+/// Setup-phase measurements at nt=1 (the thread count is pinned by the
+/// caller): batched-vs-scalar viscous numeric assembly into a prebuilt
+/// pattern, first-build vs warm `SetupCache` solver setup, and the
+/// fused-smoothing profitability rerun on the Morton-reordered fine
+/// matrix. The solver configuration is the GMG-i production shape
+/// (assembled fine level, rediscretized coarse, SA-AMG coarse solve) —
+/// the configuration whose setup the pattern-reuse path targets.
+fn measure_setup(m: usize, iters: usize) -> SetupSection {
+    let levels = if m % 4 == 0 { 3 } else { 2 };
+    let (model, fields) = sinker_setup(m, levels, 1e4);
+    let fine = model.hier.finest();
+    let tables = Q2QuadTables::standard();
+    let bc = sinker_bc(fine);
+    let path = runtime_simd_path();
+
+    // Numeric assembly into a prebuilt pattern: the per-iteration cost of
+    // a Picard/Newton re-linearization once the symbolic phase is cached.
+    let pat = ViscousPattern::build(fine);
+    let mut values = vec![0.0; pat.nnz()];
+    let mut scratch_s: Vec<f64> = Vec::new();
+    let asm_scalar = time_it(iters, || {
+        pat.numeric_scalar_into(fine, &tables, &fields.eta_qp, &mut scratch_s, &mut values);
+    });
+    let mut scratch_b: Vec<F64x4> = Vec::new();
+    let asm_batched = time_it(iters, || {
+        viscous_numeric_batched_into(
+            &pat,
+            fine,
+            &tables,
+            &fields.eta_qp,
+            path,
+            &mut scratch_b,
+            &mut values,
+        );
+    });
+
+    // Full solver setup: fresh build vs rebuild through a warm cache (the
+    // re-linearization path Picard/Newton actually take).
+    let bcs: Vec<DirichletBc> = model.hier.meshes.iter().map(sinker_bc).collect();
+    let gmg = GmgConfig {
+        levels,
+        fine_kind: OperatorKind::Assembled,
+        galerkin_coarsest: false,
+        coarse: CoarseKind::Amg { coarse_blocks: 4 },
+        ..GmgConfig::default()
+    };
+    let setup_iters = iters.min(3);
+    let first = time_it(setup_iters, || {
+        let mut cold = SetupCache::new();
+        let _ = build_stokes_solver_cached(
+            &model.hier,
+            &fields.eta_corner,
+            &bcs,
+            &gmg,
+            None,
+            &mut cold,
+        );
+    });
+    let mut warm = SetupCache::new();
+    let _ =
+        build_stokes_solver_cached(&model.hier, &fields.eta_corner, &bcs, &gmg, None, &mut warm);
+    let re = time_it(setup_iters, || {
+        let _ = build_stokes_solver_cached(
+            &model.hier,
+            &fields.eta_corner,
+            &bcs,
+            &gmg,
+            None,
+            &mut warm,
+        );
+    });
+
+    // Fused-smoothing profitability on the assembled fine matrix: natural
+    // dof order vs the Morton (SFC) reorder, plans at smoothing depth 4.
+    let af = assembled_viscous_op(fine, &tables, &fields.eta_qp, &bc);
+    let cheb = Chebyshev::new(&af, 2, 10);
+    let natural_plan = cheb.fused_plan(&af, 4, 0);
+    let (nperm, _) = morton_node_permutation(fine);
+    let dperm = expand_permutation(&nperm, 3);
+    let ap = af.permute_symmetric(&dperm);
+    let chp = cheb.permuted(&dperm);
+    let morton_plan = chp.fused_plan(&ap, 4, 0);
+    let natural = FusedOrderingStats {
+        num_tiles: natural_plan.num_tiles(),
+        redundancy: natural_plan.redundancy(),
+        profitable: natural_plan.profitable(),
+    };
+    let morton = FusedOrderingStats {
+        num_tiles: morton_plan.num_tiles(),
+        redundancy: morton_plan.redundancy(),
+        profitable: morton_plan.profitable(),
+    };
+
+    // Four smoothing iterations through each ordering's production path:
+    // fused where the plan is profitable, plain sweeps otherwise. The
+    // Morton side pays its real cost — vector gather in, scatter out.
+    let b: Vec<f64> = (0..af.nrows()).map(|i| (i as f64 * 0.61).cos()).collect();
+    let mut x = vec![0.0; af.nrows()];
+    let nat_smooth = time_it(iters, || {
+        if natural_plan.profitable() {
+            cheb.apply_fused(&af, &natural_plan, &b, &mut x, 4);
+        } else {
+            cheb.smooth_with(&af, &b, &mut x, 4);
+        }
+    });
+    let mut bp = vec![0.0; af.nrows()];
+    let mut xp = vec![0.0; af.nrows()];
+    let mut xm = vec![0.0; af.nrows()];
+    let mor_smooth = time_it(iters, || {
+        for (old, &new) in dperm.iter().enumerate() {
+            bp[new as usize] = b[old];
+            xp[new as usize] = xm[old];
+        }
+        if morton_plan.profitable() {
+            chp.apply_fused(&ap, &morton_plan, &bp, &mut xp, 4);
+        } else {
+            chp.smooth_with(&ap, &bp, &mut xp, 4);
+        }
+        for (old, &new) in dperm.iter().enumerate() {
+            xm[old] = xp[new as usize];
+        }
+    });
+
+    let verdict = match (natural.profitable, morton.profitable) {
+        (false, true) if mor_smooth < nat_smooth => format!(
+            "Morton reorder makes fused smoothing profitable and faster \
+             ({:.2}x): redundancy {:.2} -> {:.2}",
+            nat_smooth / mor_smooth,
+            natural.redundancy,
+            morton.redundancy
+        ),
+        (false, true) => format!(
+            "Morton reorder admits a fused plan (redundancy {:.2} -> {:.2}) \
+             but gather/scatter overhead keeps it slower ({:.2}x) — negative",
+            natural.redundancy,
+            morton.redundancy,
+            nat_smooth / mor_smooth
+        ),
+        (true, true) => format!(
+            "fused smoothing profitable in both orderings; Morton is {:.2}x \
+             the natural speed",
+            nat_smooth / mor_smooth
+        ),
+        (_, false) => format!(
+            "fused smoothing remains unprofitable after Morton reorder \
+             (redundancy {:.2} -> {:.2}, {} -> {} tiles) — negative result",
+            natural.redundancy, morton.redundancy, natural.num_tiles, morton.num_tiles
+        ),
+    };
+    println!(
+        "setup            {m}^3 nt={}  asm scalar {:9.1} us  batched {:9.1} us  {:5.2}x",
+        par::num_threads(),
+        asm_scalar * 1e6,
+        asm_batched * 1e6,
+        asm_scalar / asm_batched
+    );
+    println!(
+        "setup            {m}^3 nt={}  first {:11.1} us  resetup {:9.1} us  {:5.2}x",
+        par::num_threads(),
+        first * 1e6,
+        re * 1e6,
+        first / re
+    );
+    println!("fused-sfc verdict: {verdict}");
+
+    SetupSection {
+        assembly_scalar_us: asm_scalar * 1e6,
+        assembly_batched_us: asm_batched * 1e6,
+        first_setup_us: first * 1e6,
+        resetup_us: re * 1e6,
+        natural,
+        morton,
+        natural_smooth_us: nat_smooth * 1e6,
+        morton_smooth_us: mor_smooth * 1e6,
+        verdict,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "smoke" || a == "--smoke");
     let m = if smoke { 6 } else { 8 };
@@ -315,6 +498,10 @@ fn main() {
             ),
         ]));
     }
+    // Setup-phase record, measured at nt=1 (the floors are single-thread
+    // contracts; parallel scaling is covered by the runs above).
+    par::set_num_threads(1);
+    let setup = measure_setup(m, iters);
     par::set_num_threads(0);
 
     // cargo runs benches with CWD = the package dir; anchor paths to the
@@ -343,6 +530,7 @@ fn main() {
         ("m", Value::Num(m as f64)),
         ("nel", Value::Num((m * m * m) as f64)),
         ("runs", Value::Arr(runs)),
+        ("setup", setup.to_value()),
     ]);
     ptatin_bench::kernels_json::validate(&doc).expect("self-check: generated JSON fits schema");
     std::fs::write(&path, doc.to_json()).expect("write BENCH_kernels json");

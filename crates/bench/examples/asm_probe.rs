@@ -1,0 +1,87 @@
+//! Quick A/B probe of the pattern-reuse numeric assembly paths (scalar vs
+//! SIMD-batched) at a given grid size. Diagnostic only.
+
+use ptatin_bench::sinker_setup;
+use ptatin_fem::assemble::Q2QuadTables;
+use ptatin_fem::pattern::ViscousPattern;
+use ptatin_la::par;
+use ptatin_la::simd::{runtime_simd_path, F64x4};
+use ptatin_ops::viscous_numeric_batched_into;
+use std::time::Instant;
+
+fn main() {
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    par::set_num_threads(1);
+    let (model, fields) = sinker_setup(m, 2, 1e4);
+    let fine = model.hier.finest();
+    let tables = Q2QuadTables::standard();
+    let pat = ViscousPattern::build(fine);
+    let mut values = vec![0.0; pat.nnz()];
+    let mut ss: Vec<f64> = Vec::new();
+    let mut sb: Vec<F64x4> = Vec::new();
+    let path = runtime_simd_path();
+    // Warmup.
+    pat.numeric_scalar_into(fine, &tables, &fields.eta_qp, &mut ss, &mut values);
+    viscous_numeric_batched_into(
+        &pat,
+        fine,
+        &tables,
+        &fields.eta_qp,
+        path,
+        &mut sb,
+        &mut values,
+    );
+    let mut t_s = Vec::new();
+    let mut t_b = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        pat.numeric_scalar_into(fine, &tables, &fields.eta_qp, &mut ss, &mut values);
+        t_s.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        viscous_numeric_batched_into(
+            &pat,
+            fine,
+            &tables,
+            &fields.eta_qp,
+            path,
+            &mut sb,
+            &mut values,
+        );
+        t_b.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    t_s.sort_by(f64::total_cmp);
+    t_b.sort_by(f64::total_cmp);
+    let (ms, mb) = (t_s[reps / 2], t_b[reps / 2]);
+    println!(
+        "m={m} scalar {ms:.2} ms  batched {mb:.2} ms  ratio {:.3}",
+        ms / mb
+    );
+    println!(
+        "  scalar min {:.2} batched min {:.2} ratio(min) {:.3}",
+        t_s[0],
+        t_b[0],
+        t_s[0] / t_b[0]
+    );
+    // Scatter-only share: replay the in-order scatter with a fixed dense
+    // element matrix (same memory traffic, no kernel work).
+    let ae = vec![1.0f64; 243 * 243];
+    let ne = fine.num_elements();
+    let mut t_sc = Vec::new();
+    for _ in 0..reps {
+        values.fill(0.0);
+        let t0 = Instant::now();
+        for e in 0..ne {
+            pat.scatter_element(fine, e, &ae, &mut values);
+        }
+        t_sc.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    t_sc.sort_by(f64::total_cmp);
+    println!("  scatter-only {:.2} ms (median)", t_sc[reps / 2]);
+}

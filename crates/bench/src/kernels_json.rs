@@ -2,11 +2,11 @@
 //! record written by the `table1_operators` bench at the repository root so
 //! per-operator throughput is tracked across PRs.
 //!
-//! Layout (`schema = "ptatin-kernel-bench-v1"`):
+//! Layout (`schema = "ptatin-kernel-bench-v2"`):
 //!
 //! ```json
 //! {
-//!   "schema": "ptatin-kernel-bench-v1",
+//!   "schema": "ptatin-kernel-bench-v2",
 //!   "git_rev": "abc1234",
 //!   "m": 8, "nel": 512,
 //!   "simd_path": "avx2+fma",
@@ -18,7 +18,17 @@
 //!       "speedup_tensor_batched_vs_tensor": 2.1,
 //!       "per_kernel": [ { "kernel": "projection", "scalar_us": ...,
 //!                         "batched_us": ..., "speedup": ... }, ... ] }, ...
-//!   ]
+//!   ],
+//!   "setup": {
+//!     "assembly_scalar_us": ..., "assembly_batched_us": ...,
+//!     "assembly_speedup": ...,
+//!     "first_setup_us": ..., "resetup_us": ..., "resetup_speedup": ...,
+//!     "fused_sfc": {
+//!       "natural":  { "num_tiles": ..., "redundancy": ..., "profitable": ... },
+//!       "morton":   { "num_tiles": ..., "redundancy": ..., "profitable": ... },
+//!       "natural_smooth_us": ..., "morton_smooth_us": ...,
+//!       "verdict": "..." }
+//!   }
 //! }
 //! ```
 //!
@@ -32,12 +42,26 @@
 //! [`REQUIRED_KERNELS`], and `whole_step` must clear
 //! [`WHOLE_STEP_MIN_SPEEDUP`].
 //!
+//! The v2 `setup` section records the setup-phase costs (all at nt=1): the
+//! batched-vs-scalar viscous numeric assembly (floor
+//! [`SETUP_ASSEMBLY_MIN_SPEEDUP`]), the first-build vs cached-rebuild
+//! solver setup (floor [`RESETUP_MIN_SPEEDUP`]), and the fused-smoothing
+//! profitability verdict on the naturally ordered vs the Morton-reordered
+//! fine matrix — a measured negative verdict is acceptable, a missing one
+//! is not.
+//!
 //! [`validate`] is the CI gate: `--bin validate_bench` applies it to both
 //! the committed root file and the smoke-mode output.
 
 use ptatin_prof::json::Value;
 
-pub const KERNEL_BENCH_SCHEMA: &str = "ptatin-kernel-bench-v1";
+pub const KERNEL_BENCH_SCHEMA: &str = "ptatin-kernel-bench-v2";
+
+/// CI floor on batched-over-scalar viscous numeric assembly at nt=1.
+pub const SETUP_ASSEMBLY_MIN_SPEEDUP: f64 = 1.8;
+
+/// CI floor on first-setup over cached re-setup cost.
+pub const RESETUP_MIN_SPEEDUP: f64 = 2.0;
 
 /// Kernels every run's `per_kernel` section must report.
 pub const REQUIRED_KERNELS: [&str; 5] =
@@ -63,6 +87,70 @@ impl PerKernelEntry {
             ("scalar_us", Value::Num(self.scalar_us)),
             ("batched_us", Value::Num(self.batched_us)),
             ("speedup", Value::Num(self.scalar_us / self.batched_us)),
+        ])
+    }
+}
+
+/// Fused-plan statistics of one dof ordering of the fine matrix.
+pub struct FusedOrderingStats {
+    pub num_tiles: usize,
+    pub redundancy: f64,
+    pub profitable: bool,
+}
+
+impl FusedOrderingStats {
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("num_tiles", Value::Num(self.num_tiles as f64)),
+            ("redundancy", Value::Num(self.redundancy)),
+            ("profitable", Value::Bool(self.profitable)),
+        ])
+    }
+}
+
+/// The setup-phase record (all timings at nt=1).
+pub struct SetupSection {
+    /// Viscous numeric assembly into a prebuilt pattern: scalar vs batched.
+    pub assembly_scalar_us: f64,
+    pub assembly_batched_us: f64,
+    /// Full solver setup from nothing vs a warm `SetupCache` rebuild.
+    pub first_setup_us: f64,
+    pub resetup_us: f64,
+    /// Fused-smoothing profitability, natural vs Morton dof ordering.
+    pub natural: FusedOrderingStats,
+    pub morton: FusedOrderingStats,
+    /// Four smoothing iterations through each ordering's production path.
+    pub natural_smooth_us: f64,
+    pub morton_smooth_us: f64,
+    /// Human-readable outcome of the SFC rerun, recorded either way.
+    pub verdict: String,
+}
+
+impl SetupSection {
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("assembly_scalar_us", Value::Num(self.assembly_scalar_us)),
+            ("assembly_batched_us", Value::Num(self.assembly_batched_us)),
+            (
+                "assembly_speedup",
+                Value::Num(self.assembly_scalar_us / self.assembly_batched_us),
+            ),
+            ("first_setup_us", Value::Num(self.first_setup_us)),
+            ("resetup_us", Value::Num(self.resetup_us)),
+            (
+                "resetup_speedup",
+                Value::Num(self.first_setup_us / self.resetup_us),
+            ),
+            (
+                "fused_sfc",
+                Value::obj(vec![
+                    ("natural", self.natural.to_value()),
+                    ("morton", self.morton.to_value()),
+                    ("natural_smooth_us", Value::Num(self.natural_smooth_us)),
+                    ("morton_smooth_us", Value::Num(self.morton_smooth_us)),
+                    ("verdict", Value::Str(self.verdict.clone())),
+                ]),
+            ),
         ])
     }
 }
@@ -107,6 +195,68 @@ fn string(obj: &Value, key: &str) -> Result<String, String> {
         Value::Str(s) => Ok(s.clone()),
         _ => Err(format!("key '{key}' must be a string")),
     }
+}
+
+fn boolean(obj: &Value, key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("key '{key}' must be a boolean")),
+    }
+}
+
+fn validate_ordering(stats: &Value, name: &str) -> Result<(), String> {
+    let tiles = num(stats, "num_tiles")?;
+    if !tiles.is_finite() || tiles < 1.0 {
+        return Err(format!("fused_sfc.{name}: bad num_tiles {tiles}"));
+    }
+    let red = num(stats, "redundancy")?;
+    if !red.is_finite() || red < 1.0 {
+        return Err(format!("fused_sfc.{name}: bad redundancy {red}"));
+    }
+    boolean(stats, "profitable")?;
+    Ok(())
+}
+
+/// Check the `setup` section: finite positive timings, the assembly and
+/// re-setup speedup floors, and a complete fused-on-SFC verdict.
+fn validate_setup(setup: &Value) -> Result<(), String> {
+    for key in [
+        "assembly_scalar_us",
+        "assembly_batched_us",
+        "first_setup_us",
+        "resetup_us",
+    ] {
+        let v = num(setup, key)?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("setup has bad {key}: {v}"));
+        }
+    }
+    let asm = num(setup, "assembly_speedup")?;
+    if !asm.is_finite() || asm < SETUP_ASSEMBLY_MIN_SPEEDUP {
+        return Err(format!(
+            "setup assembly_speedup {asm:.2} below the \
+             {SETUP_ASSEMBLY_MIN_SPEEDUP} floor"
+        ));
+    }
+    let re = num(setup, "resetup_speedup")?;
+    if !re.is_finite() || re < RESETUP_MIN_SPEEDUP {
+        return Err(format!(
+            "setup resetup_speedup {re:.2} below the {RESETUP_MIN_SPEEDUP} floor"
+        ));
+    }
+    let fused = get(setup, "fused_sfc")?;
+    validate_ordering(get(fused, "natural")?, "natural")?;
+    validate_ordering(get(fused, "morton")?, "morton")?;
+    for key in ["natural_smooth_us", "morton_smooth_us"] {
+        let v = num(fused, key)?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("fused_sfc has bad {key}: {v}"));
+        }
+    }
+    if string(fused, "verdict")?.is_empty() {
+        return Err("fused_sfc verdict must be recorded (either way)".into());
+    }
+    Ok(())
 }
 
 /// Validate a parsed `BENCH_kernels.json` document: schema tag, required
@@ -192,7 +342,7 @@ pub fn validate(doc: &Value) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    validate_setup(get(doc, "setup")?)
 }
 
 #[cfg(test)]
@@ -228,6 +378,29 @@ mod tests {
         )
     }
 
+    fn setup_section() -> Value {
+        SetupSection {
+            assembly_scalar_us: 900.0,
+            assembly_batched_us: 400.0,
+            first_setup_us: 50_000.0,
+            resetup_us: 20_000.0,
+            natural: FusedOrderingStats {
+                num_tiles: 4,
+                redundancy: 2.3,
+                profitable: false,
+            },
+            morton: FusedOrderingStats {
+                num_tiles: 4,
+                redundancy: 1.4,
+                profitable: true,
+            },
+            natural_smooth_us: 800.0,
+            morton_smooth_us: 700.0,
+            verdict: "fused smoothing profitable after Morton reorder".into(),
+        }
+        .to_value()
+    }
+
     fn valid_doc() -> Value {
         Value::obj(vec![
             ("schema", Value::Str(KERNEL_BENCH_SCHEMA.into())),
@@ -247,6 +420,7 @@ mod tests {
                     ("per_kernel", per_kernel_section()),
                 ])]),
             ),
+            ("setup", setup_section()),
         ])
     }
 
@@ -345,5 +519,82 @@ mod tests {
                 .collect(),
         );
         assert!(validate(&with_per_kernel(nan)).unwrap_err().contains("bad"));
+    }
+
+    fn with_setup(section: Value) -> Value {
+        let mut doc = valid_doc();
+        if let Value::Obj(map) = &mut doc {
+            map.insert("setup".into(), section);
+        }
+        doc
+    }
+
+    fn patch_setup(doc: &mut Value, key: &str, v: Value) {
+        if let Value::Obj(map) = doc {
+            if let Some(Value::Obj(setup)) = map.get_mut("setup") {
+                setup.insert(key.into(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_missing_or_slow_setup_section() {
+        // No setup section at all.
+        let mut doc = valid_doc();
+        if let Value::Obj(map) = &mut doc {
+            map.remove("setup");
+        }
+        assert!(validate(&doc).unwrap_err().contains("setup"));
+
+        // Assembly speedup below the 1.8x floor.
+        let mut doc = valid_doc();
+        patch_setup(&mut doc, "assembly_speedup", Value::Num(1.5));
+        assert!(validate(&doc)
+            .unwrap_err()
+            .contains("assembly_speedup 1.50 below"));
+
+        // Re-setup speedup below the 2x floor.
+        let mut doc = valid_doc();
+        patch_setup(&mut doc, "resetup_speedup", Value::Num(1.2));
+        assert!(validate(&doc)
+            .unwrap_err()
+            .contains("resetup_speedup 1.20 below"));
+
+        // A fused_sfc section with no verdict string fails; the verdict is
+        // required even when the measured outcome is negative.
+        let mut doc = valid_doc();
+        let mut fused = match setup_section() {
+            Value::Obj(mut m) => m.remove("fused_sfc").unwrap(),
+            _ => unreachable!(),
+        };
+        if let Value::Obj(f) = &mut fused {
+            f.insert("verdict".into(), Value::Str(String::new()));
+        }
+        patch_setup(&mut doc, "fused_sfc", fused);
+        assert!(validate(&doc).unwrap_err().contains("verdict"));
+
+        // Redundancy below 1 is geometrically impossible.
+        let bad = SetupSection {
+            assembly_scalar_us: 900.0,
+            assembly_batched_us: 400.0,
+            first_setup_us: 50_000.0,
+            resetup_us: 20_000.0,
+            natural: FusedOrderingStats {
+                num_tiles: 4,
+                redundancy: 0.5,
+                profitable: true,
+            },
+            morton: FusedOrderingStats {
+                num_tiles: 4,
+                redundancy: 1.4,
+                profitable: true,
+            },
+            natural_smooth_us: 800.0,
+            morton_smooth_us: 700.0,
+            verdict: "x".into(),
+        };
+        assert!(validate(&with_setup(bad.to_value()))
+            .unwrap_err()
+            .contains("redundancy"));
     }
 }

@@ -119,6 +119,7 @@ pub fn paper_gmg_config(levels: usize, kind: OperatorKind) -> GmgConfig {
         coefficient_restriction: ptatin_core::CoefficientRestriction::Injection,
         cycle: ptatin_mg::CycleType::V,
         coarse: CoarseKind::Amg { coarse_blocks: 4 },
+        sfc_reorder: false,
     }
 }
 

@@ -17,7 +17,7 @@ use crate::coefficients::{update_coefficients, CoefficientFields, StateFields};
 use crate::nonlinear::{
     solve_nonlinear, NonlinearConfig, NonlinearOutcome, NonlinearStats, StokesNonlinearProblem,
 };
-use crate::solver::{build_stokes_solver, CoarseKind, GmgConfig, StokesSolver};
+use crate::solver::{build_stokes_solver_cached, CoarseKind, GmgConfig, SetupCache, StokesSolver};
 use crate::timestep::{accumulate_plastic_strain, advected_surface, cfl_dt, velocity_at_corners};
 use ptatin_ckpt::{fnv1a64, Checkpoint, CkptError};
 use ptatin_fem::assemble::{
@@ -369,6 +369,7 @@ impl RiftModel {
             bcs: &bcs,
             b_full: assemble_gradient(hier.finest(), &Q2QuadTables::standard()),
             fields: None,
+            setup_cache: SetupCache::new(),
         };
         let mut u = problem.model.velocity.clone();
         // PANIC-OK: one bc set per hierarchy level and levels >= 1.
@@ -522,6 +523,8 @@ struct RiftProblem<'m> {
     bcs: &'m [DirichletBc],
     b_full: Csr,
     fields: Option<CoefficientFields>,
+    /// Symbolic/structural setup state reused across re-linearizations.
+    setup_cache: SetupCache,
 }
 
 impl StokesNonlinearProblem for RiftProblem<'_> {
@@ -572,12 +575,13 @@ impl StokesNonlinearProblem for RiftProblem<'_> {
         // build_solver; `fields` is cached there.
         let fields = self.fields.as_ref().expect("update_state called first");
         let newton_data = if newton { fields.newton.clone() } else { None };
-        build_stokes_solver(
+        build_stokes_solver_cached(
             self.hier,
             &fields.eta_corner,
             self.bcs,
             &self.model.cfg.gmg,
             newton_data,
+            &mut self.setup_cache,
         )
     }
 }

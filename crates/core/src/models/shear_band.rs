@@ -8,7 +8,7 @@ use crate::coefficients::{
     eps_ii, strain_rate_at, update_coefficients, CoefficientFields, StateFields,
 };
 use crate::nonlinear::{solve_nonlinear, NonlinearConfig, NonlinearStats, StokesNonlinearProblem};
-use crate::solver::{build_stokes_solver, CoarseKind, GmgConfig, StokesSolver};
+use crate::solver::{build_stokes_solver_cached, CoarseKind, GmgConfig, SetupCache, StokesSolver};
 use ptatin_fem::assemble::{
     assemble_body_force, assemble_gradient, num_pressure_dofs, num_velocity_dofs, Q2QuadTables,
 };
@@ -190,6 +190,7 @@ impl ShearBandModel {
             bcs: &bcs,
             b_full: assemble_gradient(hier.finest(), &Q2QuadTables::standard()),
             fields: None,
+            setup_cache: SetupCache::new(),
         };
         let (nu, np) = problem.dims();
         let mut u = vec![0.0; nu];
@@ -258,6 +259,8 @@ struct ShearBandProblem<'m> {
     bcs: &'m [DirichletBc],
     b_full: Csr,
     fields: Option<CoefficientFields>,
+    /// Symbolic/structural setup state reused across re-linearizations.
+    setup_cache: SetupCache,
 }
 
 impl StokesNonlinearProblem for ShearBandProblem<'_> {
@@ -308,12 +311,13 @@ impl StokesNonlinearProblem for ShearBandProblem<'_> {
         // build_solver; `fields` is cached there.
         let fields = self.fields.as_ref().expect("update_state called first");
         let newton_data = if newton { fields.newton.clone() } else { None };
-        build_stokes_solver(
+        build_stokes_solver_cached(
             self.hier,
             &fields.eta_corner,
             self.bcs,
             &self.model.cfg.gmg,
             newton_data,
+            &mut self.setup_cache,
         )
     }
 }

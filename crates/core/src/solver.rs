@@ -4,27 +4,32 @@
 //! Schur-complement-reduction (SCR) alternative of §III-B.
 
 use ptatin_fem::assemble::{
-    assemble_gradient, num_pressure_dofs, num_velocity_dofs, PressureMassBlocks, Q2QuadTables,
+    num_pressure_dofs, num_velocity_dofs, PressureMassBlocks, Q2QuadTables,
 };
 use ptatin_fem::bc::DirichletBc;
-use ptatin_la::chebyshev::Chebyshev;
+use ptatin_fem::pattern::ViscousPattern;
+use ptatin_la::chebyshev::{Chebyshev, FusedPlan};
 use ptatin_la::csr::Csr;
 use ptatin_la::krylov::{cg, fgmres, gcr_monitored, KrylovConfig, Monitor, SolveStats};
 use ptatin_la::operator::{LinearOperator, Preconditioner, TimedOperator};
 use ptatin_la::schwarz::{grow_overlap, AdditiveSchwarz, DirectSolver, SubdomainSolve};
+use ptatin_la::simd::{runtime_simd_path, F64x4};
+use ptatin_la::transfer::BatchedTransfer;
 use ptatin_la::vec_ops;
 use ptatin_mesh::decomp::nodes_to_dofs;
 use ptatin_mesh::hierarchy::{expand_blocked, prolongation_scalar, MeshHierarchy};
+use ptatin_mesh::sfc::{expand_permutation, morton_node_permutation};
 use ptatin_mesh::ElementPartition;
 use ptatin_mg::amg::{build_sa_amg, AmgConfig};
 use ptatin_mg::gmg::{
-    filter_transfer, galerkin_coarse, ArcOp, CycleType, GeometricMg, GmgCoarseSolver, GmgLevel,
+    filter_transfer, galerkin_coarse_with_pt, ArcOp, CycleType, GeometricMg, GmgCoarseSolver,
+    GmgLevel,
 };
 use ptatin_mg::nullspace::rigid_body_modes;
 use ptatin_mpm::projection::{corners_to_quadrature_log, restrict_corner_field};
 use ptatin_ops::{
-    assembled_viscous_op, BatchedViscousOp, MfViscousOp, OperatorKind, TensorCViscousOp,
-    TensorViscousOp, ViscousOpData,
+    assemble_gradient_batched, pressure_mass_blocks_batched, viscous_numeric_batched_into,
+    BatchedViscousOp, MfViscousOp, OperatorKind, TensorCViscousOp, TensorViscousOp, ViscousOpData,
 };
 use ptatin_prof as prof;
 use std::sync::Arc;
@@ -90,6 +95,12 @@ pub struct GmgConfig {
     /// V- or W-cycle recursion (paper: V).
     pub cycle: CycleType,
     pub coarse: CoarseKind,
+    /// Smooth assembled levels in Morton (Z-order) dof order: the matrix
+    /// is permuted once at setup and vectors round-trip through the
+    /// permuted space per smoothing call. Changes the fused smoother's
+    /// summation order, so results are not bitwise-comparable to the
+    /// natural ordering (iteration counts should be preserved).
+    pub sfc_reorder: bool,
 }
 
 impl Default for GmgConfig {
@@ -107,6 +118,7 @@ impl Default for GmgConfig {
             coefficient_restriction: CoefficientRestriction::Injection,
             cycle: CycleType::V,
             coarse: CoarseKind::Amg { coarse_blocks: 4 },
+            sfc_reorder: false,
         }
     }
 }
@@ -157,6 +169,8 @@ pub struct StokesSolver {
 }
 
 /// Build the viscous operator of the requested kind as a shared handle.
+/// `base` caches the gathered element tables across rebuilds (see
+/// [`SetupCache`]); pass `&mut None` for a one-shot build.
 fn build_arc_operator(
     kind: OperatorKind,
     mesh: &ptatin_mesh::StructuredMesh,
@@ -164,37 +178,28 @@ fn build_arc_operator(
     eta_qp: Vec<f64>,
     bc: &DirichletBc,
     newton: Option<ptatin_ops::NewtonData>,
+    base: &mut Option<ViscousOpData>,
 ) -> ArcOp {
     match kind {
         OperatorKind::Assembled => {
             assert!(newton.is_none(), "Newton uses matrix-free kinds");
-            Arc::new(assembled_viscous_op(mesh, tables, &eta_qp, bc))
+            Arc::new(ptatin_ops::assembled_viscous_op(mesh, tables, &eta_qp, bc))
         }
         OperatorKind::MatrixFree => {
-            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
-            if let Some(nd) = newton {
-                data = data.with_newton(nd);
-            }
+            let data = make_op_data(base, mesh, eta_qp, bc, newton);
             Arc::new(MfViscousOp::new(Arc::new(data)))
         }
         OperatorKind::Tensor => {
-            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
-            if let Some(nd) = newton {
-                data = data.with_newton(nd);
-            }
+            let data = make_op_data(base, mesh, eta_qp, bc, newton);
             Arc::new(TensorViscousOp::new(Arc::new(data)))
         }
         OperatorKind::TensorC => {
             assert!(newton.is_none(), "TensorC stores the Picard coefficient");
-            Arc::new(TensorCViscousOp::new(Arc::new(ViscousOpData::new(
-                mesh, eta_qp, bc,
-            ))))
+            let data = make_op_data(base, mesh, eta_qp, bc, None);
+            Arc::new(TensorCViscousOp::new(Arc::new(data)))
         }
         OperatorKind::TensorBatched => {
-            let mut data = ViscousOpData::new(mesh, eta_qp, bc);
-            if let Some(nd) = newton {
-                data = data.with_newton(nd);
-            }
+            let data = make_op_data(base, mesh, eta_qp, bc, newton);
             Arc::new(BatchedViscousOp::new(Arc::new(data)))
         }
     }
@@ -233,6 +238,176 @@ fn analytic_eta_qp(
     out
 }
 
+/// Value-independent setup state reused across solver rebuilds on one
+/// (hierarchy, boundary-condition) pair — the symbolic half of the
+/// symbolic/numeric assembly split (DESIGN.md §13).
+///
+/// A Picard/Newton iteration changes only the coefficient field, so the
+/// viscous sparsity patterns, the geometry-only gradient block, the
+/// filtered transfers (and their transposes, the structural half of RAP)
+/// and the gathered matrix-free element tables all survive re-linearization
+/// untouched. Everything value-dependent — numeric assembly, RAP products,
+/// λmax estimates, the AMG hierarchy (its smoothed prolongator depends on
+/// the operator values, so it is *not* reusable; see DESIGN.md §13) and
+/// coarse factorizations — is recomputed from bitwise-identical inputs,
+/// so a cached rebuild is bitwise identical to a fresh one.
+///
+/// The cache self-invalidates when the hierarchy shape or Dirichlet sets
+/// change (remeshing), keyed by per-level element counts and bc sizes.
+#[derive(Default)]
+pub struct SetupCache {
+    fingerprint: Option<Vec<(usize, usize)>>,
+    tables: Option<Q2QuadTables>,
+    /// Per-level Dirichlet masks over velocity dofs.
+    masks: Option<Vec<Vec<bool>>>,
+    /// Filtered blocked transfers (coarse → fine edges).
+    transfers: Option<Vec<Csr>>,
+    /// Cached transposes of the transfers (the reusable half of RAP).
+    transfer_t: Vec<Option<Csr>>,
+    /// Lane-packed SIMD pack of the transfers (pure function of them).
+    batched_transfers: Option<Arc<Vec<BatchedTransfer>>>,
+    /// Per-level viscous sparsity patterns (levels that get assembled).
+    patterns: Vec<Option<ViscousPattern>>,
+    /// Per-level assembled-value buffers (reused allocations).
+    values: Vec<Vec<f64>>,
+    /// Lane scratch of the batched numeric phase, shared across levels.
+    lane_scratch: Vec<F64x4>,
+    /// Geometry-only gradient block `J_pu` and its bc-masked twin.
+    b_full: Option<Csr>,
+    b_masked: Option<Csr>,
+    /// Gathered fine-level element tables for the matrix-free operators.
+    fine_base: Option<ViscousOpData>,
+    /// Memoized λmax estimates per smoothed level, keyed on the exact
+    /// inputs that determine them (see [`LambdaMemo`]).
+    lambda_memo: Vec<Option<LambdaMemo>>,
+    /// Memoized fused-plan profitability per smoothed level. The verdict
+    /// is a pure function of the sparsity pattern and smoothing depth, so
+    /// a `false` lets the next build skip the plan construction.
+    plan_memo: Vec<Option<PlanMemo>>,
+}
+
+/// A memoized λmax power-iteration result. The estimate is a deterministic
+/// function of the level operator, which is itself a deterministic function
+/// of (mesh, η, bc, operator kind) — the mesh and bc are covered by the
+/// cache fingerprint, so reuse is gated on bit-identical η plus the
+/// operator/estimator knobs. A hit returns exactly what a re-run would
+/// produce, preserving the fresh-equals-cached bitwise contract; a Picard
+/// → Newton rebuild on a frozen viscosity hits, an updated viscosity
+/// misses and re-estimates.
+struct LambdaMemo {
+    eta_bits: Vec<u64>,
+    kind: OperatorKind,
+    est_iters: usize,
+    targets: (f64, f64),
+    galerkin: (bool, bool),
+    bounds: (f64, f64),
+}
+
+/// Memoized fused-plan state of one level at a given smoothing depth.
+/// The profitability verdict (plan present vs absent) is a pure function
+/// of the sparsity pattern and the depth, so an absent plan lets the next
+/// build skip the tile analysis outright, whatever the viscosity. The
+/// plan *objects* additionally snapshot matrix values and the gathered
+/// inverse diagonal — both pure functions of (mesh, η, bc) — so they are
+/// handed back verbatim only when the level viscosity is bit-identical
+/// (`eta_bits`), which reproduces exactly what a rebuild would construct.
+/// `reordered` is `None` until a build ran with SFC reorder on.
+struct PlanMemo {
+    depth: usize,
+    eta_bits: Vec<u64>,
+    natural: Option<Arc<FusedPlan>>,
+    reordered: Option<Option<Arc<FusedPlan>>>,
+}
+
+fn eta_bits_equal(bits: &[u64], eta: &[f64]) -> bool {
+    bits.len() == eta.len() && bits.iter().zip(eta).all(|(&b, v)| b == v.to_bits())
+}
+
+impl SetupCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset when the mesh hierarchy or Dirichlet sets changed; size the
+    /// per-level slots.
+    fn validate(&mut self, hier: &MeshHierarchy, bcs: &[DirichletBc]) {
+        let fp: Vec<(usize, usize)> = hier
+            .meshes
+            .iter()
+            .zip(bcs)
+            .map(|(m, bc)| (m.num_elements(), bc.dofs.len()))
+            .collect();
+        if self.fingerprint.as_ref() != Some(&fp) {
+            *self = Self::default();
+            self.fingerprint = Some(fp);
+        }
+        let levels = hier.num_levels();
+        self.patterns.resize_with(levels, || None);
+        self.values.resize_with(levels, Vec::new);
+        self.transfer_t
+            .resize_with(levels.saturating_sub(1), || None);
+        self.lambda_memo.resize_with(levels, || None);
+        self.plan_memo.resize_with(levels, || None);
+    }
+}
+
+/// Assemble (or numerically re-assemble) the bc-eliminated viscous matrix
+/// of one level through its cached sparsity pattern. Bitwise identical to
+/// `ptatin_ops::assembled_viscous_op` — same pattern, same batched numeric
+/// phase, same elimination — with the symbolic phase and the value/scratch
+/// allocations amortized across rebuilds.
+fn assembled_level_cached(
+    pattern: &mut Option<ViscousPattern>,
+    values: &mut Vec<f64>,
+    lane_scratch: &mut Vec<F64x4>,
+    mesh: &ptatin_mesh::StructuredMesh,
+    tables: &Q2QuadTables,
+    eta_qp: &[f64],
+    bc: &DirichletBc,
+) -> Csr {
+    let _s = prof::scope("setup/assembly");
+    let pat = pattern.get_or_insert_with(|| ViscousPattern::build(mesh));
+    // Grow-once value buffer, reused across re-assemblies.
+    values.resize(pat.nnz(), 0.0);
+    viscous_numeric_batched_into(
+        pat,
+        mesh,
+        tables,
+        eta_qp,
+        runtime_simd_path(),
+        lane_scratch,
+        values,
+    );
+    let mut a = pat.to_csr(values.clone());
+    if !bc.is_empty() {
+        a.zero_rows_cols_set_identity(&bc.dofs);
+    }
+    a
+}
+
+/// Gathered matrix-free element data, reusing the cached structural tables
+/// when available (and snapshotting them on first build).
+fn make_op_data(
+    base: &mut Option<ViscousOpData>,
+    mesh: &ptatin_mesh::StructuredMesh,
+    eta_qp: Vec<f64>,
+    bc: &DirichletBc,
+    newton: Option<ptatin_ops::NewtonData>,
+) -> ViscousOpData {
+    let mut data = match base {
+        Some(b) => b.with_new_eta(eta_qp),
+        None => {
+            let d = ViscousOpData::new(mesh, eta_qp, bc);
+            *base = Some(d.clone());
+            d
+        }
+    };
+    if let Some(nd) = newton {
+        data = data.with_newton(nd);
+    }
+    data
+}
+
 /// Build the full Stokes solver for one linearization state.
 ///
 /// * `hier` — mesh hierarchy (coarse → fine),
@@ -257,6 +432,26 @@ pub fn build_stokes_solver(
     )
 }
 
+/// [`build_stokes_solver`] with a [`SetupCache`] carried across
+/// re-linearizations of the same hierarchy.
+pub fn build_stokes_solver_cached(
+    hier: &MeshHierarchy,
+    eta_corner_fine: &[f64],
+    bcs: &[DirichletBc],
+    cfg: &GmgConfig,
+    newton: Option<ptatin_ops::NewtonData>,
+    cache: &mut SetupCache,
+) -> StokesSolver {
+    build_stokes_solver_spec_cached(
+        hier,
+        ViscositySpec::Corner(eta_corner_fine),
+        bcs,
+        cfg,
+        newton,
+        cache,
+    )
+}
+
 /// [`build_stokes_solver`] generalized over the viscosity representation
 /// (corner field vs analytic per-quadrature-point evaluation).
 pub fn build_stokes_solver_spec(
@@ -266,15 +461,36 @@ pub fn build_stokes_solver_spec(
     cfg: &GmgConfig,
     newton: Option<ptatin_ops::NewtonData>,
 ) -> StokesSolver {
+    // A fresh (empty) cache makes this identical to the cached path — the
+    // fresh-equals-reuse contract holds by construction.
+    build_stokes_solver_spec_cached(hier, viscosity, bcs, cfg, newton, &mut SetupCache::new())
+}
+
+/// [`build_stokes_solver_spec`] with pattern/structure reuse across
+/// rebuilds: the symbolic phase runs once per (hierarchy, bc) pair, and
+/// subsequent builds only re-run the value-dependent numeric work.
+pub fn build_stokes_solver_spec_cached(
+    hier: &MeshHierarchy,
+    viscosity: ViscositySpec,
+    bcs: &[DirichletBc],
+    cfg: &GmgConfig,
+    newton: Option<ptatin_ops::NewtonData>,
+    cache: &mut SetupCache,
+) -> StokesSolver {
     let _ev = prof::scope("StokesSetup");
     let t_setup = std::time::Instant::now();
-    let tables = Q2QuadTables::standard();
     let levels = cfg.levels;
     assert_eq!(hier.num_levels(), levels);
     assert_eq!(bcs.len(), levels);
+    cache.validate(hier, bcs);
+    let tables = cache
+        .tables
+        .get_or_insert_with(Q2QuadTables::standard)
+        .clone();
     let fine_mesh = hier.finest();
 
     // Coefficient fields per level.
+    let _coeff_scope = prof::scope("setup/coeff");
     let eta_qp: Vec<Vec<f64>> = match viscosity {
         ViscositySpec::Corner(eta_corner_fine) => {
             // Fine → coarse restriction of the corner field, then
@@ -316,25 +532,41 @@ pub fn build_stokes_solver_spec(
             .map(|l| analytic_eta_qp(&hier.meshes[l], &tables, eta))
             .collect(),
     };
+    drop(_coeff_scope);
 
-    // Masks and filtered blocked transfers.
-    let masks: Vec<Vec<bool>> = (0..levels)
-        .map(|l| bcs[l].mask(num_velocity_dofs(&hier.meshes[l])))
-        .collect();
-    let mut transfers: Vec<Csr> = Vec::with_capacity(levels - 1);
-    for l in 0..levels - 1 {
-        let mut p = expand_blocked(
-            &prolongation_scalar(&hier.meshes[l], &hier.meshes[l + 1]),
-            3,
-        );
-        filter_transfer(&mut p, &masks[l + 1], &masks[l]);
-        transfers.push(p);
-    }
+    // Masks and filtered blocked transfers: value-independent, built once
+    // per hierarchy and cloned out of the cache on rebuilds (the multigrid
+    // takes ownership of its transfer chain).
+    let _tr_scope = prof::scope("setup/transfer");
+    let masks: Vec<Vec<bool>> = cache
+        .masks
+        .get_or_insert_with(|| {
+            (0..levels)
+                .map(|l| bcs[l].mask(num_velocity_dofs(&hier.meshes[l])))
+                .collect()
+        })
+        .clone();
+    let transfers: Vec<Csr> = cache
+        .transfers
+        .get_or_insert_with(|| {
+            let mut ts = Vec::with_capacity(levels - 1);
+            for l in 0..levels - 1 {
+                let mut p = expand_blocked(
+                    &prolongation_scalar(&hier.meshes[l], &hier.meshes[l + 1]),
+                    3,
+                );
+                filter_transfer(&mut p, &masks[l + 1], &masks[l]);
+                ts.push(p);
+            }
+            ts
+        })
+        .clone();
+    drop(_tr_scope);
 
     // Level operators. Intermediate levels are assembled (rediscretized or
     // Galerkin); the finest is the chosen kind; the coarsest matrix feeds
-    // the coarse solver.
-    // Assemble intermediate + coarsest as needed.
+    // the coarse solver. Assembly goes through the per-level cached
+    // patterns; Galerkin products reuse the cached transfer transposes.
     let mut assembled: Vec<Option<Csr>> = vec![None; levels];
     if levels >= 2 {
         if cfg.galerkin_intermediate {
@@ -343,22 +575,31 @@ pub fn build_stokes_solver_spec(
                 OperatorKind::Assembled,
                 "Galerkin intermediate levels require an assembled fine level"
             );
-            assembled[levels - 1] = Some(assembled_viscous_op(
+            assembled[levels - 1] = Some(assembled_level_cached(
+                &mut cache.patterns[levels - 1],
+                &mut cache.values[levels - 1],
+                &mut cache.lane_scratch,
                 fine_mesh,
                 &tables,
                 &eta_qp[levels - 1],
                 &bcs[levels - 1],
             ));
             for l in (0..levels - 1).rev() {
+                let _s = prof::scope("setup/rap");
+                let pt = cache.transfer_t[l].get_or_insert_with(|| transfers[l].transpose());
                 // PANIC-OK: the finest level was assembled just above and
                 // the loop runs top-down, so level l+1 is always filled.
                 let above = assembled[l + 1].as_ref().unwrap();
-                assembled[l] = Some(galerkin_coarse(above, &transfers[l], &masks[l]));
+                let ac = galerkin_coarse_with_pt(above, &transfers[l], pt, &masks[l]);
+                assembled[l] = Some(ac);
             }
         } else {
             // Rediscretize intermediates; coarsest per flag.
             for l in 1..levels - 1 {
-                assembled[l] = Some(assembled_viscous_op(
+                assembled[l] = Some(assembled_level_cached(
+                    &mut cache.patterns[l],
+                    &mut cache.values[l],
+                    &mut cache.lane_scratch,
                     &hier.meshes[l],
                     &tables,
                     &eta_qp[l],
@@ -366,23 +607,41 @@ pub fn build_stokes_solver_spec(
                 ));
             }
             assembled[0] = Some(if cfg.galerkin_coarsest && levels >= 2 {
-                let above = if levels == 2 {
+                if levels == 2 && assembled[1].is_none() {
                     // Galerkin directly from the (assembled) fine level.
-                    assembled[1].get_or_insert_with(|| {
-                        assembled_viscous_op(fine_mesh, &tables, &eta_qp[1], &bcs[1])
-                    })
-                } else {
-                    // PANIC-OK: levels > 2 here, so the rediscretization
-                    // loop above filled every intermediate level incl. 1.
-                    assembled[1].as_ref().unwrap()
-                };
-                galerkin_coarse(above, &transfers[0], &masks[0])
+                    assembled[1] = Some(assembled_level_cached(
+                        &mut cache.patterns[1],
+                        &mut cache.values[1],
+                        &mut cache.lane_scratch,
+                        fine_mesh,
+                        &tables,
+                        &eta_qp[1],
+                        &bcs[1],
+                    ));
+                }
+                let _s = prof::scope("setup/rap");
+                let pt = cache.transfer_t[0].get_or_insert_with(|| transfers[0].transpose());
+                // PANIC-OK: level 1 was filled by the rediscretization
+                // loop (levels > 2) or just above (levels == 2).
+                let above = assembled[1].as_ref().unwrap();
+                galerkin_coarse_with_pt(above, &transfers[0], pt, &masks[0])
             } else {
-                assembled_viscous_op(&hier.meshes[0], &tables, &eta_qp[0], &bcs[0])
+                assembled_level_cached(
+                    &mut cache.patterns[0],
+                    &mut cache.values[0],
+                    &mut cache.lane_scratch,
+                    &hier.meshes[0],
+                    &tables,
+                    &eta_qp[0],
+                    &bcs[0],
+                )
             });
         }
     } else {
-        assembled[0] = Some(assembled_viscous_op(
+        assembled[0] = Some(assembled_level_cached(
+            &mut cache.patterns[0],
+            &mut cache.values[0],
+            &mut cache.lane_scratch,
             &hier.meshes[0],
             &tables,
             &eta_qp[0],
@@ -394,6 +653,7 @@ pub fn build_stokes_solver_spec(
     // PANIC-OK: every branch above assigns assembled[0].
     let a0 = assembled[0].take().expect("coarsest matrix built");
     let mut coarse_setup_seconds = 0.0;
+    let _coarse_scope = prof::scope("setup/coarse");
     let coarse = match &cfg.coarse {
         CoarseKind::Direct => GmgCoarseSolver::Direct(DirectSolver::new(&a0)),
         CoarseKind::BlockJacobiLu { subdomains } => {
@@ -421,6 +681,11 @@ pub fn build_stokes_solver_spec(
             }
         }
         CoarseKind::Amg { coarse_blocks } => {
+            // The SA-AMG hierarchy is rebuilt every time: its strength
+            // graph and smoothed prolongator depend on the operator
+            // *values*, so no part of it survives a coefficient update
+            // (the measured negative result of DESIGN.md §13).
+            let _s = prof::scope("setup/amg");
             let nullspace = rigid_body_modes(&hier.meshes[0].coords, &masks[0]);
             let amg_cfg = AmgConfig {
                 block_size: 3,
@@ -440,10 +705,13 @@ pub fn build_stokes_solver_spec(
             }
         }
     };
+    drop(_coarse_scope);
 
     // Smoothed levels: 1..levels-1 assembled, finest the chosen kind.
     let mut level_ops: Vec<Arc<TimedOperator<ArcOp>>> = Vec::new();
     let mut gmg_levels: Vec<GmgLevel> = Vec::new();
+    let plan_depth = cfg.pre_smooth.max(cfg.post_smooth).max(1);
+    let mut assembled_smoothed = vec![false; levels];
     for l in 1..levels {
         // Keep the `Arc<Csr>` of assembled levels alongside the timing
         // wrapper: the fused cache-blocked smoother needs matrix rows,
@@ -454,6 +722,18 @@ pub fn build_stokes_solver_spec(
                     let a = Arc::new(a);
                     (a.clone() as ArcOp, Some(a))
                 }
+                None if cfg.fine_kind == OperatorKind::Assembled => {
+                    let a = Arc::new(assembled_level_cached(
+                        &mut cache.patterns[l],
+                        &mut cache.values[l],
+                        &mut cache.lane_scratch,
+                        fine_mesh,
+                        &tables,
+                        &eta_qp[l],
+                        &bcs[l],
+                    ));
+                    (a.clone() as ArcOp, Some(a))
+                }
                 None => (
                     build_arc_operator(
                         cfg.fine_kind,
@@ -462,6 +742,7 @@ pub fn build_stokes_solver_spec(
                         eta_qp[l].clone(),
                         &bcs[l],
                         None,
+                        &mut cache.fine_base,
                     ),
                     None,
                 ),
@@ -473,27 +754,116 @@ pub fn build_stokes_solver_spec(
             (a.clone() as ArcOp, Some(a))
         };
         let timed = Arc::new(TimedOperator::new(op));
-        let smoother = Chebyshev::with_target_fractions(
-            timed.as_ref(),
-            cfg.pre_smooth,
-            cfg.cheb_est_iters,
-            cfg.cheb_targets.0,
-            cfg.cheb_targets.1,
-        );
+        // λmax power iteration: value-dependent, so it re-runs whenever
+        // the level's coefficient field changed. When η is bit-identical
+        // to the previous build and the operator/estimator knobs match,
+        // the estimate is a pure function of unchanged inputs — the
+        // memoized bounds are exactly what a re-run would produce, so
+        // reuse preserves the fresh-equals-cached bitwise contract.
+        let _s = prof::scope("setup/lambda");
+        let kind = if l == levels - 1 {
+            cfg.fine_kind
+        } else {
+            OperatorKind::Assembled
+        };
+        let galerkin = (cfg.galerkin_intermediate, cfg.galerkin_coarsest);
+        let memo = cache.lambda_memo[l].take().filter(|m| {
+            m.kind == kind
+                && m.est_iters == cfg.cheb_est_iters
+                && m.targets == cfg.cheb_targets
+                && m.galerkin == galerkin
+                && eta_bits_equal(&m.eta_bits, &eta_qp[l])
+        });
+        let smoother = match &memo {
+            Some(m) => {
+                // Mirror `with_target_fractions` exactly: same diagonal
+                // map, memoized bounds in place of the power iteration.
+                let diag = timed
+                    .diagonal()
+                    // PANIC-OK: same construction-time contract as the
+                    // estimating constructor below.
+                    .expect("Chebyshev smoother requires an operator diagonal");
+                let inv_diag = diag
+                    .iter()
+                    .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                    .collect();
+                Chebyshev::with_bounds(inv_diag, m.bounds.0, m.bounds.1, cfg.pre_smooth)
+            }
+            None => Chebyshev::with_target_fractions(
+                timed.as_ref(),
+                cfg.pre_smooth,
+                cfg.cheb_est_iters,
+                cfg.cheb_targets.0,
+                cfg.cheb_targets.1,
+            ),
+        };
+        cache.lambda_memo[l] = Some(memo.unwrap_or_else(|| LambdaMemo {
+            eta_bits: eta_qp[l].iter().map(|v| v.to_bits()).collect(),
+            kind,
+            est_iters: cfg.cheb_est_iters,
+            targets: cfg.cheb_targets,
+            galerkin,
+            bounds: smoother.lambda_bounds(),
+        }));
+        drop(_s);
         level_ops.push(timed.clone());
         gmg_levels.push(match csr {
-            Some(a) => GmgLevel::with_assembled(timed as ArcOp, a, smoother),
+            Some(a) => {
+                let memo = cache.plan_memo[l]
+                    .as_ref()
+                    .filter(|p| p.depth == plan_depth);
+                let eta_same = memo.is_some_and(|p| eta_bits_equal(&p.eta_bits, &eta_qp[l]));
+                let mut lvl = GmgLevel::with_assembled(timed as ArcOp, a, smoother)
+                    .with_fused_hints(
+                        memo.map(|p| p.natural.is_some()),
+                        memo.and_then(|p| p.reordered.as_ref().map(Option::is_some)),
+                    );
+                if cfg.sfc_reorder {
+                    let (nperm, _) = morton_node_permutation(&hier.meshes[l]);
+                    lvl = lvl.with_sfc_reorder(expand_permutation(&nperm, 3));
+                }
+                if eta_same {
+                    // PANIC-OK: eta_same implies memo.is_some().
+                    let p = memo.expect("memo present when eta matches");
+                    lvl = lvl.with_fused_plans(p.natural.clone(), p.reordered.clone().flatten());
+                }
+                assembled_smoothed[l] = true;
+                lvl
+            }
             None => GmgLevel::new(timed as ArcOp, smoother),
         });
     }
-    let mg = GeometricMg::new(
+    // Fused-plan construction (tile analysis + halo gathers) happens in
+    // `GeometricMg::new`; keep it visible in the setup breakdown.
+    let _plan_scope = prof::scope("setup/plan");
+    let batched_transfers = cache
+        .batched_transfers
+        .get_or_insert_with(|| Arc::new(transfers.iter().map(BatchedTransfer::from_csr).collect()))
+        .clone();
+    let mg = GeometricMg::new_with_batched_transfers(
         gmg_levels,
         transfers,
+        batched_transfers,
         coarse,
         cfg.pre_smooth,
         cfg.post_smooth,
     )
     .with_cycle(cfg.cycle);
+    // Record the plans (shared handles) and profitability verdicts so the
+    // next rebuild can either skip constructing plans that would only be
+    // thrown away or, on a bit-identical viscosity, reuse them verbatim.
+    for (i, lvl) in mg.levels.iter().enumerate() {
+        let l = i + 1;
+        if assembled_smoothed[l] {
+            cache.plan_memo[l] = Some(PlanMemo {
+                depth: plan_depth,
+                eta_bits: eta_qp[l].iter().map(|v| v.to_bits()).collect(),
+                natural: lvl.fused_plan_arc(),
+                reordered: lvl.reorder_ref().map(|ro| ro.plan.clone()),
+            });
+        }
+    }
+    drop(_plan_scope);
     // PANIC-OK: MeshHierarchy::build asserts levels >= 2.
     let a_fine = mg.levels.last().expect("at least two levels").op.clone();
 
@@ -513,15 +883,31 @@ pub fn build_stokes_solver_spec(
             eta_qp[levels - 1].clone(),
             &bcs[levels - 1],
             Some(nd),
+            &mut cache.fine_base,
         )
     });
 
-    // Coupling blocks and Schur preconditioner on the fine level.
-    let b_full = assemble_gradient(fine_mesh, &tables);
-    let mut b_masked = b_full.clone();
-    b_masked.zero_cols(&bcs[levels - 1].dofs);
+    // Coupling blocks and Schur preconditioner on the fine level. The
+    // gradient block is geometry-only, so both it and its bc-masked twin
+    // are cached verbatim across rebuilds; the (1/η)-weighted pressure
+    // mass blocks are value-dependent and recomputed (batched).
+    let _s = prof::scope("setup/assembly");
+    let path = runtime_simd_path();
+    let b_full = cache
+        .b_full
+        .get_or_insert_with(|| assemble_gradient_batched(fine_mesh, &tables, path))
+        .clone();
+    let b_masked = cache
+        .b_masked
+        .get_or_insert_with(|| {
+            let mut b = b_full.clone();
+            b.zero_cols(&bcs[levels - 1].dofs);
+            b
+        })
+        .clone();
     let inv_eta: Vec<f64> = eta_qp[levels - 1].iter().map(|&e| 1.0 / e).collect();
-    let schur = PressureMassBlocks::new(fine_mesh, &tables, &inv_eta);
+    let schur = pressure_mass_blocks_batched(fine_mesh, &tables, &inv_eta, path);
+    drop(_s);
 
     StokesSolver {
         nu: num_velocity_dofs(fine_mesh),

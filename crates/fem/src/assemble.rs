@@ -185,84 +185,49 @@ pub fn element_pressure_mass(
 /// to keep every pool worker busy, small enough that the element-matrix
 /// scratch stays cache-friendly (64 × 81² × 8 B ≈ 3.4 MB for the viscous
 /// block).
-const ASSEMBLY_BATCH: usize = 64;
+pub(crate) const ASSEMBLY_BATCH: usize = 64;
 
 /// Assemble the global viscous block `J_uu` (SPD apart from boundary
 /// conditions) from per-(element, qp) viscosity.
 ///
-/// Element matrices within a batch are computed in parallel (independent
-/// rows of scratch); insertion into the builder stays serial in element
-/// order, so the assembled matrix is bitwise-independent of the thread
-/// count.
+/// Runs the symbolic phase ([`crate::pattern::ViscousPattern::build`])
+/// followed by the scalar numeric phase: element matrices within a batch
+/// are computed in parallel (independent rows of scratch); the scatter
+/// into the frozen pattern stays serial in element order, so the
+/// assembled matrix is bitwise-independent of the thread count. Callers
+/// that re-assemble after coefficient updates should hold the pattern and
+/// use `reassemble_into` instead.
 pub fn assemble_viscous(mesh: &StructuredMesh, tables: &Q2QuadTables, eta: &[f64]) -> Csr {
-    let nqp = tables.nqp();
-    assert_eq!(eta.len(), mesh.num_elements() * nqp);
-    let n = num_velocity_dofs(mesh);
-    let mut b = CsrBuilder::new(n, n);
-    let mut dofs = [0usize; 3 * NQ2];
-    let ne = mesh.num_elements();
-    let bs = (3 * NQ2) * (3 * NQ2);
-    let mut scratch = vec![0.0f64; ASSEMBLY_BATCH.min(ne.max(1)) * bs];
-    let mut e0 = 0;
-    while e0 < ne {
-        let bl = ASSEMBLY_BATCH.min(ne - e0);
-        let batch = &mut scratch[..bl * bs];
-        par::par_blocks_mut(batch, bs, |bi, ae| {
-            let e = e0 + bi;
-            let corners = mesh.element_corner_coords(e);
-            element_viscous_matrix_into(tables, &corners, &eta[e * nqp..(e + 1) * nqp], ae);
-        });
-        for bi in 0..bl {
-            let e = e0 + bi;
-            let nodes = mesh.element_nodes(e);
-            for (i, &nid) in nodes.iter().enumerate() {
-                for c in 0..3 {
-                    dofs[3 * i + c] = 3 * nid + c;
-                }
-            }
-            b.add_block(&dofs, &dofs, &batch[bi * bs..(bi + 1) * bs]);
-        }
-        e0 += bl;
-    }
-    b.finish()
+    let pat = crate::pattern::ViscousPattern::build(mesh);
+    // ALLOC-OK: first assembly allocates its value storage once; the
+    // re-assembly path reuses it in place.
+    let mut values = vec![0.0f64; pat.nnz()];
+    // ALLOC-OK: one-shot element scratch; re-assembly passes a cached one.
+    let mut scratch = Vec::new();
+    pat.numeric_scalar_into(mesh, tables, eta, &mut scratch, &mut values);
+    pat.into_csr(values)
 }
 
 /// Assemble the global divergence block `J_pu` (`num_pressure_dofs ×
 /// num_velocity_dofs`); `J_up = J_puᵀ`. Parallel over element batches
-/// like [`assemble_viscous`].
+/// like [`assemble_viscous`]. The pattern is closed-form (each pressure
+/// row couples exactly its element's 81 velocity dofs in ascending
+/// order), so the element matrices land in the value array by copy.
 pub fn assemble_gradient(mesh: &StructuredMesh, tables: &Q2QuadTables) -> Csr {
     let np = num_pressure_dofs(mesh);
     let nu = num_velocity_dofs(mesh);
-    let mut b = CsrBuilder::new(np, nu);
-    let mut vdofs = [0usize; 3 * NQ2];
-    let mut pdofs = [0usize; NP1];
+    let (indptr, indices) = crate::pattern::gradient_pattern_csr(mesh);
     let ne = mesh.num_elements();
     let bs = NP1 * 3 * NQ2;
-    let mut scratch = vec![0.0f64; ASSEMBLY_BATCH.min(ne.max(1)) * bs];
-    let mut e0 = 0;
-    while e0 < ne {
-        let bl = ASSEMBLY_BATCH.min(ne - e0);
-        let batch = &mut scratch[..bl * bs];
-        par::par_blocks_mut(batch, bs, |bi, be| {
-            let corners = mesh.element_corner_coords(e0 + bi);
-            element_gradient_matrix_into(tables, &corners, be);
-        });
-        for bi in 0..bl {
-            let e = e0 + bi;
-            let nodes = mesh.element_nodes(e);
-            for (i, &nid) in nodes.iter().enumerate() {
-                for c in 0..3 {
-                    vdofs[3 * i + c] = 3 * nid + c;
-                }
-            }
-            for m in 0..NP1 {
-                pdofs[m] = NP1 * e + m;
-            }
-            b.add_block(&pdofs, &vdofs, &batch[bi * bs..(bi + 1) * bs]);
-        }
-        e0 += bl;
-    }
-    b.finish()
+    // ALLOC-OK: geometry-only matrix, assembled once per mesh and cached
+    // by the setup cache across solver rebuilds.
+    let mut values = vec![0.0f64; np * 3 * NQ2];
+    par::par_blocks_mut(&mut values, bs, |e, be| {
+        debug_assert!(e < ne);
+        let corners = mesh.element_corner_coords(e);
+        element_gradient_matrix_into(tables, &corners, be);
+    });
+    Csr::from_raw(np, nu, indptr, indices, values)
 }
 
 /// Assemble the (block-diagonal) pressure mass matrix with pointwise weight
@@ -306,6 +271,15 @@ impl PressureMassBlocks {
         Self { inv_blocks }
     }
 
+    /// Build from already-computed (uninverted) element mass blocks — the
+    /// entry point for the SIMD-batched setup path, which evaluates the
+    /// 4×4 blocks four elements at a time and hands them over here.
+    pub fn from_blocks(blocks: &[[[f64; NP1]; NP1]]) -> Self {
+        Self {
+            inv_blocks: blocks.iter().map(invert4).collect(),
+        }
+    }
+
     /// z = M⁻¹ r.
     pub fn apply_inverse(&self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), NP1 * self.inv_blocks.len());
@@ -328,7 +302,7 @@ impl PressureMassBlocks {
 }
 
 /// Invert a 4×4 SPD matrix by Gaussian elimination with partial pivoting.
-fn invert4(m: &[[f64; NP1]; NP1]) -> [[f64; NP1]; NP1] {
+pub fn invert4(m: &[[f64; NP1]; NP1]) -> [[f64; NP1]; NP1] {
     let mut a = *m;
     let mut inv = [[0.0; NP1]; NP1];
     for (i, row) in inv.iter_mut().enumerate() {
@@ -383,6 +357,7 @@ pub fn assemble_body_force(
 ) -> Vec<f64> {
     let nqp = tables.nqp();
     assert_eq!(rho.len(), mesh.num_elements() * nqp);
+    // ALLOC-OK: load-vector output, once per forcing evaluation.
     let mut f = vec![0.0; num_velocity_dofs(mesh)];
     for e in 0..mesh.num_elements() {
         let corners = mesh.element_corner_coords(e);
@@ -411,6 +386,7 @@ pub fn assemble_forcing(
     force: impl Fn([f64; 3]) -> [f64; 3],
 ) -> Vec<f64> {
     let nqp = tables.nqp();
+    // ALLOC-OK: load-vector output, once per forcing evaluation.
     let mut out = vec![0.0; num_velocity_dofs(mesh)];
     for e in 0..mesh.num_elements() {
         let corners = mesh.element_corner_coords(e);

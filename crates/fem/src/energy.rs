@@ -63,6 +63,8 @@ pub fn assemble_energy_step(
     let grads: Vec<[[f64; 3]; NQ1]> = quad.points.iter().map(|&p| q1_grad(p)).collect();
 
     let mut builder = CsrBuilder::new(nc, nc);
+    // ALLOC-OK: per-step system assembly (SUPG matrix changes with the
+    // velocity field each step; there is no frozen pattern to reuse yet).
     let mut rhs = vec![0.0; nc];
     let inv_dt = 1.0 / dt;
 

@@ -10,6 +10,9 @@
 //!   inverse map,
 //! * [`assemble`] — element kernels and global assembly of `J_uu`, `J_pu`,
 //!   the (1/η-weighted) pressure mass matrix and body forces,
+//! * [`pattern`] — the symbolic/numeric assembly split: frozen sparsity
+//!   patterns with closed-form scatter addressing, enabling in-place
+//!   numeric re-assembly after coefficient updates (DESIGN.md §13),
 //! * [`bc`] — Dirichlet boundary conditions with symmetric elimination,
 //! * [`energy`] — the SUPG-stabilized advection–diffusion step.
 
@@ -18,6 +21,7 @@ pub mod basis;
 pub mod bc;
 pub mod energy;
 pub mod geometry;
+pub mod pattern;
 pub mod quadrature;
 
 pub use assemble::{

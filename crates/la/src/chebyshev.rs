@@ -136,6 +136,25 @@ impl Chebyshev {
         (self.lambda_lo, self.lambda_hi)
     }
 
+    /// The smoother transplanted to a permuted dof space
+    /// (`perm[old] = new`): the diagonal scaling is gathered to the new
+    /// order while the spectral bounds carry over unchanged — a
+    /// permutation is a similarity transform, so `P A Pᵀ` has exactly the
+    /// spectrum the bounds were estimated for.
+    pub fn permuted(&self, perm: &[u32]) -> Chebyshev {
+        assert_eq!(perm.len(), self.inv_diag.len());
+        let mut inv_diag = vec![0.0; self.inv_diag.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            inv_diag[new as usize] = self.inv_diag[old];
+        }
+        Chebyshev {
+            inv_diag,
+            lambda_lo: self.lambda_lo,
+            lambda_hi: self.lambda_hi,
+            iters: self.iters,
+        }
+    }
+
     /// In-place smoothing: improve `x` for `A x = b` with `self.iters`
     /// Chebyshev iterations (one operator application each).
     pub fn smooth(&self, a: &dyn LinearOperator, b: &[f64], x: &mut [f64]) {

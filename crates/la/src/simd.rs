@@ -88,6 +88,19 @@ impl std::ops::Mul for F64x4 {
     }
 }
 
+impl std::ops::Div for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn div(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] / o.0[0],
+            self.0[1] / o.0[1],
+            self.0[2] / o.0[2],
+            self.0[3] / o.0[3],
+        ])
+    }
+}
+
 /// Which kernel implementation a batched component dispatches to. Chosen
 /// once at construction; both paths produce bitwise-identical results.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -12,6 +12,7 @@
 
 pub mod decomp;
 pub mod hierarchy;
+pub mod sfc;
 
 pub use decomp::ElementPartition;
 pub use hierarchy::MeshHierarchy;

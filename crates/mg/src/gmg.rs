@@ -128,6 +128,28 @@ pub enum CycleType {
 /// operator.
 pub type ArcOp = std::sync::Arc<dyn LinearOperator + Send + Sync>;
 
+/// A smoothed level's matrix and smoother transplanted to an SFC-permuted
+/// dof space (see `ptatin_mesh::sfc`). Smoothing gathers residual and
+/// iterate into the permuted order, runs the (fused, if profitable)
+/// Chebyshev sweeps against the permuted matrix, and scatters the iterate
+/// back — everything outside the smoother (residuals, transfers, coarse
+/// solves) stays in natural order. Opt-in: permuted sweeps change the
+/// floating-point summation order, so the default bitwise contract only
+/// holds with reordering off.
+pub struct LevelReorder {
+    /// Dof permutation, `perm[old] = new`.
+    pub perm: Vec<u32>,
+    /// The level matrix in permuted space, `P A Pᵀ`.
+    pub a: Arc<Csr>,
+    /// The level smoother with its diagonal gathered to permuted order.
+    smoother: Chebyshev,
+    /// Fused plan on the permuted matrix — kept only when profitable
+    /// there; `None` falls back to the natural-order paths. Shared so a
+    /// setup cache can hand a previously built plan straight back when
+    /// the matrix values are bitwise unchanged.
+    pub plan: Option<Arc<FusedPlan>>,
+}
+
 /// One smoothed level of the geometric hierarchy.
 pub struct GmgLevel {
     pub op: ArcOp,
@@ -136,7 +158,15 @@ pub struct GmgLevel {
     /// cache-blocked fused smoother ([`Chebyshev::apply_fused`]; the plan
     /// is built by [`GeometricMg::new`], which knows the smoothing depths).
     assembled: Option<Arc<Csr>>,
-    fused: Option<FusedPlan>,
+    fused: Option<Arc<FusedPlan>>,
+    reorder: Option<LevelReorder>,
+    /// Memoized profitability verdicts (natural, reordered) from an
+    /// earlier build against the same matrix structure. The verdict is a
+    /// pure function of the sparsity pattern and the smoothing depth, so
+    /// a cached `Some(false)` lets [`GeometricMg::new`] skip the plan
+    /// construction outright without changing any observable behavior.
+    fused_hint: Option<bool>,
+    reorder_hint: Option<bool>,
 }
 
 impl GmgLevel {
@@ -148,6 +178,9 @@ impl GmgLevel {
             smoother,
             assembled: None,
             fused: None,
+            reorder: None,
+            fused_hint: None,
+            reorder_hint: None,
         }
     }
 
@@ -159,6 +192,9 @@ impl GmgLevel {
             smoother,
             assembled: Some(a),
             fused: None,
+            reorder: None,
+            fused_hint: None,
+            reorder_hint: None,
         }
     }
 
@@ -172,7 +208,79 @@ impl GmgLevel {
             smoother,
             assembled: Some(a),
             fused: None,
+            reorder: None,
+            fused_hint: None,
+            reorder_hint: None,
         }
+    }
+
+    /// Attach an SFC dof reordering (builder style; requires an assembled
+    /// matrix). The permuted matrix and smoother are built here; the fused
+    /// plan on the permuted matrix is built by [`GeometricMg::new`], which
+    /// knows the smoothing depth, and kept only where profitable.
+    pub fn with_sfc_reorder(mut self, perm: Vec<u32>) -> Self {
+        let a = self
+            .assembled
+            .as_ref()
+            // PANIC-OK: construction-time contract — the solver only
+            // attaches the reorder to levels built `with_assembled`.
+            .expect("SFC reorder requires an assembled level matrix");
+        assert_eq!(perm.len(), a.nrows());
+        let a_perm = Arc::new(a.permute_symmetric(&perm));
+        let smoother = self.smoother.permuted(&perm);
+        self.reorder = Some(LevelReorder {
+            perm,
+            a: a_perm,
+            smoother,
+            plan: None,
+        });
+        self
+    }
+
+    /// Provide memoized fused-plan profitability verdicts (builder
+    /// style). `Some(false)` skips the corresponding plan construction in
+    /// [`GeometricMg::new`] — valid only when the verdict was computed
+    /// against an identical sparsity pattern and smoothing depth; any
+    /// other value leaves behavior unchanged.
+    pub fn with_fused_hints(mut self, natural: Option<bool>, reordered: Option<bool>) -> Self {
+        self.fused_hint = natural;
+        self.reorder_hint = reordered;
+        self
+    }
+
+    /// Install previously built fused plans outright (builder style),
+    /// skipping plan construction in [`GeometricMg::new`]. Sound only when
+    /// the plans were built against bitwise-identical matrix values (a
+    /// plan snapshots tile values and the gathered inverse diagonal);
+    /// callers key on bit-exact viscosity for exactly that reason. A
+    /// reordered plan is dropped if no reordering is attached.
+    pub fn with_fused_plans(
+        mut self,
+        natural: Option<Arc<FusedPlan>>,
+        reordered: Option<Arc<FusedPlan>>,
+    ) -> Self {
+        if natural.is_some() {
+            self.fused = natural;
+        }
+        if let (Some(ro), Some(plan)) = (self.reorder.as_mut(), reordered) {
+            ro.plan = Some(plan);
+        }
+        self
+    }
+
+    /// The fused plan of the natural-order matrix, if one was kept.
+    pub fn fused_plan_ref(&self) -> Option<&FusedPlan> {
+        self.fused.as_deref()
+    }
+
+    /// Shared handle to the natural-order fused plan, for memoization.
+    pub fn fused_plan_arc(&self) -> Option<Arc<FusedPlan>> {
+        self.fused.clone()
+    }
+
+    /// The SFC reordering attached to this level, if any.
+    pub fn reorder_ref(&self) -> Option<&LevelReorder> {
+        self.reorder.as_ref()
     }
 }
 
@@ -192,7 +300,9 @@ pub struct GeometricMg {
     pub prolongations: Vec<Csr>,
     /// Lane-packed SIMD forms of `prolongations` (same indices/weights,
     /// repacked for 4-wide row batches; see `ptatin-la::transfer`).
-    transfers: Vec<BatchedTransfer>,
+    /// `Arc`-shared so a setup cache can hand the identical pack to every
+    /// rebuild — the pack is a pure function of the prolongations.
+    transfers: Arc<Vec<BatchedTransfer>>,
     pub coarse: GmgCoarseSolver,
     /// Pre-/post-smoothing iteration counts (V(m,n)).
     pub pre_smooth: usize,
@@ -209,13 +319,43 @@ pub struct GeometricMg {
 
 impl GeometricMg {
     pub fn new(
-        mut levels: Vec<GmgLevel>,
+        levels: Vec<GmgLevel>,
         prolongations: Vec<Csr>,
         coarse: GmgCoarseSolver,
         pre_smooth: usize,
         post_smooth: usize,
     ) -> Self {
+        let batched = Arc::new(
+            prolongations
+                .iter()
+                .map(BatchedTransfer::from_csr)
+                .collect(),
+        );
+        Self::new_with_batched_transfers(
+            levels,
+            prolongations,
+            batched,
+            coarse,
+            pre_smooth,
+            post_smooth,
+        )
+    }
+
+    /// [`new`](Self::new) with the lane-packed transfers supplied by the
+    /// caller (e.g. cloned out of a setup cache). The pack must be the
+    /// one `BatchedTransfer::from_csr` would produce from `prolongations`
+    /// — it is a pure function of them, so sharing one pack across
+    /// rebuilds is bitwise-neutral.
+    pub fn new_with_batched_transfers(
+        mut levels: Vec<GmgLevel>,
+        prolongations: Vec<Csr>,
+        transfers: Arc<Vec<BatchedTransfer>>,
+        coarse: GmgCoarseSolver,
+        pre_smooth: usize,
+        post_smooth: usize,
+    ) -> Self {
         assert_eq!(prolongations.len(), levels.len());
+        assert_eq!(transfers.len(), prolongations.len());
         // Plan depth covers the deeper of the two smoothing passes; a
         // shallower sweep reuses the same plan (validity only shrinks).
         // Keep a plan only where its halo redundancy makes fusing a win —
@@ -224,13 +364,26 @@ impl GeometricMg {
         let depth = pre_smooth.max(post_smooth).max(1);
         for lvl in &mut levels {
             if let Some(a) = lvl.assembled.clone() {
-                lvl.fused = Some(lvl.smoother.fused_plan(&a, depth, 0)).filter(|p| p.profitable());
+                if lvl.fused.is_none() {
+                    lvl.fused = match lvl.fused_hint {
+                        // Known unprofitable for this structure and depth —
+                        // an unused plan would be discarded; skip the build.
+                        Some(false) => None,
+                        _ => Some(Arc::new(lvl.smoother.fused_plan(&a, depth, 0)))
+                            .filter(|p| p.profitable()),
+                    };
+                }
+            }
+            if let Some(ro) = &mut lvl.reorder {
+                if ro.plan.is_none() {
+                    ro.plan = match lvl.reorder_hint {
+                        Some(false) => None,
+                        _ => Some(Arc::new(ro.smoother.fused_plan(&ro.a, depth, 0)))
+                            .filter(|p| p.profitable()),
+                    };
+                }
             }
         }
-        let transfers = prolongations
-            .iter()
-            .map(BatchedTransfer::from_csr)
-            .collect();
         Self {
             levels,
             prolongations,
@@ -261,6 +414,25 @@ impl GeometricMg {
 
     fn smooth_level(&self, lvl: &GmgLevel, b: &[f64], x: &mut [f64], iters: usize) {
         if !self.scalar_pipeline {
+            // SFC-permuted fused smoothing: gather into Z-order, sweep the
+            // permuted matrix, scatter the iterate back (opt-in; see
+            // `LevelReorder`).
+            if let Some(ro) = &lvl.reorder {
+                if let Some(plan) = &ro.plan {
+                    let n = b.len();
+                    let mut bp = vec![0.0; n];
+                    let mut xp = vec![0.0; n];
+                    for (old, &new) in ro.perm.iter().enumerate() {
+                        bp[new as usize] = b[old];
+                        xp[new as usize] = x[old];
+                    }
+                    ro.smoother.apply_fused(&ro.a, plan, &bp, &mut xp, iters);
+                    for (old, &new) in ro.perm.iter().enumerate() {
+                        x[old] = xp[new as usize];
+                    }
+                    return;
+                }
+            }
             if let (Some(a), Some(plan)) = (&lvl.assembled, &lvl.fused) {
                 lvl.smoother.apply_fused(a, plan, b, x, iters);
                 return;
@@ -380,7 +552,14 @@ pub fn filter_transfer(p: &mut Csr, fine_mask: &[bool], coarse_mask: &[bool]) {
 /// Galerkin coarse operator `Pᵀ A P` with unit diagonal restored on
 /// constrained coarse dofs (their rows/cols were filtered to zero).
 pub fn galerkin_coarse(a_fine: &Csr, p: &Csr, coarse_mask: &[bool]) -> Csr {
-    let mut ac = Csr::rap(a_fine, p);
+    galerkin_coarse_with_pt(a_fine, p, &p.transpose(), coarse_mask)
+}
+
+/// [`galerkin_coarse`] with a precomputed (cacheable) transpose of `p`.
+/// Bitwise identical to the fresh path because `transpose()` is
+/// deterministic in the transfer alone.
+pub fn galerkin_coarse_with_pt(a_fine: &Csr, p: &Csr, pt: &Csr, coarse_mask: &[bool]) -> Csr {
+    let mut ac = Csr::rap_with_pt(a_fine, p, pt);
     let bc_rows: Vec<usize> = coarse_mask
         .iter()
         .enumerate()

@@ -1,0 +1,674 @@
+//! SIMD-batched Q2 assembly: the §III-E cross-element batching recipe
+//! (SoA `F64x4` lanes of 4 elements, runtime AVX2 dispatch, bitwise
+//! portable fallback) applied to the *setup* kernels — the dense element
+//! matrices of `J_uu`, `J_pu` and the pressure mass blocks.
+//!
+//! Bitwise contract (DESIGN.md §9/§13): every lane kernel mirrors its
+//! scalar reference (`element_viscous_matrix_into` & friends) operation
+//! for operation using only plain mul/add/sub/div — no FMA anywhere,
+//! because the scalar kernels fuse nothing. Each IEEE operation is then
+//! performed on the same operands in the same order per lane, so lane `l`
+//! of a batched element matrix is bitwise identical to the scalar element
+//! matrix, on both dispatch paths, and the serial in-order scatter through
+//! `ptatin_fem::pattern` makes the assembled CSR bitwise identical to
+//! scalar assembly at every thread count. Tail lane slots are ghost-padded
+//! by replicating the last real element (computed, never scattered).
+//!
+//! The AVX2 path reuses the portable bodies: they are `#[inline(always)]`
+//! and built from 4-wide lane ops, so instantiating them inside a
+//! `#[target_feature(enable = "avx2,fma")]` wrapper compiles the same
+//! operation sequence down to 256-bit vector instructions. Rust does not
+//! contract mul+add into FMA, so enabling the feature changes scheduling,
+//! not results.
+
+use ptatin_fem::assemble::{PressureMassBlocks, Q2QuadTables};
+use ptatin_fem::basis::{element_frame, q1_basis, q1_grad, NP1, NQ2};
+use ptatin_fem::pattern::{gradient_pattern_csr, ViscousPattern};
+use ptatin_la::csr::Csr;
+use ptatin_la::par;
+use ptatin_la::simd::{F64x4, SimdPath, LANES};
+use ptatin_mesh::StructuredMesh;
+
+/// Elements per batch of the assembly drivers (matches the scalar path's
+/// `ASSEMBLY_BATCH`, so the element-matrix scratch footprint is the same
+/// ≈3.4 MB and scatter order is element-ascending either way).
+const BATCH: usize = 64;
+
+/// Dense viscous element-matrix size in lane units.
+const AE: usize = (3 * NQ2) * (3 * NQ2);
+/// Dense gradient element-matrix size in lane units.
+const BE: usize = NP1 * 3 * NQ2;
+
+/// Per-quadrature-point Q1 geometry tables shared by all lane kernels:
+/// trilinear basis values and reference gradients at each point.
+struct Q1Tables {
+    basis: Vec<[f64; 8]>,
+    grad: Vec<[[f64; 3]; 8]>,
+}
+
+impl Q1Tables {
+    fn new(tables: &Q2QuadTables) -> Self {
+        Self {
+            basis: tables.quad.points.iter().map(|&p| q1_basis(p)).collect(),
+            grad: tables.quad.points.iter().map(|&p| q1_grad(p)).collect(),
+        }
+    }
+}
+
+/// Gather the 8 corner coordinates of lane elements `e0 .. e0+nreal` into
+/// SoA lanes, replicating the last real element into ghost slots.
+fn gather_corners(mesh: &StructuredMesh, e0: usize, nreal: usize) -> [[F64x4; 3]; 8] {
+    let mut out = [[F64x4::ZERO; 3]; 8];
+    for l in 0..LANES {
+        let cc = mesh.element_corner_coords(e0 + l.min(nreal - 1));
+        for c in 0..8 {
+            for d in 0..3 {
+                out[c][d].0[l] = cc[c][d];
+            }
+        }
+    }
+    out
+}
+
+/// Gather a per-(element, qp) coefficient into per-qp lanes (ghost slots
+/// replicate the last real element).
+fn gather_qp_coeff(coeff: &[f64], nqp: usize, e0: usize, nreal: usize, out: &mut [F64x4]) {
+    for q in 0..nqp {
+        for l in 0..LANES {
+            out[q].0[l] = coeff[(e0 + l.min(nreal - 1)) * nqp + q];
+        }
+    }
+}
+
+/// Lane mirror of `qp_geometry` (jacobian → `inv3` → transpose): returns
+/// `(J⁻ᵀ, w·det J)` with the exact operation sequence of the scalar path.
+/// Panics like the scalar path when any lane's element is inverted.
+#[inline(always)]
+fn lane_geometry(
+    q1g: &[[f64; 3]; 8],
+    w: f64,
+    corners: &[[F64x4; 3]; 8],
+) -> ([[F64x4; 3]; 3], F64x4) {
+    let mut j = [[F64x4::ZERO; 3]; 3];
+    for (c, corner) in corners.iter().enumerate() {
+        for i in 0..3 {
+            for d in 0..3 {
+                j[i][d] = j[i][d] + corner[i] * F64x4::splat(q1g[c][d]);
+            }
+        }
+    }
+    // det3, term for term.
+    let det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+        - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+        + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+    for l in 0..LANES {
+        assert!(
+            det.0[l] > 0.0,
+            "element is inverted or degenerate (det J = {})",
+            det.0[l]
+        );
+    }
+    let id = F64x4::splat(1.0) / det;
+    let inv = [
+        [
+            (j[1][1] * j[2][2] - j[1][2] * j[2][1]) * id,
+            (j[0][2] * j[2][1] - j[0][1] * j[2][2]) * id,
+            (j[0][1] * j[1][2] - j[0][2] * j[1][1]) * id,
+        ],
+        [
+            (j[1][2] * j[2][0] - j[1][0] * j[2][2]) * id,
+            (j[0][0] * j[2][2] - j[0][2] * j[2][0]) * id,
+            (j[0][2] * j[1][0] - j[0][0] * j[1][2]) * id,
+        ],
+        [
+            (j[1][0] * j[2][1] - j[1][1] * j[2][0]) * id,
+            (j[0][1] * j[2][0] - j[0][0] * j[2][1]) * id,
+            (j[0][0] * j[1][1] - j[0][1] * j[1][0]) * id,
+        ],
+    ];
+    let mut ijt = [[F64x4::ZERO; 3]; 3];
+    for a in 0..3 {
+        for b in 0..3 {
+            ijt[a][b] = inv[b][a];
+        }
+    }
+    (ijt, F64x4::splat(w) * det)
+}
+
+/// Lane mirror of `map_to_physical` through the trilinear geometry.
+#[inline(always)]
+fn lane_map_to_physical(q1b: &[f64; 8], corners: &[[F64x4; 3]; 8]) -> [F64x4; 3] {
+    let mut x = [F64x4::ZERO; 3];
+    for (c, corner) in corners.iter().enumerate() {
+        for d in 0..3 {
+            x[d] = x[d] + F64x4::splat(q1b[c]) * corner[d];
+        }
+    }
+    x
+}
+
+/// Lane mirror of `element_viscous_matrix_into` for one lane group.
+#[inline(always)]
+fn viscous_lanes_body(
+    tables: &Q2QuadTables,
+    q1: &Q1Tables,
+    corners: &[[F64x4; 3]; 8],
+    eta: &[F64x4],
+    ae: &mut [F64x4],
+) {
+    let nqp = tables.nqp();
+    debug_assert_eq!(ae.len(), AE);
+    ae.fill(F64x4::ZERO);
+    let mut gphi = [[F64x4::ZERO; 3]; NQ2];
+    for q in 0..nqp {
+        let (ijt, wdetj) = lane_geometry(&q1.grad[q], tables.quad.weights[q], corners);
+        for i in 0..NQ2 {
+            let g = tables.grad[q][i];
+            for d in 0..3 {
+                gphi[i][d] = ijt[d][0] * F64x4::splat(g[0])
+                    + ijt[d][1] * F64x4::splat(g[1])
+                    + ijt[d][2] * F64x4::splat(g[2]);
+            }
+        }
+        let ew = eta[q] * wdetj;
+        // The per-qp update is bitwise symmetric under (i,r) ↔ (j,c):
+        // `gdot` commutes term for term and the dyadic product commutes
+        // entrywise, so accumulating only the block upper triangle and
+        // mirroring once after the qp loop reproduces the full double
+        // loop bit for bit at roughly half the accumulation work.
+        for i in 0..NQ2 {
+            for j in i..NQ2 {
+                let gdot =
+                    gphi[i][0] * gphi[j][0] + gphi[i][1] * gphi[j][1] + gphi[i][2] * gphi[j][2];
+                for r in 0..3 {
+                    let row = 3 * i + r;
+                    for c in 0..3 {
+                        let col = 3 * j + c;
+                        let mut v = gphi[i][c] * gphi[j][r];
+                        if r == c {
+                            v = v + gdot;
+                        }
+                        ae[row * (3 * NQ2) + col] = ae[row * (3 * NQ2) + col] + ew * v;
+                    }
+                }
+            }
+        }
+    }
+    for row in 0..3 * NQ2 {
+        for col in row + 1..3 * NQ2 {
+            ae[col * (3 * NQ2) + row] = ae[row * (3 * NQ2) + col];
+        }
+    }
+}
+
+/// Lane mirror of `element_gradient_matrix_into` for one lane group. The
+/// element frame (centroid/half-extents) is evaluated in scalar per real
+/// element by the caller — the exact scalar code path — and passed in as
+/// lanes.
+#[inline(always)]
+fn gradient_lanes_body(
+    tables: &Q2QuadTables,
+    q1: &Q1Tables,
+    corners: &[[F64x4; 3]; 8],
+    centroid: &[F64x4; 3],
+    half: &[F64x4; 3],
+    be: &mut [F64x4],
+) {
+    let nqp = tables.nqp();
+    debug_assert_eq!(be.len(), BE);
+    be.fill(F64x4::ZERO);
+    for q in 0..nqp {
+        let (ijt, wdetj) = lane_geometry(&q1.grad[q], tables.quad.weights[q], corners);
+        let x = lane_map_to_physical(&q1.basis[q], corners);
+        let psi = [
+            F64x4::splat(1.0),
+            (x[0] - centroid[0]) / half[0],
+            (x[1] - centroid[1]) / half[1],
+            (x[2] - centroid[2]) / half[2],
+        ];
+        for j in 0..NQ2 {
+            let gr = tables.grad[q][j];
+            let mut g = [F64x4::ZERO; 3];
+            for d in 0..3 {
+                g[d] = ijt[d][0] * F64x4::splat(gr[0])
+                    + ijt[d][1] * F64x4::splat(gr[1])
+                    + ijt[d][2] * F64x4::splat(gr[2]);
+            }
+            for c in 0..3 {
+                for (m, pm) in psi.iter().enumerate() {
+                    let k = m * (3 * NQ2) + 3 * j + c;
+                    be[k] = be[k] - *pm * g[c] * wdetj;
+                }
+            }
+        }
+    }
+}
+
+/// Lane mirror of `element_pressure_mass` for one lane group.
+#[inline(always)]
+fn pressure_mass_lanes_body(
+    tables: &Q2QuadTables,
+    q1: &Q1Tables,
+    corners: &[[F64x4; 3]; 8],
+    centroid: &[F64x4; 3],
+    half: &[F64x4; 3],
+    weight: &[F64x4],
+    m: &mut [F64x4; NP1 * NP1],
+) {
+    let nqp = tables.nqp();
+    *m = [F64x4::ZERO; NP1 * NP1];
+    for q in 0..nqp {
+        let (_ijt, wdetj) = lane_geometry(&q1.grad[q], tables.quad.weights[q], corners);
+        let x = lane_map_to_physical(&q1.basis[q], corners);
+        let psi = [
+            F64x4::splat(1.0),
+            (x[0] - centroid[0]) / half[0],
+            (x[1] - centroid[1]) / half[1],
+            (x[2] - centroid[2]) / half[2],
+        ];
+        let w = weight[q] * wdetj;
+        for a in 0..NP1 {
+            for b in 0..NP1 {
+                m[a * NP1 + b] = m[a * NP1 + b] + w * psi[a] * psi[b];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 instantiations of the shared bodies
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::*;
+
+    // SAFETY: caller must have verified avx2+fma support (the
+    // `SimdPath::Avx2Fma` dispatch contract). The body is plain
+    // mul/add/sub/div lane arithmetic — no contraction happens under the
+    // feature, so results are bitwise identical to the portable build.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn viscous_lanes(
+        tables: &Q2QuadTables,
+        q1: &Q1Tables,
+        corners: &[[F64x4; 3]; 8],
+        eta: &[F64x4],
+        ae: &mut [F64x4],
+    ) {
+        viscous_lanes_body(tables, q1, corners, eta, ae)
+    }
+
+    // SAFETY: as in `viscous_lanes` — path implies hardware support.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gradient_lanes(
+        tables: &Q2QuadTables,
+        q1: &Q1Tables,
+        corners: &[[F64x4; 3]; 8],
+        centroid: &[F64x4; 3],
+        half: &[F64x4; 3],
+        be: &mut [F64x4],
+    ) {
+        gradient_lanes_body(tables, q1, corners, centroid, half, be)
+    }
+
+    // SAFETY: as in `viscous_lanes` — path implies hardware support.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn pressure_mass_lanes(
+        tables: &Q2QuadTables,
+        q1: &Q1Tables,
+        corners: &[[F64x4; 3]; 8],
+        centroid: &[F64x4; 3],
+        half: &[F64x4; 3],
+        weight: &[F64x4],
+        m: &mut [F64x4; NP1 * NP1],
+    ) {
+        pressure_mass_lanes_body(tables, q1, corners, centroid, half, weight, m)
+    }
+}
+
+#[inline]
+fn run_viscous_lanes(
+    path: SimdPath,
+    tables: &Q2QuadTables,
+    q1: &Q1Tables,
+    corners: &[[F64x4; 3]; 8],
+    eta: &[F64x4],
+    ae: &mut [F64x4],
+) {
+    match path {
+        SimdPath::Portable => viscous_lanes_body(tables, q1, corners, eta, ae),
+        SimdPath::Avx2Fma => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2Fma is only selected when `avx2_fma_available`
+            // reported support (or by tests on such hosts).
+            unsafe {
+                avx::viscous_lanes(tables, q1, corners, eta, ae)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            viscous_lanes_body(tables, q1, corners, eta, ae)
+        }
+    }
+}
+
+/// Scalar element-frame evaluation per real lane element (ghost slots
+/// replicate the last real element), packed into lanes.
+fn gather_frames(mesh: &StructuredMesh, e0: usize, nreal: usize) -> ([F64x4; 3], [F64x4; 3]) {
+    let mut centroid = [F64x4::ZERO; 3];
+    let mut half = [F64x4::ZERO; 3];
+    for l in 0..LANES {
+        let cc = mesh.element_corner_coords(e0 + l.min(nreal - 1));
+        let (c, h) = element_frame(&cc);
+        for d in 0..3 {
+            centroid[d].0[l] = c[d];
+            half[d].0[l] = h[d];
+        }
+    }
+    (centroid, half)
+}
+
+/// Batched numeric phase for the viscous block: lane element matrices are
+/// computed in parallel scratch, then scattered serially in ascending
+/// element order through the frozen pattern — bitwise identical to
+/// [`ViscousPattern::numeric_scalar_into`] at every thread count.
+pub fn viscous_numeric_batched_into(
+    pat: &ViscousPattern,
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    eta: &[f64],
+    path: SimdPath,
+    scratch: &mut Vec<F64x4>,
+    values: &mut [f64],
+) {
+    let nqp = tables.nqp();
+    let ne = mesh.num_elements();
+    assert_eq!(eta.len(), ne * nqp);
+    assert_eq!(values.len(), pat.nnz());
+    values.fill(0.0);
+    let q1 = Q1Tables::new(tables);
+    let max_lanes = BATCH.min(ne.max(1)).div_ceil(LANES);
+    // Grow-once lane scratch, reused across re-assemblies.
+    scratch.resize(max_lanes * AE, F64x4::ZERO);
+    let mut e0 = 0;
+    while e0 < ne {
+        let bl = BATCH.min(ne - e0);
+        let nlanes = bl.div_ceil(LANES);
+        let batch = &mut scratch[..nlanes * AE];
+        par::par_blocks_mut(batch, AE, |li, ae| {
+            let le = e0 + LANES * li;
+            let nreal = (bl - LANES * li).min(LANES);
+            let corners = gather_corners(mesh, le, nreal);
+            let mut eta_lane = [F64x4::ZERO; 32];
+            gather_qp_coeff(eta, nqp, le, nreal, &mut eta_lane[..nqp]);
+            run_viscous_lanes(path, tables, &q1, &corners, &eta_lane[..nqp], ae);
+        });
+        for li in 0..nlanes {
+            let le = e0 + LANES * li;
+            let nreal = (bl - LANES * li).min(LANES);
+            pat.scatter_lane(mesh, le, nreal, &batch[li * AE..(li + 1) * AE], values);
+        }
+        e0 += bl;
+    }
+}
+
+/// Batched [`ptatin_fem::assemble::assemble_viscous`]: symbolic phase plus
+/// the batched numeric phase. Bitwise identical to the scalar assembly.
+pub fn assemble_viscous_batched(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    eta: &[f64],
+    path: SimdPath,
+) -> Csr {
+    let pat = ViscousPattern::build(mesh);
+    // ALLOC-OK: first assembly allocates its value storage once; the
+    // re-assembly path (`viscous_numeric_batched_into`) reuses it.
+    let mut values = vec![0.0f64; pat.nnz()];
+    // ALLOC-OK: one-shot lane scratch; re-assembly passes a cached one.
+    let mut scratch = Vec::new();
+    viscous_numeric_batched_into(&pat, mesh, tables, eta, path, &mut scratch, &mut values);
+    pat.into_csr(values)
+}
+
+/// Batched [`ptatin_fem::assemble::assemble_gradient`]: the gradient
+/// pattern is closed-form (4 uniform rows per element), so lane groups of
+/// 4 consecutive elements write straight into the disjoint value rows —
+/// fully parallel, and bitwise identical to the scalar path because each
+/// lane mirrors `element_gradient_matrix_into` with no cross-element
+/// accumulation at all.
+pub fn assemble_gradient_batched(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    path: SimdPath,
+) -> Csr {
+    let ne = mesh.num_elements();
+    let (indptr, indices) = gradient_pattern_csr(mesh);
+    let q1 = Q1Tables::new(tables);
+    // ALLOC-OK: geometry-only matrix, assembled once per mesh and cached
+    // by the setup cache across solver rebuilds.
+    let mut values = vec![0.0f64; ne * BE];
+    par::par_blocks_mut(&mut values, LANES * BE, |li, chunk| {
+        let le = LANES * li;
+        let nreal = (ne - le).min(LANES);
+        let corners = gather_corners(mesh, le, nreal);
+        let (centroid, half) = gather_frames(mesh, le, nreal);
+        let mut be = [F64x4::ZERO; BE];
+        match path {
+            SimdPath::Portable => {
+                gradient_lanes_body(tables, &q1, &corners, &centroid, &half, &mut be)
+            }
+            SimdPath::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2Fma is only selected when
+                // `avx2_fma_available` reported support.
+                unsafe {
+                    avx::gradient_lanes(tables, &q1, &corners, &centroid, &half, &mut be)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                gradient_lanes_body(tables, &q1, &corners, &centroid, &half, &mut be)
+            }
+        }
+        for l in 0..nreal {
+            let row = &mut chunk[l * BE..(l + 1) * BE];
+            for k in 0..BE {
+                row[k] = be[k].0[l];
+            }
+        }
+    });
+    Csr::from_raw(NP1 * ne, 3 * mesh.num_nodes(), indptr, indices, values)
+}
+
+/// Batched [`PressureMassBlocks::new`]: lane groups evaluate the 4×4
+/// element mass blocks (weighted by `weight`, e.g. `1/η`), inverted per
+/// element by the exact scalar `invert4`. Bitwise identical to the scalar
+/// constructor.
+pub fn pressure_mass_blocks_batched(
+    mesh: &StructuredMesh,
+    tables: &Q2QuadTables,
+    weight: &[f64],
+    path: SimdPath,
+) -> PressureMassBlocks {
+    let nqp = tables.nqp();
+    let ne = mesh.num_elements();
+    assert_eq!(weight.len(), ne * nqp);
+    let q1 = Q1Tables::new(tables);
+    // Setup-phase output, one 4×4 block per element.
+    let mut blocks = vec![[[0.0f64; NP1]; NP1]; ne];
+    par::par_blocks_mut(&mut blocks, LANES, |li, chunk| {
+        let le = LANES * li;
+        let nreal = chunk.len();
+        let corners = gather_corners(mesh, le, nreal);
+        let (centroid, half) = gather_frames(mesh, le, nreal);
+        let mut w_lane = [F64x4::ZERO; 32];
+        gather_qp_coeff(weight, nqp, le, nreal, &mut w_lane[..nqp]);
+        let mut m = [F64x4::ZERO; NP1 * NP1];
+        match path {
+            SimdPath::Portable => pressure_mass_lanes_body(
+                tables,
+                &q1,
+                &corners,
+                &centroid,
+                &half,
+                &w_lane[..nqp],
+                &mut m,
+            ),
+            SimdPath::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2Fma is only selected when
+                // `avx2_fma_available` reported support.
+                unsafe {
+                    avx::pressure_mass_lanes(
+                        tables,
+                        &q1,
+                        &corners,
+                        &centroid,
+                        &half,
+                        &w_lane[..nqp],
+                        &mut m,
+                    )
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                pressure_mass_lanes_body(
+                    tables,
+                    &q1,
+                    &corners,
+                    &centroid,
+                    &half,
+                    &w_lane[..nqp],
+                    &mut m,
+                )
+            }
+        }
+        for (l, blk) in chunk.iter_mut().enumerate() {
+            for a in 0..NP1 {
+                for b in 0..NP1 {
+                    blk[a][b] = m[a * NP1 + b].0[l];
+                }
+            }
+        }
+    });
+    PressureMassBlocks::from_blocks(&blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptatin_fem::assemble::{
+        assemble_gradient, assemble_viscous, element_pressure_mass, Q2QuadTables,
+    };
+    use ptatin_la::simd::avx2_fma_available;
+
+    fn mesh(mx: usize, my: usize, mz: usize) -> StructuredMesh {
+        let mut m = StructuredMesh::new_box(mx, my, mz, [0.0, 1.2], [0.0, 0.8], [0.0, 1.0]);
+        m.deform(|c| {
+            [
+                c[0] + 0.05 * c[1] * c[2],
+                c[1] - 0.04 * c[0] * c[2],
+                c[2] + 0.03 * c[0] * c[1],
+            ]
+        });
+        m
+    }
+
+    fn paths() -> Vec<SimdPath> {
+        if avx2_fma_available() {
+            vec![SimdPath::Portable, SimdPath::Avx2Fma]
+        } else {
+            vec![SimdPath::Portable]
+        }
+    }
+
+    #[test]
+    fn batched_viscous_bitwise_equals_scalar() {
+        let tables = Q2QuadTables::standard();
+        // 3·2·3 = 18 and 5·1·1 = 5 elements: aligned and remainder tails.
+        for dims in [(3usize, 2usize, 3usize), (5, 1, 1)] {
+            let m = mesh(dims.0, dims.1, dims.2);
+            let eta: Vec<f64> = (0..m.num_elements() * tables.nqp())
+                .map(|i| 10f64.powi((i % 9) as i32 - 4) * (1.0 + 0.01 * (i % 13) as f64))
+                .collect();
+            let a = assemble_viscous(&m, &tables, &eta);
+            for path in paths() {
+                let b = assemble_viscous_batched(&m, &tables, &eta, path);
+                assert_eq!(a.indptr, b.indptr, "{path:?}");
+                assert_eq!(a.indices, b.indices, "{path:?}");
+                for (x, y) in a.values.iter().zip(&b.values) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradient_bitwise_equals_scalar() {
+        let tables = Q2QuadTables::standard();
+        let m = mesh(3, 1, 2); // 6 elements: one ghost tail lane group
+        let b_ref = assemble_gradient(&m, &tables);
+        for path in paths() {
+            let b = assemble_gradient_batched(&m, &tables, path);
+            assert_eq!(b_ref.indptr, b.indptr);
+            assert_eq!(b_ref.indices, b.indices);
+            for (x, y) in b_ref.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pressure_mass_bitwise_equals_scalar() {
+        let tables = Q2QuadTables::standard();
+        let m = mesh(2, 2, 2);
+        let nqp = tables.nqp();
+        let w: Vec<f64> = (0..m.num_elements() * nqp)
+            .map(|i| 1.0 / (1.0 + (i % 11) as f64))
+            .collect();
+        for path in paths() {
+            // Compare the uninverted lane blocks against the scalar kernel
+            // (invert4 is shared verbatim afterwards).
+            let q1 = Q1Tables::new(&tables);
+            for e in 0..m.num_elements() {
+                let le = e / LANES * LANES;
+                let nreal = (m.num_elements() - le).min(LANES);
+                let corners = gather_corners(&m, le, nreal);
+                let (centroid, half) = gather_frames(&m, le, nreal);
+                let mut w_lane = [F64x4::ZERO; 32];
+                gather_qp_coeff(&w, nqp, le, nreal, &mut w_lane[..nqp]);
+                let mut blk = [F64x4::ZERO; NP1 * NP1];
+                match path {
+                    SimdPath::Portable => pressure_mass_lanes_body(
+                        &tables,
+                        &q1,
+                        &corners,
+                        &centroid,
+                        &half,
+                        &w_lane[..nqp],
+                        &mut blk,
+                    ),
+                    SimdPath::Avx2Fma => {
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: guarded by paths() above.
+                        unsafe {
+                            avx::pressure_mass_lanes(
+                                &tables,
+                                &q1,
+                                &corners,
+                                &centroid,
+                                &half,
+                                &w_lane[..nqp],
+                                &mut blk,
+                            )
+                        }
+                    }
+                }
+                let cc = m.element_corner_coords(e);
+                let ms = element_pressure_mass(&tables, &cc, &w[e * nqp..(e + 1) * nqp]);
+                let l = e - le;
+                for a in 0..NP1 {
+                    for b in 0..NP1 {
+                        assert_eq!(ms[a][b].to_bits(), blk[a * NP1 + b].0[l].to_bits());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -2,21 +2,23 @@
 //! CSR SpMV over the Q2 viscous matrix, with symmetric Dirichlet
 //! elimination baked in at assembly time.
 
-use ptatin_fem::assemble::{assemble_viscous, Q2QuadTables};
+use ptatin_fem::assemble::Q2QuadTables;
 use ptatin_fem::bc::DirichletBc;
 use ptatin_la::csr::Csr;
+use ptatin_la::simd::runtime_simd_path;
 use ptatin_mesh::StructuredMesh;
 
 /// Assemble the viscous block and eliminate Dirichlet rows/columns
 /// (identity on constrained dofs) so the operator action matches the
-/// masked matrix-free operators exactly.
+/// masked matrix-free operators exactly. Uses the SIMD-batched assembly
+/// path (bitwise identical to scalar assembly on every dispatch path).
 pub fn assembled_viscous_op(
     mesh: &StructuredMesh,
     tables: &Q2QuadTables,
     eta: &[f64],
     bc: &DirichletBc,
 ) -> Csr {
-    let mut a = assemble_viscous(mesh, tables, eta);
+    let mut a = crate::asm_batch::assemble_viscous_batched(mesh, tables, eta, runtime_simd_path());
     if !bc.is_empty() {
         a.zero_rows_cols_set_identity(&bc.dofs);
     }

@@ -29,6 +29,7 @@ pub struct NewtonData {
 
 /// Everything an operator application needs, owned so operators can be
 /// freely shared across solver components.
+#[derive(Clone)]
 pub struct ViscousOpData {
     /// Number of elements.
     pub nel: usize,
@@ -82,6 +83,24 @@ impl ViscousOpData {
             mask,
             newton: None,
             colors,
+        }
+    }
+
+    /// Structural reuse across linearization states: swap in a new
+    /// coefficient field while copying the gathered element→node map,
+    /// corner coordinates, mask and colours (plain memcpy) instead of
+    /// re-walking the mesh. Clears any attached Newton data.
+    pub fn with_new_eta(&self, eta: Vec<f64>) -> Self {
+        assert_eq!(eta.len(), self.nel * NQP, "eta must be nel × 27");
+        Self {
+            nel: self.nel,
+            ndof: self.ndof,
+            enodes: self.enodes.clone(),
+            corners: self.corners.clone(),
+            eta,
+            mask: self.mask.clone(),
+            newton: None,
+            colors: self.colors.clone(),
         }
     }
 

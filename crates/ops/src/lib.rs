@@ -22,6 +22,7 @@
 //! element inputs, including the Newton linearization coefficient of
 //! §III-A.
 
+pub mod asm_batch;
 pub mod asmb;
 pub mod batch;
 pub mod counts;
@@ -32,6 +33,10 @@ pub mod mf;
 pub mod tensor;
 pub mod tensor_c;
 
+pub use asm_batch::{
+    assemble_gradient_batched, assemble_viscous_batched, pressure_mass_blocks_batched,
+    viscous_numeric_batched_into,
+};
 pub use asmb::assembled_viscous_op;
 pub use batch::{avx2_fma_available, detected_simd_path, BatchedViscousOp, SimdPath};
 pub use counts::{

@@ -28,20 +28,28 @@ cargo run -q -p ptatin-audit -- --check
 
 # The suite runs twice: once pinned to a single thread and once at four,
 # so thread-count-dependent regressions in the worker pool (ptatin-la::par)
-# can't hide behind the host's core count. The checkpoint-roundtrip and
-# fault-recovery suites are named explicitly so a partial test filter in a
-# future edit can't silently drop them from the gate.
+# can't hide behind the host's core count. The checkpoint-roundtrip,
+# fault-recovery, golden-run and assembly-equivalence suites are named
+# explicitly so a partial test filter in a future edit can't silently drop
+# them from the gate. The goldens go through the production solver build,
+# i.e. pattern-reuse batched assembly, at both thread counts: iteration
+# counts must not move, because batched assembly is bitwise-contracted
+# against the scalar reference (DESIGN.md §13).
 step "tests (PTATIN_TEST_THREADS=1)"
 PTATIN_TEST_THREADS=1 cargo test --workspace -q
 PTATIN_TEST_THREADS=1 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=1 cargo test -q --test checkpoint_restart
 PTATIN_TEST_THREADS=1 cargo test -q --test ensemble_sweep
+PTATIN_TEST_THREADS=1 cargo test -q --test golden_runs
+PTATIN_TEST_THREADS=1 cargo test -q --test operator_equivalence
 
 step "tests (PTATIN_TEST_THREADS=4)"
 PTATIN_TEST_THREADS=4 cargo test --workspace -q
 PTATIN_TEST_THREADS=4 cargo test -q -p ptatin-ckpt
 PTATIN_TEST_THREADS=4 cargo test -q --test checkpoint_restart
 PTATIN_TEST_THREADS=4 cargo test -q --test ensemble_sweep
+PTATIN_TEST_THREADS=4 cargo test -q --test golden_runs
+PTATIN_TEST_THREADS=4 cargo test -q --test operator_equivalence
 
 # The same suite under the pool sanitizer: every split_ranges partition,
 # pool resize, and dispatch is checked against the worker-pool invariants
@@ -87,13 +95,15 @@ if [[ $FAST -eq 0 ]]; then
     step "  restart from the surviving checkpoint"
     PTATIN_TEST_THREADS=2 $RIFT --restart-from="$CKDIR/ckpt_step_00002.ptck"
 
-    # Kernel-benchmark smoke run: exercises all five operator variants
-    # plus the per-kernel pipeline pairs (projection, transfer, smoother,
+    # Kernel-benchmark smoke run: exercises all five operator variants,
+    # the per-kernel pipeline pairs (projection, transfer, smoother,
     # V-cycle, whole step) at nt = 1 and 4 — the bench loops over both
-    # thread counts internally — and writes a machine-readable record,
-    # then validates it (plus the committed full-size record) against the
-    # ptatin-kernel-bench-v1 schema, including the whole_step speedup
-    # floor, with the in-repo JSON parser.
+    # thread counts internally — and the v2 setup section (scalar-vs-
+    # batched assembly, first-setup vs cached re-setup, fused-on-SFC
+    # verdict), then validates the record (plus the committed full-size
+    # one) against the ptatin-kernel-bench-v2 schema with the in-repo
+    # JSON parser, including the whole_step, assembly (>= 1.8x) and
+    # re-setup (>= 2x) speedup floors.
     step "kernel benchmark smoke + BENCH_kernels.json schema validation"
     cargo bench -p ptatin-bench --bench table1_operators -- smoke
     cargo run --release -p ptatin-bench --bin validate_bench -- \
