@@ -18,17 +18,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod graph;
 pub mod json;
 pub mod lex;
+pub mod parse;
+pub mod passes;
 pub mod rules;
 
+pub use passes::{PassStats, SourceFile};
 pub use rules::{analyze, classify, FileReport, Finding, Rule, UnsafeSite};
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// Schema identifier for the unsafe-inventory document.
-pub const SCHEMA: &str = "audit-v1";
+/// Schema identifier for the inventory document (v2: call-graph stats
+/// and per-rule finding counts joined the unsafe inventory).
+pub const SCHEMA: &str = "audit-v2";
 
 /// Relative path of the inventory file under the workspace root.
 pub const INVENTORY_PATH: &str = "output/audit.json";
@@ -38,6 +44,10 @@ pub enum Error {
     Io(PathBuf, std::io::Error),
     /// Inventory file malformed or out of date (message, details).
     Inventory(String),
+    /// Baseline file missing, hand-edited (checksum mismatch), or
+    /// carrying stale suppressions. `--check` maps this to exit code 2:
+    /// a tampered gate is a harder failure than a new finding.
+    Baseline(String),
 }
 
 impl std::fmt::Display for Error {
@@ -45,11 +55,21 @@ impl std::fmt::Display for Error {
         match self {
             Error::Io(p, e) => write!(f, "{}: {e}", p.display()),
             Error::Inventory(m) => write!(f, "inventory: {m}"),
+            Error::Baseline(m) => write!(f, "baseline: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Call-graph statistics carried into the `audit-v2` inventory.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CallGraphStats {
+    pub functions: usize,
+    pub edges: usize,
+    pub calls_resolved: usize,
+    pub calls_unresolved: usize,
+}
 
 /// Aggregated result of scanning a workspace.
 #[derive(Debug, Default)]
@@ -57,6 +77,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     pub unsafe_sites: Vec<UnsafeSite>,
     pub files_scanned: usize,
+    pub callgraph: CallGraphStats,
+    pub passes: PassStats,
 }
 
 impl Report {
@@ -70,18 +92,21 @@ impl Report {
     }
 }
 
-/// Scan every Rust source tree the rules apply to: `src/` of each
-/// workspace crate plus the root package's `src/`. Test directories,
-/// benches, and fixtures are *walked* (the unsafe rules still apply to
-/// `src/bin`) but excluded paths never reach path-scoped rules — see
-/// [`rules::classify`]. `target/`, `output/`, and fixture corpora are
-/// skipped entirely.
+/// Scan every Rust source tree the rules apply to: `src/` and `tests/`
+/// of each workspace crate plus the root package's — the integration
+/// test trees join the scan in v2 so the SIMD-parity pass can see the
+/// bitwise equivalence suites. Path-scoped rules still skip non-library
+/// code via [`rules::classify`]; `target/`, `output/`, and fixture
+/// corpora are skipped entirely.
 pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
     let mut files: Vec<PathBuf> = Vec::new();
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        collect_rs(&root_src, &mut files)?;
+    for dir in ["src", "tests"] {
+        let d = root.join(dir);
+        if d.is_dir() {
+            collect_rs(&d, &mut files)?;
+        }
     }
+    let mut deps = graph::CrateDeps::new();
     let crates = root.join("crates");
     if crates.is_dir() {
         let entries = std::fs::read_dir(&crates).map_err(|e| Error::Io(crates.clone(), e))?;
@@ -91,15 +116,24 @@ pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
             .collect();
         members.sort();
         for m in members {
-            let src = m.join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut files)?;
+            for dir in ["src", "tests"] {
+                let d = m.join(dir);
+                if d.is_dir() {
+                    collect_rs(&d, &mut files)?;
+                }
+            }
+            if let (Some(name), Ok(manifest)) = (
+                m.file_name().map(|n| n.to_string_lossy().to_string()),
+                std::fs::read_to_string(m.join("Cargo.toml")),
+            ) {
+                deps.insert(name, manifest_deps(&manifest));
             }
         }
     }
     files.sort();
 
-    let mut rep = Report::default();
+    // Lex and parse once per file; everything downstream shares this.
+    let mut sources: Vec<SourceFile> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -107,16 +141,95 @@ pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path).map_err(|e| Error::Io(path.clone(), e))?;
-        let fr = rules::analyze(&rel, &src);
+        let lexed = lex::lex(&src);
+        let parsed = parse::parse(&lexed);
+        sources.push(SourceFile {
+            class: rules::classify(&rel),
+            rel,
+            lexed,
+            parsed,
+        });
+    }
+
+    let mut rep = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+
+    // v1 token rules per file (stale-annotation deferred to the end).
+    let mut used: Vec<std::collections::BTreeSet<u32>> = Vec::with_capacity(sources.len());
+    for f in &sources {
+        let fr = rules::analyze_lexed(&f.rel, &f.lexed);
         rep.findings.extend(fr.findings);
         rep.unsafe_sites.extend(fr.unsafe_sites);
-        rep.files_scanned += 1;
+        used.push(fr.used_annotations);
     }
+
+    // Workspace call graph + the five v2 passes.
+    let struct_names: Vec<Vec<String>> = sources
+        .iter()
+        .map(|f| f.parsed.structs.iter().map(|s| s.name.clone()).collect())
+        .collect();
+    let views: Vec<graph::FileView<'_>> = sources
+        .iter()
+        .zip(&struct_names)
+        .map(|(f, sn)| graph::FileView {
+            rel: &f.rel,
+            class: &f.class,
+            fns: &f.parsed.fns,
+            calls: &f.parsed.calls,
+            struct_names: sn,
+        })
+        .collect();
+    let g = graph::build(&views, &deps);
+    rep.callgraph = CallGraphStats {
+        functions: g.stats.functions,
+        edges: g.stats.edges,
+        calls_resolved: g.stats.calls_resolved,
+        calls_unresolved: g.stats.calls_unresolved,
+    };
+    let pass_out = passes::run(&sources, &g);
+    rep.passes = pass_out.stats;
+    rep.findings.extend(pass_out.findings);
+
+    // Stale-annotation check over the union of v1 and v2 consumption.
+    for (i, f) in sources.iter().enumerate() {
+        used[i].extend(&pass_out.used_annotations[i]);
+        rep.findings
+            .extend(rules::stale_annotation_findings(&f.rel, &f.lexed, &used[i]));
+    }
+
     rep.findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     rep.unsafe_sites
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(rep)
+}
+
+/// Workspace-internal dependencies of one crate manifest: every
+/// `ptatin-X` key under `[dependencies]`/`[dev-dependencies]`, by short
+/// name. A line scan, not a TOML parser — the workspace manifests are
+/// uniform `ptatin-x = { path = "../x" }` entries.
+fn manifest_deps(manifest: &str) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]" || line == "[dev-dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(key) = line.split('=').next() {
+            let key = key.trim();
+            if let Some(short) = key.strip_prefix("ptatin-") {
+                out.insert(short.to_string());
+            }
+        }
+    }
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
@@ -137,9 +250,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
     Ok(())
 }
 
-/// Render the unsafe inventory as the canonical `audit-v1` JSON
-/// document. Content is a pure function of the scan (no timestamps, no
-/// host data, sorted keys and sites), so regeneration is idempotent.
+/// Render the inventory as the canonical `audit-v2` JSON document:
+/// unsafe sites (as in v1) plus call-graph statistics and per-rule
+/// finding counts. Content is a pure function of the scan (no
+/// timestamps, no host data, sorted keys and sites), so regeneration is
+/// idempotent.
 pub fn render_inventory(rep: &Report) -> String {
     use json::Value;
     let sites: Vec<Value> = rep
@@ -165,6 +280,37 @@ pub fn render_inventory(rep: &Report) -> String {
             .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
             .collect(),
     );
+    let callgraph = Value::obj(vec![
+        ("functions", Value::Num(rep.callgraph.functions as f64)),
+        ("edges", Value::Num(rep.callgraph.edges as f64)),
+        (
+            "calls_resolved",
+            Value::Num(rep.callgraph.calls_resolved as f64),
+        ),
+        (
+            "calls_unresolved",
+            Value::Num(rep.callgraph.calls_unresolved as f64),
+        ),
+        ("hot_entries", Value::Num(rep.passes.hot_entries as f64)),
+        (
+            "dispatch_sites",
+            Value::Num(rep.passes.dispatch_sites as f64),
+        ),
+        ("simd_kernels", Value::Num(rep.passes.simd_kernels as f64)),
+        ("bitwise_tests", Value::Num(rep.passes.bitwise_tests as f64)),
+    ]);
+    let by_rule = rep.counts_by_rule();
+    let findings_by_rule = Value::Obj(
+        Rule::ALL
+            .iter()
+            .map(|r| {
+                (
+                    r.id().to_string(),
+                    Value::Num(by_rule.get(r.id()).copied().unwrap_or(0) as f64),
+                )
+            })
+            .collect(),
+    );
     Value::obj(vec![
         ("schema", Value::Str(SCHEMA.to_string())),
         ("generated_by", Value::Str("ptatin-audit".to_string())),
@@ -177,6 +323,8 @@ pub fn render_inventory(rep: &Report) -> String {
                     .collect(),
             ),
         ),
+        ("callgraph", callgraph),
+        ("findings_by_rule", findings_by_rule),
         ("unsafe_total", Value::Num(rep.unsafe_sites.len() as f64)),
         ("unsafe_by_kind", counts),
         ("unsafe_sites", Value::Arr(sites)),
@@ -184,7 +332,7 @@ pub fn render_inventory(rep: &Report) -> String {
     .render()
 }
 
-/// Validate a parsed inventory document against the `audit-v1` schema.
+/// Validate a parsed inventory document against the `audit-v2` schema.
 /// Returns the list of violations (empty means valid).
 pub fn validate_inventory(doc: &json::Value) -> Vec<String> {
     let mut errs = Vec::new();
@@ -192,6 +340,38 @@ pub fn validate_inventory(doc: &json::Value) -> Vec<String> {
         Some(s) if s == SCHEMA => {}
         Some(s) => errs.push(format!("schema is {s:?}, expected {SCHEMA:?}")),
         None => errs.push("missing string field `schema`".to_string()),
+    }
+    match doc.get("callgraph") {
+        None => errs.push("missing object field `callgraph`".to_string()),
+        Some(cg) => {
+            for key in [
+                "functions",
+                "edges",
+                "calls_resolved",
+                "calls_unresolved",
+                "hot_entries",
+                "dispatch_sites",
+                "simd_kernels",
+                "bitwise_tests",
+            ] {
+                if cg.get(key).and_then(|v| v.as_f64()).is_none() {
+                    errs.push(format!("callgraph: missing numeric field `{key}`"));
+                }
+            }
+        }
+    }
+    match doc.get("findings_by_rule") {
+        None => errs.push("missing object field `findings_by_rule`".to_string()),
+        Some(fr) => {
+            for r in Rule::ALL {
+                if fr.get(r.id()).and_then(|v| v.as_f64()).is_none() {
+                    errs.push(format!(
+                        "findings_by_rule: missing numeric field `{}`",
+                        r.id()
+                    ));
+                }
+            }
+        }
     }
     let total = doc.get("unsafe_total").and_then(|v| v.as_f64());
     if total.is_none() {
@@ -281,6 +461,52 @@ pub fn write_inventory(root: &Path, rep: &Report) -> Result<(), Error> {
     std::fs::write(&path, render_inventory(rep)).map_err(|e| Error::Io(path, e))
 }
 
+/// Apply the checked-in baseline to `rep.findings` and return the
+/// findings it does not suppress. A missing/hand-edited baseline or a
+/// stale suppression entry is `Error::Baseline` (exit code 2 in the
+/// CLI): the gate itself is broken and must be re-blessed, which is a
+/// different failure from a genuinely new finding (exit code 1).
+pub fn apply_baseline(root: &Path, rep: &Report) -> Result<Vec<Finding>, Error> {
+    let path = root.join(baseline::BASELINE_PATH);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(Error::Baseline(format!(
+                "{} is missing; run `cargo run -p ptatin-audit -- --bless`",
+                path.display()
+            )))
+        }
+        Err(e) => return Err(Error::Io(path, e)),
+    };
+    let entries =
+        baseline::parse(&text).map_err(|e| Error::Baseline(format!("{}: {e}", path.display())))?;
+    let (unsuppressed, stale) = baseline::apply(&rep.findings, &entries);
+    if !stale.is_empty() {
+        let list: Vec<String> = stale
+            .iter()
+            .map(|e| format!("{}\t{}\t{}", e.rule, e.file, e.context))
+            .collect();
+        return Err(Error::Baseline(format!(
+            "{} carries {} stale suppression(s) whose finding no longer exists;\n  \
+             {}\nrun `cargo run -p ptatin-audit -- --bless` to drop them",
+            path.display(),
+            stale.len(),
+            list.join("\n  ")
+        )));
+    }
+    Ok(unsuppressed)
+}
+
+/// Regenerate the baseline from the current findings (what `--bless`
+/// does). Creates `output/` if needed.
+pub fn write_baseline(root: &Path, rep: &Report) -> Result<(), Error> {
+    let dir = root.join("output");
+    std::fs::create_dir_all(&dir).map_err(|e| Error::Io(dir.clone(), e))?;
+    let path = root.join(baseline::BASELINE_PATH);
+    let text = baseline::render(&baseline::from_findings(&rep.findings));
+    std::fs::write(&path, text).map_err(|e| Error::Io(path, e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,7 +514,6 @@ mod tests {
     #[test]
     fn inventory_renders_and_validates() {
         let rep = Report {
-            findings: Vec::new(),
             unsafe_sites: vec![UnsafeSite {
                 file: "crates/la/src/par.rs".to_string(),
                 line: 10,
@@ -296,6 +521,7 @@ mod tests {
                 justification: "ranges are disjoint".to_string(),
             }],
             files_scanned: 1,
+            ..Report::default()
         };
         let text = render_inventory(&rep);
         let doc = json::parse(&text).expect("inventory parses");

@@ -2,25 +2,31 @@
 //!
 //! ```text
 //! cargo run -p ptatin-audit                    # report findings (exit 1 if any)
-//! cargo run -p ptatin-audit -- --check         # findings + inventory freshness gate
+//! cargo run -p ptatin-audit -- --check         # baseline + inventory CI gate
 //! cargo run -p ptatin-audit -- --fix-inventory # (re)write output/audit.json
+//! cargo run -p ptatin-audit -- --bless         # (re)write output/audit_baseline.txt
 //! cargo run -p ptatin-audit -- --root DIR ...  # audit another tree (fixtures)
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings or stale/invalid inventory, 2 usage
-//! or I/O error.
+//! Exit codes: 0 clean, 1 unsuppressed findings or stale/invalid
+//! inventory, 2 usage or I/O error — and 2 for a broken baseline
+//! (missing under `--check`, hand-edited checksum, stale suppression):
+//! a tampered gate must not be confusable with an ordinary finding.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ptatin-audit [--check | --fix-inventory] [--root DIR] [--quiet]\n\
-         \n  (no flag)        scan and print findings; exit 1 if any\
-         \n  --check          scan, print findings, and verify output/audit.json is\
-         \n                   fresh and valid against the audit-v1 schema; exit 1 on\
-         \n                   any finding or a stale/invalid inventory\
+        "usage: ptatin-audit [--check | --fix-inventory | --bless] [--root DIR] [--quiet]\n\
+         \n  (no flag)        scan and print findings not suppressed by\
+         \n                   output/audit_baseline.txt (if present); exit 1 if any\
+         \n  --check          scan, apply the baseline (required; hand edits and stale\
+         \n                   entries exit 2), and verify output/audit.json is fresh\
+         \n                   and valid against the audit-v2 schema; exit 1 on any\
+         \n                   unsuppressed finding or a stale/invalid inventory\
          \n  --fix-inventory  scan and (re)write output/audit.json\
+         \n  --bless          scan and (re)write output/audit_baseline.txt\
          \n  --root DIR       audit DIR instead of this workspace\
          \n  --quiet          suppress the per-finding listing"
     );
@@ -30,6 +36,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut check = false;
     let mut fix = false;
+    let mut bless = false;
     let mut quiet = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--check" => check = true,
             "--fix-inventory" => fix = true,
+            "--bless" => bless = true,
             "--quiet" => quiet = true,
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
@@ -45,7 +53,7 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    if check && fix {
+    if check && (fix || bless) {
         return usage();
     }
     // Default root: the workspace this binary was built from, so
@@ -78,24 +86,55 @@ fn main() -> ExitCode {
             rep.unsafe_sites.len()
         );
     }
+    if bless {
+        if let Err(e) = ptatin_audit::write_baseline(&root, &rep) {
+            eprintln!("ptatin-audit: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} suppressed findings)",
+            ptatin_audit::baseline::BASELINE_PATH,
+            rep.findings.len()
+        );
+    }
+
+    // Baseline: mandatory under --check; applied opportunistically
+    // otherwise (fixture trees carry no baseline and report raw
+    // findings). A parse failure or stale entry is always exit 2.
+    let baseline_present = root.join(ptatin_audit::baseline::BASELINE_PATH).is_file();
+    let findings = if check || baseline_present {
+        match ptatin_audit::apply_baseline(&root, &rep) {
+            Ok(unsuppressed) => unsuppressed,
+            Err(e) => {
+                eprintln!("ptatin-audit: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        rep.findings.clone()
+    };
 
     if !quiet {
-        for f in &rep.findings {
+        for f in &findings {
             println!("{f}");
         }
     }
-    let mut failed = !rep.findings.is_empty();
+    let mut failed = !findings.is_empty();
     let counts = rep.counts_by_rule();
     let summary: Vec<String> = counts.iter().map(|(k, v)| format!("{k}: {v}")).collect();
     eprintln!(
-        "ptatin-audit: {} files, {} unsafe sites, {} findings{}",
+        "ptatin-audit: {} files, {} fns, {} edges, {} unsafe sites, {} findings \
+         ({} unsuppressed){}",
         rep.files_scanned,
+        rep.callgraph.functions,
+        rep.callgraph.edges,
         rep.unsafe_sites.len(),
         rep.findings.len(),
+        findings.len(),
         if summary.is_empty() {
             String::new()
         } else {
-            format!(" ({})", summary.join(", "))
+            format!(" [{}]", summary.join(", "))
         }
     );
 

@@ -35,6 +35,13 @@ pub enum Rule {
     HotAlloc,
     PanicSurface,
     StaleAnnotation,
+    // v2 call-graph passes (crate::passes).
+    HotPathAlloc,
+    HotPathPanic,
+    NestedDispatch,
+    SimdParity,
+    CkptCoverage,
+    ProfScope,
 }
 
 impl Rule {
@@ -46,8 +53,30 @@ impl Rule {
             Rule::HotAlloc => "hot-alloc",
             Rule::PanicSurface => "panic-surface",
             Rule::StaleAnnotation => "stale-annotation",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::NestedDispatch => "nested-dispatch",
+            Rule::SimdParity => "simd-parity",
+            Rule::CkptCoverage => "ckpt-coverage",
+            Rule::ProfScope => "prof-scope",
         }
     }
+
+    /// Every rule id, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::UnsafeAudit,
+        Rule::UnsafeConfined,
+        Rule::Determinism,
+        Rule::HotAlloc,
+        Rule::PanicSurface,
+        Rule::StaleAnnotation,
+        Rule::HotPathAlloc,
+        Rule::HotPathPanic,
+        Rule::NestedDispatch,
+        Rule::SimdParity,
+        Rule::CkptCoverage,
+        Rule::ProfScope,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -62,6 +91,10 @@ pub struct Finding {
     pub file: String,
     pub line: u32,
     pub msg: String,
+    /// Line-number-free anchor used by the baseline file: the enclosing
+    /// function, flagged field, or annotation tag. Stable across edits
+    /// that merely move code within a file.
+    pub context: String,
 }
 
 impl fmt::Display for Finding {
@@ -91,6 +124,11 @@ pub struct UnsafeSite {
 pub struct FileReport {
     pub findings: Vec<Finding>,
     pub unsafe_sites: Vec<UnsafeSite>,
+    /// Lines whose allowlist annotations suppressed at least one
+    /// finding. The stale-annotation pass runs at workspace level
+    /// (see [`stale_annotation_findings`]) after the v2 call-graph
+    /// passes have recorded their own consumed annotations here.
+    pub used_annotations: BTreeSet<u32>,
 }
 
 /// How a path participates in each rule, derived purely from the
@@ -129,10 +167,26 @@ pub fn classify(relpath: &str) -> FileClass {
 }
 
 /// Annotation tags, checked in comments attached to finding sites.
-const TAG_DETERMINISM: &str = "DETERMINISM-OK:";
-const TAG_ALLOC: &str = "ALLOC-OK:";
-const TAG_PANIC: &str = "PANIC-OK:";
+pub const TAG_DETERMINISM: &str = "DETERMINISM-OK:";
+pub const TAG_ALLOC: &str = "ALLOC-OK:";
+pub const TAG_PANIC: &str = "PANIC-OK:";
 const TAG_SAFETY: &str = "SAFETY:";
+/// v2 pass tags (crate::passes).
+pub const TAG_DISPATCH: &str = "DISPATCH-OK:";
+pub const TAG_SIMD: &str = "SIMD-OK:";
+pub const TAG_CKPT: &str = "CKPT-OK:";
+pub const TAG_PROF: &str = "PROF-OK:";
+
+/// Every allowlist tag the stale-annotation pass knows about.
+pub const ALL_TAGS: &[&str] = &[
+    TAG_DETERMINISM,
+    TAG_ALLOC,
+    TAG_PANIC,
+    TAG_DISPATCH,
+    TAG_SIMD,
+    TAG_CKPT,
+    TAG_PROF,
+];
 
 /// Function names treated as hot paths by the `hot-alloc` rule: the
 /// operator `apply` family, explicit kernels, and the per-linearization
@@ -140,7 +194,7 @@ const TAG_SAFETY: &str = "SAFETY:";
 /// kernels run once per Picard/Newton step — their scratch must be
 /// caller-owned and reused). Matches the repo's naming convention for
 /// per-iteration code (DESIGN.md §10, §13).
-fn is_hot_fn(name: &str) -> bool {
+pub fn is_hot_fn(name: &str) -> bool {
     name == "apply"
         || name.starts_with("apply_")
         || name.ends_with("_apply")
@@ -164,8 +218,26 @@ const PAR_DISPATCHERS: &[&str] = &[
     "run_on_pool",
 ];
 
+/// Lex `src` and run the v1 token rules plus the workspace-free part of
+/// the stale-annotation pass. Unit-test convenience; the workspace scan
+/// lexes once and uses [`analyze_lexed`] + [`stale_annotation_findings`]
+/// so the v2 call-graph passes can consume annotations first.
 pub fn analyze(relpath: &str, src: &str) -> FileReport {
     let lexed = crate::lex::lex(src);
+    let mut rep = analyze_lexed(relpath, &lexed);
+    rep.findings.extend(stale_annotation_findings(
+        relpath,
+        &lexed,
+        &rep.used_annotations,
+    ));
+    rep.findings.sort_by_key(|f| (f.line, f.rule));
+    rep
+}
+
+/// The v1 token rules over an already-lexed file. The stale-annotation
+/// pass is *not* run here — callers merge `used_annotations` across all
+/// passes first.
+pub fn analyze_lexed(relpath: &str, lexed: &Lexed) -> FileReport {
     let class = classify(relpath);
     let mut rep = FileReport::default();
     let toks = &lexed.toks;
@@ -186,13 +258,15 @@ pub fn analyze(relpath: &str, src: &str) -> FileReport {
             Some(n) if n.s == "trait" => "trait",
             _ => "block",
         };
-        let justification = safety_comment(&lexed, t.line).unwrap_or_default();
+        let justification = safety_comment(lexed, t.line).unwrap_or_default();
+        let ctx = fn_names[i].clone().unwrap_or_default();
         if justification.is_empty() {
             rep.findings.push(Finding {
                 rule: Rule::UnsafeAudit,
                 file: relpath.to_string(),
                 line: t.line,
                 msg: format!("`unsafe {kind}` without an attached `// SAFETY:` comment"),
+                context: ctx.clone(),
             });
         }
         if !class
@@ -208,6 +282,7 @@ pub fn analyze(relpath: &str, src: &str) -> FileReport {
                     "`unsafe` is confined to crates {UNSAFE_CRATES:?}; use a safe abstraction \
                      from `ptatin-la`/`ptatin-ops` instead"
                 ),
+                context: ctx,
             });
         }
         rep.unsafe_sites.push(UnsafeSite {
@@ -268,12 +343,13 @@ pub fn analyze(relpath: &str, src: &str) -> FileReport {
                 flag_unless_annotated(
                     &mut rep.findings,
                     &mut used_annotations,
-                    &lexed,
+                    lexed,
                     relpath,
                     t.line,
                     Rule::Determinism,
                     TAG_DETERMINISM,
                     &msg,
+                    fn_names[i].as_deref().unwrap_or(""),
                 );
             }
         }
@@ -325,12 +401,13 @@ pub fn analyze(relpath: &str, src: &str) -> FileReport {
                 flag_unless_annotated(
                     &mut rep.findings,
                     &mut used_annotations,
-                    &lexed,
+                    lexed,
                     relpath,
                     t.line,
                     Rule::HotAlloc,
                     TAG_ALLOC,
                     &msg,
+                    fn_name,
                 );
             }
         }
@@ -365,38 +442,51 @@ pub fn analyze(relpath: &str, src: &str) -> FileReport {
                 flag_unless_annotated(
                     &mut rep.findings,
                     &mut used_annotations,
-                    &lexed,
+                    lexed,
                     relpath,
                     t.line,
                     Rule::PanicSurface,
                     TAG_PANIC,
                     &msg,
+                    fn_names[i].as_deref().unwrap_or(""),
                 );
             }
         }
     }
 
-    // Pass 5: stale allowlist annotations. An annotation line that
-    // suppressed no finding candidate means the code below it got
-    // cleaned up (or the annotation is on the wrong line) — delete it.
+    rep.findings.sort_by_key(|f| (f.line, f.rule));
+    rep.used_annotations = used_annotations;
+    rep
+}
+
+/// The stale-annotation pass: an annotation line that suppressed no
+/// finding candidate means the code below it got cleaned up (or the
+/// annotation is on the wrong line) — delete it. Runs last, after the
+/// v1 rules *and* the v2 call-graph passes have recorded every line
+/// whose annotation earned its keep.
+pub fn stale_annotation_findings(
+    relpath: &str,
+    lexed: &Lexed,
+    used_annotations: &BTreeSet<u32>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
     for (&line, text) in &lexed.comment_on {
         if !is_annotation_comment(text) {
             continue;
         }
-        for tag in [TAG_DETERMINISM, TAG_ALLOC, TAG_PANIC] {
+        for tag in ALL_TAGS {
             if text.contains(tag) && !used_annotations.contains(&line) {
-                rep.findings.push(Finding {
+                out.push(Finding {
                     rule: Rule::StaleAnnotation,
                     file: relpath.to_string(),
                     line,
                     msg: format!("`// {tag}` annotation suppresses nothing; remove it"),
+                    context: tag.trim_end_matches(':').to_string(),
                 });
             }
         }
     }
-
-    rep.findings.sort_by_key(|f| (f.line, f.rule));
-    rep
+    out
 }
 
 /// Push a finding unless an annotation with `tag` attaches to `line`
@@ -413,6 +503,7 @@ fn flag_unless_annotated(
     rule: Rule,
     tag: &str,
     msg: &str,
+    context: &str,
 ) {
     if let Some(ann_line) = attached_annotation(lexed, line, tag) {
         used.insert(ann_line);
@@ -423,13 +514,14 @@ fn flag_unless_annotated(
         file: relpath.to_string(),
         line,
         msg: msg.to_string(),
+        context: context.to_string(),
     });
 }
 
 /// Find an annotation containing `tag` followed by a non-empty
 /// justification, attached to code line `line`: trailing on the same
 /// line, or in the comment/attribute block immediately above.
-fn attached_annotation(lexed: &Lexed, line: u32, tag: &str) -> Option<u32> {
+pub fn attached_annotation(lexed: &Lexed, line: u32, tag: &str) -> Option<u32> {
     let has = |l: u32| {
         lexed
             .comment_on

@@ -114,8 +114,9 @@ fn hot_alloc_fixture_flags_both_allocations() {
     assert_eq!(
         anchors(&rep),
         vec![
-            ("hot-alloc".to_string(), file.clone(), 7), // vec!
-            ("hot-alloc".to_string(), file, 8),         // .to_vec()
+            ("prof-scope".to_string(), file.clone(), 6), // v2: apply() untimed
+            ("hot-alloc".to_string(), file.clone(), 7),  // vec!
+            ("hot-alloc".to_string(), file, 8),          // .to_vec()
         ]
     );
     assert_eq!(
@@ -179,6 +180,8 @@ fn fix_inventory_is_idempotent_and_check_gates_on_it() {
     .expect("copy fixture source");
 
     let inv = tmp.join("output/audit.json");
+    // --check requires a blessed baseline alongside the inventory.
+    assert!(audit_bin(&tmp, &["--bless", "--quiet"]).status.success());
     assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
         .status
         .success());
@@ -206,6 +209,199 @@ fn fix_inventory_is_idempotent_and_check_gates_on_it() {
         audit_bin(&tmp, &["--check", "--quiet"]).status.code(),
         Some(1)
     );
+}
+
+/// Transitive hot-path analysis: the allocation and the panic live in a
+/// helper that is not hot-*named*, visible only through the call graph
+/// (`apply -> helper`); the `panic!` is double-flagged by the v1 lexical
+/// panic-surface rule. The `ALLOC-OK`-annotated site stays silent.
+#[test]
+fn hot_path_fixture_flags_transitive_helper() {
+    let rep = scan("hot-path");
+    let file = "crates/la/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("hot-path-alloc".to_string(), file.clone(), 11),
+            ("panic-surface".to_string(), file.clone(), 13),
+            ("hot-path-panic".to_string(), file, 13),
+        ]
+    );
+    let path_msgs: Vec<&str> = rep
+        .findings
+        .iter()
+        .filter(|f| f.rule.id().starts_with("hot-path"))
+        .map(|f| f.msg.as_str())
+        .collect();
+    for m in path_msgs {
+        assert!(m.contains("`apply -> helper`"), "path missing in: {m}");
+    }
+    assert_eq!(
+        audit_bin(&fixture("hot-path"), &["--quiet"]).status.code(),
+        Some(1)
+    );
+}
+
+/// Nested dispatch: one closure dispatches directly, one reaches a
+/// dispatch only through an intermediate function (two hops); the clean
+/// dispatch over `leaf` stays silent.
+#[test]
+fn nested_dispatch_fixture_flags_direct_and_two_hop() {
+    let rep = scan("nested-dispatch");
+    let file = "crates/la/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("nested-dispatch".to_string(), file.clone(), 10),
+            ("nested-dispatch".to_string(), file, 16),
+        ]
+    );
+    assert!(rep.findings[0]
+        .msg
+        .contains("`par_reduce` dispatches directly"));
+    assert!(rep.findings[1]
+        .msg
+        .contains("reaches a dispatch via `middle -> inner`"));
+    assert_eq!(
+        audit_bin(&fixture("nested-dispatch"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+/// SIMD path parity: `norm_avx` has no portable twin, `dot_avx` has one
+/// but no bitwise test reaches both; the fully covered `scale_avx` /
+/// `scale_portable` pair stays silent.
+#[test]
+fn simd_parity_fixture_flags_missing_twin_and_uncovered_pair() {
+    let rep = scan("simd-parity");
+    let file = "crates/ops/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("simd-parity".to_string(), file.clone(), 7),
+            ("simd-parity".to_string(), file, 13),
+        ]
+    );
+    assert!(rep.findings[0].msg.contains("has no portable twin"));
+    assert!(rep.findings[1]
+        .msg
+        .contains("not both reached by any bitwise equivalence test"));
+    assert_eq!(rep.passes.simd_kernels, 3);
+    assert_eq!(rep.passes.bitwise_tests, 1);
+    assert_eq!(
+        audit_bin(&fixture("simd-parity"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+/// Checkpoint-coverage drift: `Inner.ghost` (an embedded-struct field)
+/// is serialized in neither direction, `Checkpoint.skipped` is written
+/// but never read back; `step` and `Inner.a` round-trip through a
+/// helper and stay silent.
+#[test]
+fn ckpt_drift_fixture_flags_unserialized_fields() {
+    let rep = scan("ckpt-drift");
+    let file = "crates/ckpt/src/lib.rs".to_string();
+    assert_eq!(
+        anchors(&rep),
+        vec![
+            ("ckpt-coverage".to_string(), file.clone(), 8),
+            ("ckpt-coverage".to_string(), file, 14),
+        ]
+    );
+    assert!(rep.findings[0]
+        .msg
+        .contains("`Inner.ghost` is never named in `to_bytes or from_bytes`"));
+    assert!(rep.findings[1]
+        .msg
+        .contains("`Checkpoint.skipped` is never named in `from_bytes`"));
+    assert_eq!(
+        audit_bin(&fixture("ckpt-drift"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+/// Prof-scope coverage: `apply_scoped` times itself, `apply_inner` runs
+/// only under its scope (covered upstream), `apply_cold` is invisible
+/// to the profiler and flagged.
+#[test]
+fn prof_scope_fixture_flags_only_the_uncovered_entry() {
+    let rep = scan("prof-scope");
+    assert_eq!(
+        anchors(&rep),
+        vec![(
+            "prof-scope".to_string(),
+            "crates/mg/src/lib.rs".to_string(),
+            14
+        )]
+    );
+    assert!(rep.findings[0].msg.contains("`apply_cold`"));
+    assert_eq!(
+        audit_bin(&fixture("prof-scope"), &["--quiet"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+/// Baseline lifecycle against a fixture with real findings: `--bless`
+/// suppresses them and `--check` passes; a hand-edited baseline fails
+/// the checksum (exit 2); a stale baseline (entries matching nothing
+/// after the code is fixed) also exits 2.
+#[test]
+fn baseline_suppresses_then_tamper_and_staleness_exit_two() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("audit-baseline-fixture");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let src_dir = tmp.join("crates/mg/src");
+    std::fs::create_dir_all(&src_dir).expect("tmp tree");
+    let fixture_src = fixture("prof-scope").join("crates/mg/src/lib.rs");
+    std::fs::copy(&fixture_src, src_dir.join("lib.rs")).expect("copy fixture source");
+
+    // Unsuppressed finding → exit 1.
+    assert_eq!(audit_bin(&tmp, &["--quiet"]).status.code(), Some(1));
+
+    // Bless + fresh inventory → --check passes.
+    assert!(audit_bin(&tmp, &["--bless", "--quiet"]).status.success());
+    assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
+        .status
+        .success());
+    assert!(audit_bin(&tmp, &["--check", "--quiet"]).status.success());
+
+    // Hand edit (checksum no longer matches) → exit 2.
+    let bpath = tmp.join("output/audit_baseline.txt");
+    let blessed = std::fs::read_to_string(&bpath).expect("baseline written");
+    std::fs::write(&bpath, blessed.replace("apply_cold", "apply_warm")).expect("tamper");
+    let out = audit_bin(&tmp, &["--check", "--quiet"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("baseline"));
+
+    // Fix the code (scope the cold entry); the blessed entry is now
+    // stale → exit 2 until re-blessed.
+    std::fs::write(&bpath, blessed).expect("restore baseline");
+    let patched = std::fs::read_to_string(&fixture_src)
+        .expect("fixture source")
+        .replace(
+            "pub fn apply_cold(x: &mut [f64]) {",
+            "pub fn apply_cold(x: &mut [f64]) {\n    let _s = prof::scope(\"fixture.apply_cold\");",
+        );
+    std::fs::write(src_dir.join("lib.rs"), patched).expect("patch source");
+    let out = audit_bin(&tmp, &["--check", "--quiet"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stale"));
+
+    // Re-blessing (now empty) and refreshing the inventory restores a
+    // passing gate.
+    assert!(audit_bin(&tmp, &["--bless", "--quiet"]).status.success());
+    assert!(audit_bin(&tmp, &["--fix-inventory", "--quiet"])
+        .status
+        .success());
+    assert!(audit_bin(&tmp, &["--check", "--quiet"]).status.success());
 }
 
 /// The flag combination rules: `--check --fix-inventory` and unknown

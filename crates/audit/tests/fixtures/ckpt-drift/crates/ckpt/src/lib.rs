@@ -1,0 +1,48 @@
+//! Fixture: checkpoint-coverage drift — `Inner.ghost` is serialized in
+//! neither direction, `Checkpoint.skipped` is written but never read
+//! back. `step` and `Inner.a` round-trip (via a helper, to exercise the
+//! reachable-vocabulary walk) and must stay silent.
+
+pub struct Inner {
+    pub a: f64,
+    pub ghost: f64,
+}
+
+pub struct Checkpoint {
+    pub step: u64,
+    pub inner: Inner,
+    pub skipped: u32,
+}
+
+const INNER_ZERO: Inner = Inner { a: 0.0, ghost: 0.0 };
+const ZERO: Checkpoint = Checkpoint {
+    step: 0,
+    inner: INNER_ZERO,
+    skipped: 0,
+};
+
+impl Checkpoint {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.step.to_le_bytes());
+        write_inner(&mut out, &self.inner);
+        out.extend_from_slice(&self.skipped.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8]) -> Self {
+        let inner = Inner {
+            a: b[8] as f64,
+            ..INNER_ZERO
+        };
+        Checkpoint {
+            step: b[0] as u64,
+            inner,
+            ..ZERO
+        }
+    }
+}
+
+fn write_inner(out: &mut Vec<u8>, inner: &Inner) {
+    out.extend_from_slice(&inner.a.to_le_bytes());
+}

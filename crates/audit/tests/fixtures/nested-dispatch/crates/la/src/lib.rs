@@ -1,0 +1,36 @@
+//! Fixture: nested pool dispatch — one direct, one reached only through
+//! an intermediate function (two hops), plus a clean dispatch that must
+//! stay silent.
+
+mod par;
+use par::{par_ranges, par_reduce};
+
+pub fn nested_direct(xs: &mut [f64]) {
+    par_ranges(xs.len(), |a, _b| {
+        let _ = par_reduce(a, |i| i as f64);
+    });
+}
+
+pub fn nested_two_hop(xs: &mut [f64]) {
+    par_ranges(xs.len(), |a, _b| {
+        middle(a);
+    });
+}
+
+fn middle(n: usize) {
+    inner(n);
+}
+
+fn inner(n: usize) {
+    par_ranges(n, |_a, _b| {});
+}
+
+pub fn clean_dispatch(xs: &mut [f64]) {
+    par_ranges(xs.len(), |a, b| {
+        let _ = leaf(a) + leaf(b);
+    });
+}
+
+fn leaf(n: usize) -> usize {
+    n + 1
+}

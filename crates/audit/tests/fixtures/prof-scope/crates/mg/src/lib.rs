@@ -1,0 +1,16 @@
+//! Fixture: prof-scope coverage — an entry that times itself, an entry
+//! covered upstream (only called under the first one's scope), and an
+//! uncovered entry that must be flagged.
+
+pub fn apply_scoped(x: &mut [f64]) {
+    let _s = prof::scope("fixture.apply_scoped");
+    apply_inner(x);
+}
+
+pub fn apply_inner(x: &mut [f64]) {
+    x[0] = 2.0;
+}
+
+pub fn apply_cold(x: &mut [f64]) {
+    x[0] = 3.0;
+}

@@ -1,0 +1,49 @@
+//! Fixture: SIMD path-parity — a kernel with no portable twin, a
+//! twinned kernel no bitwise test reaches, and a fully covered pair
+//! that must stay silent.
+
+// SAFETY: fixture kernel; callers check avx2 at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn norm_avx(x: &[f64]) -> f64 {
+    x[0]
+}
+
+// SAFETY: fixture kernel; callers check avx2 at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot_avx(x: &[f64], y: &[f64]) -> f64 {
+    x[0] * y[0]
+}
+
+pub fn dot_portable(x: &[f64], y: &[f64]) -> f64 {
+    x[0] * y[0]
+}
+
+// SAFETY: fixture kernel; callers check avx2 at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn scale_avx(x: &mut [f64], s: f64) {
+    x[0] *= s;
+}
+
+pub fn scale_portable(x: &mut [f64], s: f64) {
+    x[0] *= s;
+}
+
+pub fn scale(x: &mut [f64], s: f64) {
+    // SAFETY: fixture dispatcher; stands in for a runtime avx2 check.
+    unsafe { scale_avx(x, s) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_bitwise_matches() {
+        let mut a = [2.0];
+        let mut b = [2.0];
+        scale_portable(&mut a, 3.0);
+        // SAFETY: test only runs where avx2 is available.
+        unsafe { scale_avx(&mut b, 3.0) };
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+    }
+}

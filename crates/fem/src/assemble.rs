@@ -16,6 +16,7 @@ use crate::quadrature::Quadrature;
 use ptatin_la::csr::{Csr, CsrBuilder};
 use ptatin_la::par;
 use ptatin_mesh::StructuredMesh;
+use ptatin_prof as prof;
 
 /// Precomputed Q2 basis values and reference gradients at the quadrature
 /// points (shared by assembly and the matrix-free kernels in `ptatin-ops`).
@@ -198,6 +199,7 @@ pub(crate) const ASSEMBLY_BATCH: usize = 64;
 /// that re-assemble after coefficient updates should hold the pattern and
 /// use `reassemble_into` instead.
 pub fn assemble_viscous(mesh: &StructuredMesh, tables: &Q2QuadTables, eta: &[f64]) -> Csr {
+    let _s = prof::scope("fem.assemble_viscous");
     let pat = crate::pattern::ViscousPattern::build(mesh);
     // ALLOC-OK: first assembly allocates its value storage once; the
     // re-assembly path reuses it in place.
@@ -214,6 +216,7 @@ pub fn assemble_viscous(mesh: &StructuredMesh, tables: &Q2QuadTables, eta: &[f64
 /// row couples exactly its element's 81 velocity dofs in ascending
 /// order), so the element matrices land in the value array by copy.
 pub fn assemble_gradient(mesh: &StructuredMesh, tables: &Q2QuadTables) -> Csr {
+    let _s = prof::scope("fem.assemble_gradient");
     let np = num_pressure_dofs(mesh);
     let nu = num_velocity_dofs(mesh);
     let (indptr, indices) = crate::pattern::gradient_pattern_csr(mesh);
@@ -235,6 +238,7 @@ pub fn assemble_gradient(mesh: &StructuredMesh, tables: &Q2QuadTables) -> Csr {
 /// element blocks are also directly invertible — see
 /// [`PressureMassBlocks`].
 pub fn assemble_pressure_mass(mesh: &StructuredMesh, tables: &Q2QuadTables, weight: &[f64]) -> Csr {
+    let _s = prof::scope("fem.assemble_pressure_mass");
     let nqp = tables.nqp();
     let np = num_pressure_dofs(mesh);
     let mut b = CsrBuilder::new(np, np);
@@ -282,6 +286,7 @@ impl PressureMassBlocks {
 
     /// z = M⁻¹ r.
     pub fn apply_inverse(&self, r: &[f64], z: &mut [f64]) {
+        let _s = prof::scope("fem.pmass_inverse");
         assert_eq!(r.len(), NP1 * self.inv_blocks.len());
         assert_eq!(z.len(), r.len());
         for (e, inv) in self.inv_blocks.iter().enumerate() {
@@ -355,6 +360,7 @@ pub fn assemble_body_force(
     rho: &[f64],
     gravity: [f64; 3],
 ) -> Vec<f64> {
+    let _s = prof::scope("fem.assemble_body_force");
     let nqp = tables.nqp();
     assert_eq!(rho.len(), mesh.num_elements() * nqp);
     // ALLOC-OK: load-vector output, once per forcing evaluation.
@@ -385,6 +391,7 @@ pub fn assemble_forcing(
     tables: &Q2QuadTables,
     force: impl Fn([f64; 3]) -> [f64; 3],
 ) -> Vec<f64> {
+    let _s = prof::scope("fem.assemble_forcing");
     let nqp = tables.nqp();
     // ALLOC-OK: load-vector output, once per forcing evaluation.
     let mut out = vec![0.0; num_velocity_dofs(mesh)];

@@ -8,6 +8,7 @@ use crate::geometry::{physical_grad, qp_geometry};
 use crate::quadrature::Quadrature;
 use ptatin_la::csr::{Csr, CsrBuilder};
 use ptatin_mesh::StructuredMesh;
+use ptatin_prof as prof;
 
 /// Assembled implicit-Euler SUPG system for one time step:
 /// `lhs · T_new = rhs`.
@@ -53,6 +54,7 @@ pub fn assemble_energy_step(
     source: Option<&[f64]>,
     bc: &DirichletBc,
 ) -> EnergySystem {
+    let _s = prof::scope("fem.assemble_energy");
     let nc = mesh.num_corners();
     assert_eq!(velocity.len(), nc);
     assert_eq!(t_old.len(), nc);

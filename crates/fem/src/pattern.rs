@@ -27,6 +27,7 @@ use ptatin_la::csr::Csr;
 use ptatin_la::par;
 use ptatin_la::simd::F64x4;
 use ptatin_mesh::StructuredMesh;
+use ptatin_prof as prof;
 
 /// The contiguous node-index block that makes up the neighbourhood of one
 /// node: origin `(a0, b0, c0)` and extents `(dx, dy, dz)` in node ijk
@@ -94,6 +95,8 @@ impl ViscousPattern {
     pub fn build(mesh: &StructuredMesh) -> Self {
         let nu = num_velocity_dofs(mesh);
         let (nx, ny, nz) = mesh.node_dims();
+        // ALLOC-OK: symbolic phase, runs once per mesh; coefficient
+        // reassembly reuses the stored pattern (see `reassemble_into`).
         let mut indptr = vec![0usize; nu + 1];
         for k in 0..nz {
             for j in 0..ny {
@@ -109,6 +112,7 @@ impl ViscousPattern {
         for r in 0..nu {
             indptr[r + 1] += indptr[r];
         }
+        // ALLOC-OK: same symbolic phase as `indptr` above.
         let mut indices = vec![0u32; indptr[nu]];
         for k in 0..nz {
             for j in 0..ny {
@@ -311,6 +315,7 @@ impl ViscousPattern {
         scratch: &mut Vec<f64>,
         a: &mut Csr,
     ) {
+        let _s = prof::scope("fem.reassemble_viscous");
         assert_eq!(
             a.nnz(),
             self.nnz(),
@@ -333,6 +338,8 @@ pub fn gradient_pattern_csr(mesh: &StructuredMesh) -> (Vec<usize>, Vec<u32>) {
     let np = NP1 * ne;
     let row_len = 3 * NQ2;
     let indptr: Vec<usize> = (0..=np).map(|r| r * row_len).collect();
+    // ALLOC-OK: symbolic gradient pattern, built once per mesh and
+    // cached by the callers that assemble repeatedly.
     let mut indices = vec![0u32; np * row_len];
     for e in 0..ne {
         let nodes = mesh.element_nodes(e);

@@ -170,13 +170,15 @@ impl Chebyshev {
         let delta = 0.5 * (self.lambda_hi - self.lambda_lo);
         let sigma = theta / delta;
         let mut rho = 1.0 / sigma;
+        // ALLOC-OK: three O(n) scratch vectors once per smoother
+        // application, amortized over `iters` spmv sweeps.
         let mut r = vec![0.0; n];
         a.apply(x, &mut r);
         v::residual_ip(b, &mut r);
         // d = D⁻¹ r / θ
-        let mut d = vec![0.0; n];
+        let mut d = vec![0.0; n]; // ALLOC-OK: see `r` above.
         v::cheb_d_init(&self.inv_diag, &r, theta, &mut d);
-        let mut ad = vec![0.0; n];
+        let mut ad = vec![0.0; n]; // ALLOC-OK: see `r` above.
         for k in 0..iters {
             v::axpy(1.0, &d, x);
             if k + 1 == iters {
@@ -288,12 +290,14 @@ fn fused_tile(
     let m = tile.rows.len();
     // Per-tile scratch, O(halo) — the fused apply is called once per
     // smoothing phase, not per row.
+    // ALLOC-OK: O(halo) per-tile scratch, once per fused smoothing
+    // phase (not per row); tiles are few and rows per tile are many.
     let mut r = vec![0.0; m];
-    let mut d = vec![0.0; m];
-    let mut ad = vec![0.0; m];
-    // Exact residual on every halo row from the global matrix and the
-    // x snapshot: same row dot (ascending columns) + `b - s` as
-    // `a.apply` followed by the residual flip.
+    let mut d = vec![0.0; m]; // ALLOC-OK: see `r` above.
+    let mut ad = vec![0.0; m]; // ALLOC-OK: see `r` above.
+                               // Exact residual on every halo row from the global matrix and the
+                               // x snapshot: same row dot (ascending columns) + `b - s` as
+                               // `a.apply` followed by the residual flip.
     for (li, &g) in tile.rows.iter().enumerate() {
         let g = g as usize;
         let mut s = 0.0;

@@ -149,6 +149,8 @@ pub struct SolveStats {
 
 impl SolveStats {
     fn new(r0: f64, record: bool) -> Self {
+        // ALLOC-OK: capacity 0 — no heap traffic unless history
+        // recording is explicitly enabled in the config.
         let mut history = Vec::new();
         if record {
             history.push(r0);
@@ -209,6 +211,7 @@ fn finish_ksp(method: &str, cfg: &KrylovConfig, stats: &SolveStats) {
             converged: stats.converged,
             initial_residual: stats.initial_residual,
             final_residual: stats.final_residual,
+            // ALLOC-OK: diagnostics-only, once per labelled solve.
             history: stats.history.clone(),
         });
     }
@@ -260,6 +263,8 @@ fn cg_impl(
     cfg: &KrylovConfig,
 ) -> SolveStats {
     let n = b.len();
+    // ALLOC-OK: CG workspace (r, z, p, ap), once per solve and
+    // amortized over `max_it` operator/preconditioner applications.
     let mut r = vec![0.0; n];
     residual(a, b, x, &mut r);
     let r0 = v::norm2(&r);
@@ -272,10 +277,10 @@ fn cg_impl(
         return stats;
     }
     let tol = tolerance(cfg, r0);
-    let mut z = vec![0.0; n];
+    let mut z = vec![0.0; n]; // ALLOC-OK: see `r` above.
     pc_apply(pc, &r, &mut z);
-    let mut p = z.clone();
-    let mut ap = vec![0.0; n];
+    let mut p = z.clone(); // ALLOC-OK: see `r` above.
+    let mut ap = vec![0.0; n]; // ALLOC-OK: see `r` above.
     let mut rz = v::dot(&r, &z);
     for it in 0..cfg.max_it {
         a.apply(&p, &mut ap);

@@ -458,6 +458,9 @@ impl AmgHierarchy {
         sm.smooth(&lvl.a, b, x);
         // Residual and restriction through the next level's P.
         let n = lvl.a.nrows();
+        // ALLOC-OK: per-level cycle scratch (r, rc, xc, corr), once
+        // per V-cycle visit; AMG runs as the coarse solver, so n here is
+        // orders of magnitude below the fine grid.
         let mut r = vec![0.0; n];
         lvl.a.spmv(x, &mut r);
         for i in 0..n {
@@ -470,12 +473,12 @@ impl AmgHierarchy {
             // except the finest, and `level + 1` is never the finest here.
             .expect("inner level has prolongation");
         let nc = p.ncols();
-        let mut rc = vec![0.0; nc];
+        let mut rc = vec![0.0; nc]; // ALLOC-OK: see `r` above.
         p.spmv_transpose(&r, &mut rc);
-        let mut xc = vec![0.0; nc];
+        let mut xc = vec![0.0; nc]; // ALLOC-OK: see `r` above.
         self.vcycle(level + 1, &rc, &mut xc);
         // Prolongate and correct.
-        let mut corr = vec![0.0; n];
+        let mut corr = vec![0.0; n]; // ALLOC-OK: see `r` above.
         p.spmv(&xc, &mut corr);
         for i in 0..n {
             x[i] += corr[i];

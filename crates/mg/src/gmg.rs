@@ -420,8 +420,11 @@ impl GeometricMg {
             if let Some(ro) = &lvl.reorder {
                 if let Some(plan) = &ro.plan {
                     let n = b.len();
+                    // ALLOC-OK: opt-in reorder scatter; two O(n)
+                    // buffers per smoothing phase, amortized over the
+                    // smoother's spmv sweeps on the permuted matrix.
                     let mut bp = vec![0.0; n];
-                    let mut xp = vec![0.0; n];
+                    let mut xp = vec![0.0; n]; // ALLOC-OK: see `bp` above.
                     for (old, &new) in ro.perm.iter().enumerate() {
                         bp[new as usize] = b[old];
                         xp[new as usize] = x[old];
@@ -478,12 +481,15 @@ impl GeometricMg {
         // Residual: r = b - A x (axpby(1, b, -1, r) is bitwise-identical
         // to the elementwise subtraction and runs on the worker pool).
         let n = b.len();
+        // ALLOC-OK: per-level cycle scratch (r, rc, xc, corr), once
+        // per V-cycle visit and amortized over the smoothing work done
+        // at this level.
         let mut r = vec![0.0; n];
         a.apply(x, &mut r);
         vec_ops::axpby(1.0, b, -1.0, &mut r);
         // Restrict through Pᵀ.
         let p = &self.prolongations[k - 1];
-        let mut rc = vec![0.0; p.ncols()];
+        let mut rc = vec![0.0; p.ncols()]; // ALLOC-OK: see `r` above.
         {
             let _ev = prof::scope("MGRestrict");
             if self.scalar_pipeline {
@@ -503,12 +509,12 @@ impl GeometricMg {
             CycleType::W if k == 1 => 1,
             CycleType::W => 2,
         };
-        let mut xc = vec![0.0; p.ncols()];
+        let mut xc = vec![0.0; p.ncols()]; // ALLOC-OK: see `r` above.
         for _ in 0..visits {
             self.vcycle(k - 1, &rc, &mut xc);
         }
         // Prolong and correct.
-        let mut corr = vec![0.0; n];
+        let mut corr = vec![0.0; n]; // ALLOC-OK: see `r` above.
         {
             let _ev = prof::scope("MGProlong");
             if self.scalar_pipeline {

@@ -28,6 +28,7 @@ use ptatin_la::csr::Csr;
 use ptatin_la::par;
 use ptatin_la::simd::{F64x4, SimdPath, LANES};
 use ptatin_mesh::StructuredMesh;
+use ptatin_prof as prof;
 
 /// Elements per batch of the assembly drivers (matches the scalar path's
 /// `ASSEMBLY_BATCH`, so the element-matrix scratch footprint is the same
@@ -420,6 +421,7 @@ pub fn assemble_viscous_batched(
     eta: &[f64],
     path: SimdPath,
 ) -> Csr {
+    let _s = prof::scope("ops.assemble_viscous_batched");
     let pat = ViscousPattern::build(mesh);
     // ALLOC-OK: first assembly allocates its value storage once; the
     // re-assembly path (`viscous_numeric_batched_into`) reuses it.
@@ -441,6 +443,7 @@ pub fn assemble_gradient_batched(
     tables: &Q2QuadTables,
     path: SimdPath,
 ) -> Csr {
+    let _s = prof::scope("ops.assemble_gradient_batched");
     let ne = mesh.num_elements();
     let (indptr, indices) = gradient_pattern_csr(mesh);
     let q1 = Q1Tables::new(tables);

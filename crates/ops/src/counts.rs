@@ -57,6 +57,8 @@ pub fn paper_models() -> [OperatorModel; 4] {
 /// Cost model of *this implementation's* assembled SpMV: per nonzero one
 /// multiply-add plus an 8-byte value and 4-byte `u32` column index; vector
 /// traffic amortized per element under perfect reuse.
+// PROF-OK: pure cost-model arithmetic (a handful of integer ops); the
+// `assemble` prefix is the paper's operator name, not mesh assembly.
 pub fn assembled_model(nnz: usize, nel: usize) -> OperatorModel {
     let nnz_per_el = nnz as u64 / nel.max(1) as u64;
     OperatorModel {

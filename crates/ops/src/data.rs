@@ -180,6 +180,9 @@ impl MaskScratch {
                 f(&buf)
             }
             Err(_) => {
+                // ALLOC-OK: fallback when the thread-local scratch is
+                // already borrowed (re-entrant masking); the steady-state
+                // path above reuses the pooled buffer.
                 let mut xm = x.to_vec();
                 data.mask_vector(&mut xm);
                 f(&xm)

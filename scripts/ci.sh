@@ -20,11 +20,25 @@ if [[ $FAST -eq 0 ]]; then
     cargo build --release --workspace --bins --benches
 fi
 
-# Workspace invariants: zero audit findings (unsafe documentation,
-# determinism, hot-path allocation, panic surface) and a fresh, schema-valid
-# unsafe inventory in output/audit.json (DESIGN.md §10).
-step "ptatin-audit --check"
-cargo run -q -p ptatin-audit -- --check
+# Workspace invariants: zero unsuppressed audit findings — the v1 token
+# rules plus the v2 call-graph passes (transitive hot-path alloc/panic,
+# nested dispatch, SIMD path parity, checkpoint coverage, prof-scope
+# coverage; DESIGN.md §10, §14) — a fresh schema-valid inventory in
+# output/audit.json, and a checksummed baseline. The audit is static, so
+# PTATIN_TEST_THREADS must not change its verdict: the gate runs at both
+# CI thread counts and enforces the 10 s wall-clock budget at each.
+step "ptatin-audit --check (v2 call-graph passes, nt=1 and 4)"
+cargo build -q -p ptatin-audit
+printf '%-24s %9s  %s\n' "lint" "wall (s)" "status"
+for nt in 1 4; do
+    t0=$(date +%s.%N)
+    PTATIN_TEST_THREADS=$nt target/debug/ptatin-audit --check --quiet
+    t1=$(date +%s.%N)
+    dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+    awk -v d="$dt" 'BEGIN { exit !(d < 10.0) }' \
+        || { echo "audit --check exceeded the 10 s budget: ${dt}s"; exit 1; }
+    printf '%-24s %9s  %s\n' "audit --check (nt=$nt)" "$dt" "ok"
+done
 
 # The suite runs twice: once pinned to a single thread and once at four,
 # so thread-count-dependent regressions in the worker pool (ptatin-la::par)

@@ -111,8 +111,16 @@ fn check_golden(name: &str, header: &str, got: &Record) {
 fn golden_sinker_solve() {
     let _g = NT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     par::set_num_threads(1);
+    // Direct coarse solve, not the paper's AMG-PCG: with the inexact
+    // coarse solve this configuration sits on a GCR near-stagnation
+    // plateau at ~1.3e-7 relative residual, where the iteration count is
+    // knife-edge sensitive to assembly round-off (23 vs 45 under one-ulp
+    // perturbations; DESIGN.md §13). The exact coarse solve removes the
+    // plateau and the count (43) is stable to ±1 ulp input changes, so
+    // the golden is a real regression signal instead of a coin flip.
     let gmg = GmgConfig {
         levels: 2,
+        coarse: CoarseKind::Direct,
         ..paper_gmg_config(2, OperatorKind::Tensor)
     };
     let (model, fields) = sinker_setup(4, gmg.levels, 1e3);
@@ -134,7 +142,7 @@ fn golden_sinker_solve() {
     rec.set_f64("residual.final", stats.final_residual);
     check_golden(
         "sinker_m4_l2_de1e3.txt",
-        "sinker m=4 levels=2 delta_eta=1e3, GMG(tensor), Picard, rtol=1e-8, nt=1",
+        "sinker m=4 levels=2 delta_eta=1e3, GMG(tensor), direct coarse, Picard, rtol=1e-8, nt=1",
         &rec,
     );
 }
